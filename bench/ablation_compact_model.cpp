@@ -1,0 +1,96 @@
+// Ablation: the conventional compact model the introduction argues against.
+//
+// "Although conventional variable threshold resist (VTR) models are highly
+// efficient, they fail to keep up their accuracy at advanced technology
+// nodes" (Sec. 1). This harness measures a constant-threshold compact flow
+// (fast optics + calibrated fixed threshold, no learning) against the
+// golden simulator on fresh clips, next to the trained LithoGAN — showing
+// both why ML models exist and what the compact model's speed buys.
+#include <cstdio>
+
+#include "baseline/compact_vtr.hpp"
+#include "common.hpp"
+#include "data/render.hpp"
+#include "geometry/marching_squares.hpp"
+#include "layout/generator.hpp"
+#include "layout/opc.hpp"
+#include "layout/sraf.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+using namespace lithogan;
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_banner(
+      "Ablation — conventional compact model (constant threshold, no ML)",
+      "compact VTR models are fast but lose accuracy at advanced nodes (Sec. 1)");
+
+  const std::string node = "N10";
+  const litho::ProcessConfig process = bench::bench_process(node);
+  const data::Dataset dataset = bench::bench_dataset(node);
+  auto& model = bench::bench_model(core::Mode::kDualLearning, node);
+  data::RenderConfig render = dataset.render;
+
+  // Fresh clips with golden labels.
+  const std::size_t n_clips = 24;
+  litho::Simulator golden_sim(process);
+  golden_sim.calibrate_dose();
+  layout::ClipGenerator generator(process, {}, util::Rng(606060));
+  layout::SrafInserter sraf(process, {});
+  layout::OpcEngine opc({});
+
+  baseline::CompactVtrFlow compact(process, render);
+
+  eval::MetricAccumulator acc_compact("Compact CTR", node,
+                                      dataset.samples[0].resist_pixel_nm);
+  eval::MetricAccumulator acc_gan("LithoGAN", node,
+                                  dataset.samples[0].resist_pixel_nm);
+  double golden_s = 0.0;
+  double compact_s = 0.0;
+  double gan_s = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 0; k < n_clips; ++k) {
+    layout::MaskClip clip = generator.generate();
+    sraf.insert(clip);
+    opc.run_model_based(clip, golden_sim);
+
+    util::Timer tg;
+    const auto result = golden_sim.run(clip.all_openings());
+    golden_s += tg.elapsed_seconds();
+    const auto contour = geometry::contour_at(result.contours, clip.center());
+    const auto golden = data::render_golden(contour, clip.center(), render);
+    if (!golden.printed) continue;
+    ++used;
+
+    util::Timer tc;
+    const auto compact_pred = compact.predict(clip);
+    compact_s += tc.elapsed_seconds();
+    acc_compact.add(golden.resist, compact_pred);
+
+    data::Sample s;
+    s.mask_rgb = data::render_mask(clip, render);
+    util::Timer tn;
+    const auto gan_pred = model.predict(s);
+    gan_s += tn.elapsed_seconds();
+    acc_gan.add(golden.resist, gan_pred);
+  }
+
+  const auto rep_compact = acc_compact.finalize();
+  const auto rep_gan = acc_gan.finalize();
+  std::printf("\n%zu clips evaluated against golden (full-VTR, dense source):\n",
+              used);
+  std::printf("%s\n", eval::format_table3({rep_compact, rep_gan}).c_str());
+  std::printf("per-clip seconds: golden %.3f | compact %.3f | LithoGAN %.4f\n",
+              golden_s / used, compact_s / used, gan_s / used);
+  std::printf("\nshape checks:\n");
+  std::printf("  compact model less accurate than golden-trained LithoGAN: %s "
+              "(EDE %.2f vs %.2f nm)\n",
+              rep_compact.ede_mean_nm > rep_gan.ede_mean_nm ? "OK" : "MISS",
+              rep_compact.ede_mean_nm, rep_gan.ede_mean_nm);
+  std::printf("  compact model faster than golden simulation: %s (%.1fx)\n",
+              compact_s < golden_s ? "OK" : "MISS", golden_s / compact_s);
+  std::printf("  LithoGAN faster than the compact model: %s (%.1fx)\n",
+              gan_s < compact_s ? "OK" : "MISS", compact_s / gan_s);
+  return 0;
+}

@@ -1,0 +1,265 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "data/batch.hpp"
+#include "image/io.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace lithogan::bench {
+
+namespace {
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+constexpr std::uint64_t kDatasetSeedBase = 1000;
+constexpr std::uint64_t kSplitSeed = 77;
+
+std::size_t node_seed(const std::string& node) {
+  return kDatasetSeedBase + (node == "N7" ? 7 : 10);
+}
+
+}  // namespace
+
+std::string cache_dir() {
+  static const std::string dir = [] {
+    util::make_directories("bench_data");
+    return std::string("bench_data");
+  }();
+  return dir;
+}
+
+std::string output_dir() {
+  static const std::string dir = [] {
+    util::make_directories("bench_output");
+    return std::string("bench_output");
+  }();
+  return dir;
+}
+
+litho::ProcessConfig bench_process(const std::string& node) {
+  litho::ProcessConfig p =
+      node == "N7" ? litho::ProcessConfig::n7() : litho::ProcessConfig::n10();
+  p.grid.pixels = 128;  // 8 nm pixels over the 1x1 um clip
+  p.optical.source_rings = 1;
+  p.optical.source_points_per_ring = 8;
+  return p;
+}
+
+core::LithoGanConfig bench_config() {
+  // 64x64 images (2 nm/px): the coarsest resolution at which printed
+  // pattern-placement errors are super-pixel, so the dual-learning vs
+  // plain-CGAN comparison is meaningful (see EXPERIMENTS.md).
+  core::LithoGanConfig cfg = core::LithoGanConfig::tiny();
+  cfg.image_size = 64;
+  cfg.base_channels = 12;
+  cfg.max_channels = 48;
+  cfg.epochs = env_or("LITHOGAN_BENCH_EPOCHS", 25);
+  // The center CNN is cheap relative to the GAN and its accuracy directly
+  // bounds LithoGAN's EDE; give it a long schedule and a noise-free head
+  // (see LithoGanConfig::center_dropout).
+  cfg.center_epochs = 120;
+  cfg.center_dropout = 0.0f;
+  return cfg;
+}
+
+std::size_t bench_clip_count() { return env_or("LITHOGAN_BENCH_CLIPS", 120); }
+
+data::Dataset bench_dataset(const std::string& node) {
+  const std::string path =
+      cache_dir() + "/" + node + "-" + std::to_string(bench_clip_count()) + ".ds";
+  if (util::file_exists(path)) return data::load_dataset(path);
+
+  util::log_info() << "building " << node << " dataset (" << bench_clip_count()
+                   << " clips) -> " << path;
+  data::BuildConfig bc;
+  bc.clip_count = bench_clip_count();
+  bc.render.mask_size_px = bench_config().image_size;
+  bc.render.resist_size_px = bench_config().image_size;
+  // Strongly varied neighborhoods: more asymmetry -> more pattern-placement
+  // variation for the center CNN to learn.
+  bc.generator.position_jitter_nm = 10.0;
+  bc.generator.occupancy = 0.65;
+  data::DatasetBuilder builder(bench_process(node), bc, util::Rng(node_seed(node)));
+  data::Dataset dataset = builder.build();
+  save_dataset(dataset, path);
+  return dataset;
+}
+
+data::Split bench_split(const data::Dataset& dataset) {
+  util::Rng rng(kSplitSeed);
+  return data::split_dataset(dataset, 0.75, rng);
+}
+
+std::string model_tag(core::Mode mode, const std::string& node) {
+  return (mode == core::Mode::kDualLearning ? std::string("lithogan-")
+                                            : std::string("cgan-")) +
+         node;
+}
+
+std::vector<std::size_t> snapshot_samples(const data::Dataset& dataset,
+                                          const data::Split& split) {
+  std::vector<std::size_t> picks;
+  if (!split.test.empty()) picks.push_back(split.test.front());
+  if (split.test.size() > 1) picks.push_back(split.test[split.test.size() / 2]);
+  (void)dataset;
+  return picks;
+}
+
+namespace {
+
+std::vector<std::size_t> snapshot_epochs_for(std::size_t total) {
+  // Paper Figure 8 snapshots at epochs {1,3,5,7,15,27,50,80}; rescale to
+  // the configured training length.
+  const double fractions[] = {1.0 / 80, 3.0 / 80, 5.0 / 80, 7.0 / 80,
+                              15.0 / 80, 27.0 / 80, 50.0 / 80, 1.0};
+  std::vector<std::size_t> epochs;
+  for (const double f : fractions) {
+    const auto e = std::max<std::size_t>(
+        1, static_cast<std::size_t>(f * static_cast<double>(total) + 0.5));
+    if (epochs.empty() || e > epochs.back()) epochs.push_back(e);
+  }
+  return epochs;
+}
+
+void write_sidecar(const std::string& prefix, const TrainingSidecar& sidecar) {
+  std::ostringstream oss;
+  oss << "# epoch generator discriminator l1\n";
+  for (const auto& e : sidecar.losses) {
+    oss << e.epoch << " " << e.generator << " " << e.discriminator << " " << e.l1
+        << "\n";
+  }
+  oss << "# snapshots";
+  for (const auto e : sidecar.snapshot_epochs) oss << " " << e;
+  oss << "\n";
+  util::write_file(prefix + ".losses.txt", oss.str());
+}
+
+TrainingSidecar read_sidecar(const std::string& prefix) {
+  TrainingSidecar sidecar;
+  std::istringstream in(util::read_file(prefix + ".losses.txt"));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (util::starts_with(line, "# snapshots")) {
+      std::istringstream ss(line.substr(11));
+      std::size_t e = 0;
+      while (ss >> e) sidecar.snapshot_epochs.push_back(e);
+      continue;
+    }
+    if (line[0] == '#') continue;
+    std::istringstream ss(line);
+    core::GanEpochLosses l;
+    ss >> l.epoch >> l.generator >> l.discriminator >> l.l1;
+    sidecar.losses.push_back(l);
+  }
+  return sidecar;
+}
+
+/// Trains one model, writing checkpoint + sidecar + snapshot images.
+void train_and_cache(core::LithoGan& model, const std::string& node,
+                     const std::string& prefix) {
+  const data::Dataset dataset = bench_dataset(node);
+  const data::Split split = bench_split(dataset);
+  const auto picks = snapshot_samples(dataset, split);
+  const auto snap_epochs = snapshot_epochs_for(model.config().epochs);
+
+  // Reference panels for the progression figure.
+  for (std::size_t k = 0; k < picks.size(); ++k) {
+    const auto& s = dataset.samples[picks[k]];
+    image::write_ppm(prefix + ".snap.mask.s" + std::to_string(k) + ".ppm", s.mask_rgb);
+    image::write_pgm(prefix + ".snap.golden.s" + std::to_string(k) + ".pgm", s.resist);
+  }
+
+  TrainingSidecar sidecar;
+  sidecar.snapshot_epochs = snap_epochs;
+  auto losses = model.train(
+      dataset, split.train,
+      [&](const core::GanEpochLosses& epoch, core::LithoGan& m) {
+        const bool snap = std::find(snap_epochs.begin(), snap_epochs.end(),
+                                    epoch.epoch) != snap_epochs.end();
+        if (!snap) return;
+        for (std::size_t k = 0; k < picks.size(); ++k) {
+          // Raw generator output during training (pre-adjustment, as in the
+          // paper's Figure 8).
+          const auto mask = data::image_to_tensor(dataset.samples[picks[k]].mask_rgb);
+          const auto img = data::tensor_to_resist_image(m.predict_shape(mask));
+          image::write_pgm(prefix + ".snap.e" + std::to_string(epoch.epoch) + ".s" +
+                               std::to_string(k) + ".pgm",
+                           img);
+        }
+      });
+  sidecar.losses = std::move(losses);
+  model.save(prefix);
+  write_sidecar(prefix, sidecar);
+}
+
+}  // namespace
+
+core::LithoGan& bench_model(core::Mode mode, const std::string& node) {
+  static std::map<std::string, std::unique_ptr<core::LithoGan>> cache;
+  const std::string tag = model_tag(mode, node);
+  auto it = cache.find(tag);
+  if (it != cache.end()) return *it->second;
+
+  auto model = std::make_unique<core::LithoGan>(bench_config(), mode);
+  const std::string prefix = cache_dir() + "/" + tag;
+  if (util::file_exists(prefix + ".gen.bin") &&
+      util::file_exists(prefix + ".losses.txt")) {
+    model->load(prefix);
+  } else {
+    util::log_info() << "training " << tag << " (" << bench_config().epochs
+                     << " epochs)";
+    train_and_cache(*model, node, prefix);
+  }
+  auto& ref = *model;
+  cache[tag] = std::move(model);
+  return ref;
+}
+
+TrainingSidecar bench_sidecar(core::Mode mode, const std::string& node) {
+  const std::string prefix = cache_dir() + "/" + model_tag(mode, node);
+  if (!util::file_exists(prefix + ".losses.txt")) {
+    bench_model(mode, node);  // trains and writes the sidecar
+  }
+  return read_sidecar(prefix);
+}
+
+eval::MethodReport evaluate_model(core::LithoGan& model, const data::Dataset& dataset,
+                                  const std::vector<std::size_t>& test,
+                                  const std::string& method_name,
+                                  std::vector<double>* ede_samples) {
+  eval::MetricAccumulator acc(method_name, dataset.process_name,
+                              dataset.samples.at(0).resist_pixel_nm);
+  for (const std::size_t i : test) {
+    acc.add(dataset.samples[i].resist, model.predict(dataset.samples[i]));
+  }
+  if (ede_samples != nullptr) *ede_samples = acc.ede_samples_nm();
+  return acc.finalize();
+}
+
+void print_banner(const std::string& experiment, const std::string& paper_claim) {
+  const auto cfg = bench_config();
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("scale: lite reproduction (%zux%zu images, %.1f nm/px, 1 CPU core;\n",
+              cfg.image_size, cfg.image_size,
+              128.0 / static_cast<double>(cfg.image_size));
+  std::printf("       the paper used 256x256 at 0.5 nm/px on a TITAN Xp). Shapes\n");
+  std::printf("       and orderings are comparable; absolute values are\n");
+  std::printf("       resolution-dependent. See EXPERIMENTS.md.\n");
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace lithogan::bench

@@ -1,0 +1,79 @@
+// Shared infrastructure for the table/figure reproduction harnesses.
+//
+// Every experiment binary is self-contained: it asks for a dataset and a
+// trained model, and this layer builds them on first use and caches them
+// under bench_data/ (datasets as .ds files, models as checkpoints, training
+// sidecars for the loss-curve and progression figures). Re-running a bench
+// is then instant, and the figure benches can run in any order.
+//
+// Scale: the paper trains 256x256 images on a TITAN Xp for ~2 h per model;
+// this reproduction runs on one CPU core, so the default experiment scale
+// is 32x32 with proportionally narrower networks (see DESIGN.md). Set
+// LITHOGAN_BENCH_EPOCHS / LITHOGAN_BENCH_CLIPS to rescale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/lithogan.hpp"
+#include "data/dataset.hpp"
+#include "eval/report.hpp"
+#include "litho/process.hpp"
+
+namespace lithogan::bench {
+
+/// Cache directory (created on demand), relative to the working directory.
+std::string cache_dir();
+
+/// Output directory for figure artifacts (PPM/PGM panels).
+std::string output_dir();
+
+/// Lite process used by every experiment: 128-pixel simulation grid and
+/// moderate source sampling.
+litho::ProcessConfig bench_process(const std::string& node);  // "N10" | "N7"
+
+/// The shared experiment scale (32x32 images, reduced widths). Epoch count
+/// honors LITHOGAN_BENCH_EPOCHS (default 40).
+core::LithoGanConfig bench_config();
+
+/// Number of clips per dataset; honors LITHOGAN_BENCH_CLIPS (default 120).
+std::size_t bench_clip_count();
+
+/// Deterministic dataset for a node, cached as bench_data/<node>.ds.
+data::Dataset bench_dataset(const std::string& node);
+
+/// Deterministic 75/25 split (paper Sec. 4); same for every bench.
+data::Split bench_split(const data::Dataset& dataset);
+
+/// Loss-curve sidecar written next to each cached model.
+struct TrainingSidecar {
+  std::vector<core::GanEpochLosses> losses;
+  /// Epochs at which progression snapshots were taken (Figure 8).
+  std::vector<std::size_t> snapshot_epochs;
+};
+
+/// Trains (or loads) a model for `mode` on `node`. On a fresh train this
+/// writes the checkpoint, the loss sidecar, and per-epoch snapshot images
+/// of two fixed test samples for the Figure 8 bench.
+core::LithoGan& bench_model(core::Mode mode, const std::string& node);
+
+/// Loads the sidecar for a cached model, training first if necessary.
+TrainingSidecar bench_sidecar(core::Mode mode, const std::string& node);
+
+/// Tag identifying a cached model, e.g. "lithogan-N10".
+std::string model_tag(core::Mode mode, const std::string& node);
+
+/// The two test-sample indices used for Figure 6/8 snapshot panels.
+std::vector<std::size_t> snapshot_samples(const data::Dataset& dataset,
+                                          const data::Split& split);
+
+/// Evaluates a model over the test split (EDE + pixel metrics).
+eval::MethodReport evaluate_model(core::LithoGan& model, const data::Dataset& dataset,
+                                  const std::vector<std::size_t>& test,
+                                  const std::string& method_name,
+                                  std::vector<double>* ede_samples = nullptr);
+
+/// Prints a standard harness banner explaining scale caveats.
+void print_banner(const std::string& experiment, const std::string& paper_claim);
+
+}  // namespace lithogan::bench

@@ -1,0 +1,84 @@
+// Reproduces Figure 8: generated resist patterns for fixed test samples at
+// checkpoints along training (paper: epochs 1,3,5,7,15,27,50,80, rescaled
+// to the configured schedule). Snapshot images are written during training
+// by the shared cache layer; this bench assembles them into montages and
+// quantifies the progression (distance to golden must shrink).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "image/io.hpp"
+#include "image/ops.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+
+using namespace lithogan;
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_banner(
+      "Figure 8 — prediction quality along training",
+      "generated patterns become progressively more real and closer to golden");
+
+  const std::string node = "N10";
+  const auto sidecar = bench::bench_sidecar(core::Mode::kDualLearning, node);
+  const std::string prefix =
+      bench::cache_dir() + "/" + bench::model_tag(core::Mode::kDualLearning, node);
+
+  for (std::size_t sample = 0; sample < 2; ++sample) {
+    const std::string golden_path =
+        prefix + ".snap.golden.s" + std::to_string(sample) + ".pgm";
+    if (!util::file_exists(golden_path)) {
+      std::printf("sample %zu: no snapshots (model restored from an old cache); "
+                  "delete bench_data/ and re-run to regenerate\n",
+                  sample);
+      continue;
+    }
+    // Golden is stored uncentered; training snapshots are the CGAN-shape
+    // output (centered), so compare against the centered golden.
+    const image::Image golden_raw = image::read_pgm(golden_path);
+    const image::Image golden = data::recenter_to(
+        golden_raw, {static_cast<double>(golden_raw.width()) / 2.0,
+                     static_cast<double>(golden_raw.height()) / 2.0});
+
+    std::printf("\nsample %zu: epoch -> mean |prediction - golden| (in [0,1] units)\n",
+                sample);
+    std::vector<image::Image> panels;
+    std::vector<double> mads;
+    for (const std::size_t epoch : sidecar.snapshot_epochs) {
+      const std::string path = prefix + ".snap.e" + std::to_string(epoch) + ".s" +
+                               std::to_string(sample) + ".pgm";
+      if (!util::file_exists(path)) continue;
+      const image::Image snap = image::read_pgm(path);
+      const double mad = image::mean_absolute_difference(snap, golden);
+      mads.push_back(mad);
+      std::printf("  epoch %3zu: %.4f\n", epoch, mad);
+
+      // Grayscale snapshot -> RGB panel for the montage.
+      image::Image rgb(3, snap.height(), snap.width());
+      for (std::size_t c = 0; c < 3; ++c) {
+        auto dst = rgb.channel(c);
+        const auto src = snap.channel(0);
+        for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+      }
+      panels.push_back(std::move(rgb));
+    }
+    if (panels.empty()) continue;
+
+    const std::string out =
+        bench::output_dir() + "/fig8_progression_s" + std::to_string(sample) + ".ppm";
+    image::write_ppm(out, image::montage(panels));
+    std::printf("  montage (left = epoch %zu ... right = epoch %zu): %s\n",
+                sidecar.snapshot_epochs.front(), sidecar.snapshot_epochs.back(),
+                out.c_str());
+
+    if (mads.size() >= 2) {
+      std::printf("  shape check (late epochs closer to golden than epoch %zu): %s "
+                  "(%.4f -> %.4f)\n",
+                  sidecar.snapshot_epochs.front(),
+                  mads.back() < mads.front() ? "OK" : "MISS", mads.front(), mads.back());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Engineering micro-benchmarks for the lithography substrate: FFT, aerial
+// imaging at fast vs rigorous settings, the resist stage, and contour
+// extraction. These underpin the Table 4 runtime reproduction.
+#include <benchmark/benchmark.h>
+
+#include "geometry/marching_squares.hpp"
+#include "litho/simulator.hpp"
+#include "math/fft.hpp"
+#include "util/rng.hpp"
+
+using namespace lithogan;
+
+static void BM_Fft2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<math::Complex> grid(n * n);
+  for (auto& v : grid) v = math::Complex(rng.uniform(-1, 1), 0.0);
+  for (auto _ : state) {
+    auto copy = grid;
+    math::fft2d(copy, n, n, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(128)->Arg(256);
+
+namespace {
+litho::ProcessConfig process_with(std::size_t rings, std::size_t points,
+                                  std::size_t focus) {
+  auto p = litho::ProcessConfig::n10();
+  p.grid.pixels = 128;
+  p.optical.source_rings = rings;
+  p.optical.source_points_per_ring = points;
+  p.optical.focus_planes = focus;
+  return p;
+}
+
+std::vector<geometry::Rect> bench_mask(const litho::ProcessConfig& p) {
+  const double c = p.grid.extent_nm / 2.0;
+  return {geometry::Rect::from_center({c, c}, 60, 60),
+          geometry::Rect::from_center({c + 140, c}, 60, 60),
+          geometry::Rect::from_center({c, c + 140}, 60, 60),
+          geometry::Rect::from_center({c - 90, c}, 24, 80)};
+}
+}  // namespace
+
+static void BM_AerialFast(benchmark::State& state) {
+  const auto p = process_with(1, 8, 1);
+  litho::Simulator sim(p);
+  const auto mask = bench_mask(p);
+  for (auto _ : state) {
+    auto aerial = sim.aerial_image(mask);
+    benchmark::DoNotOptimize(aerial.values.data());
+  }
+}
+BENCHMARK(BM_AerialFast);
+
+static void BM_AerialRigorous(benchmark::State& state) {
+  const auto p = process_with(4, 16, 3);
+  litho::Simulator sim(p);
+  const auto mask = bench_mask(p);
+  for (auto _ : state) {
+    auto aerial = sim.aerial_image(mask);
+    benchmark::DoNotOptimize(aerial.values.data());
+  }
+}
+BENCHMARK(BM_AerialRigorous);
+
+static void BM_FullSimulation(benchmark::State& state) {
+  const auto p = process_with(1, 8, 1);
+  litho::Simulator sim(p);
+  sim.calibrate_dose();
+  const auto mask = bench_mask(p);
+  for (auto _ : state) {
+    auto result = sim.run(mask);
+    benchmark::DoNotOptimize(result.contours.data());
+  }
+}
+BENCHMARK(BM_FullSimulation);
+
+static void BM_MarchingSquares(benchmark::State& state) {
+  const std::size_t n = 128;
+  std::vector<double> grid(n * n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double dx = static_cast<double>(x) - 64.0;
+      const double dy = static_cast<double>(y) - 64.0;
+      grid[y * n + x] = std::cos(dx / 6.0) * std::cos(dy / 6.0) -
+                        0.3 * std::exp(-(dx * dx + dy * dy) / 900.0);
+    }
+  }
+  for (auto _ : state) {
+    auto contours = geometry::extract_contours(grid, n, n, 0.2);
+    benchmark::DoNotOptimize(contours.data());
+  }
+}
+BENCHMARK(BM_MarchingSquares);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Engineering micro-benchmarks for the neural-network substrate
+// (google-benchmark): GEMM, conv forward/backward, generator inference.
+// These are not paper experiments; they document the throughput on which
+// the Table 4 runtime results stand.
+#include <benchmark/benchmark.h>
+
+#include "core/config.hpp"
+#include "core/networks.hpp"
+#include "math/gemm.hpp"
+#include "nn/conv.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+using namespace lithogan;
+
+static void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_Conv2dForward(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Conv2d conv(16, 32, 5, 2, 2, rng);
+  const auto x = nn::Tensor::randn({1, 16, size, size}, rng);
+  for (auto _ : state) {
+    auto y = conv.forward(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(32)->Arg(64);
+
+static void BM_Conv2dBackward(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::Conv2d conv(16, 32, 5, 2, 2, rng);
+  const auto x = nn::Tensor::randn({1, 16, size, size}, rng);
+  const auto y = conv.forward(x);
+  const auto g = nn::Tensor::randn(y.shape(), rng);
+  for (auto _ : state) {
+    auto gx = conv.backward(g);
+    benchmark::DoNotOptimize(gx.raw());
+  }
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(32)->Arg(64);
+
+static void BM_DeconvForward(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  nn::ConvTranspose2d deconv(32, 16, 5, 2, 2, 1, rng);
+  const auto x = nn::Tensor::randn({1, 32, size, size}, rng);
+  for (auto _ : state) {
+    auto y = deconv.forward(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_DeconvForward)->Arg(16)->Arg(32);
+
+static void BM_GeneratorInference(benchmark::State& state) {
+  // The lite-scale generator used by the experiment harnesses.
+  core::LithoGanConfig cfg = core::LithoGanConfig::tiny();
+  cfg.image_size = 32;
+  cfg.base_channels = 12;
+  cfg.max_channels = 48;
+  util::Rng rng(5);
+  auto gen = core::build_generator(cfg, rng);
+  gen->set_training(false);
+  const auto x = nn::Tensor::randn({1, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    auto y = gen->forward(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_GeneratorInference);
+
+static void BM_PaperScaleGeneratorLayer(benchmark::State& state) {
+  // One paper-scale encoder layer (the 256x256 -> 128x128, 3 -> 64 conv):
+  // documents what full-scale inference would cost on this machine.
+  util::Rng rng(6);
+  nn::Conv2d conv(3, 64, 5, 2, 2, rng);
+  const auto x = nn::Tensor::randn({1, 3, 256, 256}, rng);
+  for (auto _ : state) {
+    auto y = conv.forward(x);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_PaperScaleGeneratorLayer);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Reproduces Table 3: EDE / pixel accuracy / class accuracy / mean IoU for
+// the Ref.[12]-style threshold flow, plain CGAN, and LithoGAN on the N10
+// and N7 datasets — plus the Sec. 4.1 center-CNN error and the Sec. 4.2
+// CD-acceptance check (error within 10% of the contact half-pitch).
+#include <cstdio>
+#include <vector>
+
+#include "baseline/flow.hpp"
+#include "common.hpp"
+#include "eval/report.hpp"
+#include "util/logging.hpp"
+
+using namespace lithogan;
+
+namespace {
+
+// Paper Table 3 reference values.
+struct PaperRow {
+  const char* dataset;
+  const char* method;
+  double ede, std_dev, pix, cls, iou;
+};
+constexpr PaperRow kPaper[] = {
+    {"N10", "Ref.[12]", 0.67, 0.55, 0.98, 0.99, 0.98},
+    {"N10", "CGAN", 1.52, 0.95, 0.96, 0.97, 0.94},
+    {"N10", "LithoGAN", 1.08, 0.88, 0.97, 0.98, 0.96},
+    {"N7", "Ref.[12]", 0.55, 0.53, 0.99, 0.99, 0.98},
+    {"N7", "CGAN", 1.21, 0.77, 0.98, 0.98, 0.96},
+    {"N7", "LithoGAN", 0.88, 0.67, 0.99, 0.99, 0.97},
+};
+
+eval::MethodReport evaluate_baseline(baseline::ThresholdFlow& flow,
+                                     const data::Dataset& dataset,
+                                     const std::vector<std::size_t>& test) {
+  eval::MetricAccumulator acc("Ref.[12]-style", dataset.process_name,
+                              dataset.samples.at(0).resist_pixel_nm);
+  for (const std::size_t i : test) {
+    acc.add(dataset.samples[i].resist, flow.predict(dataset.samples[i]));
+  }
+  return acc.finalize();
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kInfo);
+  bench::print_banner(
+      "Table 3 — accuracy comparison (Ref.[12] flow vs CGAN vs LithoGAN)",
+      "LithoGAN beats CGAN on every metric; the threshold flow is slightly "
+      "more accurate but needs optical simulation");
+
+  std::vector<eval::MethodReport> reports;
+  for (const std::string node : {"N10", "N7"}) {
+    const data::Dataset dataset = bench::bench_dataset(node);
+    const data::Split split = bench::bench_split(dataset);
+
+    // The 4-scalar threshold regression saturates quickly and overfits on
+    // long schedules; give it its own moderate budget.
+    core::LithoGanConfig flow_cfg = bench::bench_config();
+    flow_cfg.center_epochs = 60;
+    baseline::ThresholdFlow flow(flow_cfg, util::Rng(99));
+    flow.train(dataset, split.train);
+    reports.push_back(evaluate_baseline(flow, dataset, split.test));
+
+    auto& cgan = bench::bench_model(core::Mode::kPlainCgan, node);
+    reports.push_back(bench::evaluate_model(cgan, dataset, split.test, "CGAN"));
+
+    auto& lithogan_model = bench::bench_model(core::Mode::kDualLearning, node);
+    reports.push_back(
+        bench::evaluate_model(lithogan_model, dataset, split.test, "LithoGAN"));
+
+    // Sec. 4.1: center-CNN prediction error (paper: 0.43 nm N10, 0.37 nm N7).
+    const double px_err = lithogan_model.center().evaluate_pixels(dataset, split.test);
+    const double nm_err = px_err * dataset.samples[0].resist_pixel_nm;
+    std::printf("\n[%s] center-CNN error: %.2f px = %.2f nm "
+                "(paper: %.2f nm at 0.5 nm/px)\n",
+                node.c_str(), px_err, nm_err, node == "N10" ? 0.43 : 0.37);
+
+    // Sec. 4.2: acceptance — CD error within 10%% of the contact half pitch.
+    const double half_pitch = bench::bench_process(node).min_pitch_nm / 2.0;
+    const double budget = 0.1 * half_pitch;
+    const double lithogan_ede = reports.back().ede_mean_nm;
+    std::printf("[%s] acceptance: LithoGAN mean EDE %.2f nm vs 10%% of half-pitch "
+                "%.2f nm -> %s\n",
+                node.c_str(), lithogan_ede, budget,
+                lithogan_ede <= budget ? "PASS" : "FAIL");
+  }
+
+  std::printf("\n--- measured (this reproduction) ---\n%s\n",
+              eval::format_table3(reports).c_str());
+
+  std::printf("--- paper Table 3 (256x256 images, 0.5 nm/px) ---\n");
+  std::printf("%-8s %-12s %8s %8s %8s %8s %8s\n", "Dataset", "Method", "EDE", "Std",
+              "PixAcc", "ClsAcc", "IoU");
+  for (const auto& r : kPaper) {
+    std::printf("%-8s %-12s %8.2f %8.2f %8.2f %8.2f %8.2f\n", r.dataset, r.method,
+                r.ede, r.std_dev, r.pix, r.cls, r.iou);
+  }
+
+  std::printf("\nshape checks (orderings the paper claims):\n");
+  for (int base = 0; base < 2; ++base) {
+    const auto& ref = reports[base * 3 + 0];
+    const auto& cgan = reports[base * 3 + 1];
+    const auto& lg = reports[base * 3 + 2];
+    std::printf("  [%s] EDE: LithoGAN (%.2f) < CGAN (%.2f): %s | Ref12 (%.2f) best: %s\n",
+                ref.dataset.c_str(), lg.ede_mean_nm, cgan.ede_mean_nm,
+                lg.ede_mean_nm < cgan.ede_mean_nm ? "OK" : "MISS", ref.ede_mean_nm,
+                ref.ede_mean_nm <= lg.ede_mean_nm ? "OK" : "MISS");
+    std::printf("  [%s] IoU: LithoGAN (%.3f) > CGAN (%.3f): %s\n", ref.dataset.c_str(),
+                lg.mean_iou, cgan.mean_iou, lg.mean_iou > cgan.mean_iou ? "OK" : "MISS");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Full training CLI: train a LithoGAN (or plain CGAN) on a dataset file
+// produced by examples/generate_dataset, with every paper hyperparameter
+// exposed as a flag, then evaluate on the held-out split and checkpoint.
+//
+//   ./generate_dataset --clips 200 --out n10
+//   ./train_model --dataset n10.ds --epochs 40 --save model/n10
+#include <cstdio>
+
+#include "core/lithogan.hpp"
+#include "data/dataset.hpp"
+#include "eval/report.hpp"
+#include "util/cli.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+
+using namespace lithogan;
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Train LithoGAN / CGAN on a .ds dataset file.");
+  cli.add_flag("dataset", "dataset.ds", "path to a dataset from generate_dataset")
+      .add_flag("mode", "lithogan", "lithogan (dual learning) or cgan (plain)")
+      .add_flag("arch", "encdec", "generator architecture: encdec or unet")
+      .add_flag("epochs", "40", "GAN epochs (paper: 80)")
+      .add_flag("center-epochs", "50", "center-CNN epochs")
+      .add_flag("batch", "4", "batch size (paper: 4)")
+      .add_flag("lambda", "100", "l1 weight in Eq. 3 (paper: 100)")
+      .add_flag("lr", "0.0002", "Adam learning rate (paper: 2e-4)")
+      .add_flag("beta1", "0.5", "Adam beta1 (paper: 0.5)")
+      .add_flag("base-channels", "12", "first conv width (paper: 64)")
+      .add_flag("max-channels", "48", "channel cap (paper: 512)")
+      .add_flag("l2", "false", "use l2 reconstruction instead of l1")
+      .add_flag("seed", "1", "RNG seed")
+      .add_flag("train-fraction", "0.75", "train split fraction (paper: 0.75)")
+      .add_flag("save", "", "checkpoint prefix (empty = do not save)");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+
+  const data::Dataset dataset = data::load_dataset(cli.get("dataset"));
+  std::printf("loaded %s: %zu samples, %s, %zu px\n", cli.get("dataset").c_str(),
+              dataset.size(), dataset.process_name.c_str(),
+              dataset.render.mask_size_px);
+
+  core::LithoGanConfig config = core::LithoGanConfig::paper();
+  config.image_size = dataset.render.mask_size_px;
+  config.base_channels = static_cast<std::size_t>(cli.get_int("base-channels"));
+  config.max_channels = static_cast<std::size_t>(cli.get_int("max-channels"));
+  config.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
+  config.center_epochs = static_cast<std::size_t>(cli.get_int("center-epochs"));
+  config.batch_size = static_cast<std::size_t>(cli.get_int("batch"));
+  config.lambda_l1 = static_cast<float>(cli.get_double("lambda"));
+  config.learning_rate = static_cast<float>(cli.get_double("lr"));
+  config.adam_beta1 = static_cast<float>(cli.get_double("beta1"));
+  config.use_l2_reconstruction = cli.get_bool("l2");
+  config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const core::Mode mode =
+      cli.get("mode") == "cgan" ? core::Mode::kPlainCgan : core::Mode::kDualLearning;
+  const core::GeneratorArch arch = cli.get("arch") == "unet"
+                                       ? core::GeneratorArch::kUNet
+                                       : core::GeneratorArch::kEncoderDecoder;
+
+  util::Rng split_rng(config.seed + 100);
+  const data::Split split =
+      data::split_dataset(dataset, cli.get_double("train-fraction"), split_rng);
+
+  core::LithoGan model(config, mode, arch);
+  const auto curves = model.train(dataset, split.train);
+  std::printf("final losses: G %.3f  D %.3f  l1 %.4f\n", curves.back().generator,
+              curves.back().discriminator, curves.back().l1);
+
+  eval::MetricAccumulator acc(cli.get("mode"), dataset.process_name,
+                              dataset.samples[0].resist_pixel_nm);
+  for (const std::size_t i : split.test) {
+    acc.add(dataset.samples[i].resist, model.predict(dataset.samples[i]));
+  }
+  std::printf("\n%s\n", eval::format_table3({acc.finalize()}).c_str());
+
+  if (mode == core::Mode::kDualLearning) {
+    const double px = model.center().evaluate_pixels(dataset, split.test);
+    std::printf("center-CNN error: %.3f px = %.2f nm\n", px,
+                px * dataset.samples[0].resist_pixel_nm);
+  }
+
+  const std::string save = cli.get("save");
+  if (!save.empty()) {
+    const auto slash = save.find_last_of('/');
+    if (slash != std::string::npos) util::make_directories(save.substr(0, slash));
+    model.save(save);
+    std::printf("checkpoint written to %s.{gen,dis%s}.bin\n", save.c_str(),
+                mode == core::Mode::kDualLearning ? ",cnn" : "");
+  }
+  return 0;
+}

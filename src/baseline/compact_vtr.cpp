@@ -1,0 +1,32 @@
+#include "baseline/compact_vtr.hpp"
+
+#include "data/render.hpp"
+#include "geometry/marching_squares.hpp"
+
+namespace lithogan::baseline {
+
+namespace {
+litho::ProcessConfig compact_process(litho::ProcessConfig process) {
+  // Compact models trade source-sampling density for speed.
+  process.optical.source_rings = 1;
+  process.optical.source_points_per_ring = 4;
+  process.optical.focus_planes = 1;
+  return process;
+}
+}  // namespace
+
+CompactVtrFlow::CompactVtrFlow(const litho::ProcessConfig& process,
+                               data::RenderConfig render)
+    : render_(render),
+      sim_(compact_process(process), litho::Simulator::ResistKind::kConstantThreshold) {
+  sim_.calibrate_dose();
+}
+
+image::Image CompactVtrFlow::predict(const layout::MaskClip& clip) {
+  const auto result = sim_.run(clip.all_openings());
+  const auto contour = geometry::contour_at(result.contours, clip.center());
+  const auto golden = data::render_golden(contour, clip.center(), render_);
+  return golden.resist;  // blank when the compact model prints nothing
+}
+
+}  // namespace lithogan::baseline

@@ -1,0 +1,41 @@
+// Conventional compact-model baseline (no machine learning).
+//
+// The paper's introduction motivates ML resist models by noting that
+// "conventional variable threshold resist (VTR) models ... fail to keep up
+// their accuracy at advanced technology nodes". This flow quantifies that:
+// it runs the FAST optical model and develops with a *constant-threshold*
+// compact resist model calibrated once on an isolated contact — no
+// per-clip learning — and is evaluated against the golden (full-VTR,
+// densely sampled) simulation like every other method.
+#pragma once
+
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "image/image.hpp"
+#include "layout/clip.hpp"
+#include "litho/simulator.hpp"
+
+namespace lithogan::baseline {
+
+class CompactVtrFlow {
+ public:
+  /// `process` should be the golden process; the compact flow runs it with
+  /// reduced source sampling and a constant-threshold resist, calibrated on
+  /// construction.
+  CompactVtrFlow(const litho::ProcessConfig& process, data::RenderConfig render);
+
+  /// Simulates the clip with the compact model and rasterizes the target
+  /// contact's pattern into the standard crop window.
+  image::Image predict(const layout::MaskClip& clip);
+
+  /// Calibrated compact threshold (diagnostics).
+  double threshold() const { return sim_.process().resist.threshold; }
+
+  litho::Simulator& simulator() { return sim_; }
+
+ private:
+  data::RenderConfig render_;
+  litho::Simulator sim_;
+};
+
+}  // namespace lithogan::baseline

@@ -1,0 +1,138 @@
+#include "baseline/flow.hpp"
+
+#include <algorithm>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::baseline {
+
+namespace {
+
+/// Threshold CNN: the center-CNN topology (paper Table 2) with a 1-channel
+/// aerial input and a 4-way regression head.
+std::unique_ptr<nn::Sequential> build_threshold_cnn(const core::LithoGanConfig& cfg,
+                                                    util::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  std::size_t levels = 0;
+  while ((1u << levels) < cfg.image_size) ++levels;
+  LITHOGAN_REQUIRE(levels >= 4, "threshold CNN needs image_size >= 16");
+  const std::size_t stages = levels - 3;  // pool down to 8x8
+  const std::size_t c_first = std::max<std::size_t>(8, cfg.base_channels / 2);
+  const std::size_t c_rest = std::max<std::size_t>(8, cfg.base_channels);
+
+  std::size_t in_ch = 1;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t out_ch = s == 0 ? c_first : c_rest;
+    const std::size_t k = s == 0 ? 7 : 3;
+    net->emplace<nn::Conv2d>(in_ch, out_ch, k, 1, k / 2, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::BatchNorm2d>(out_ch);
+    net->emplace<nn::MaxPool2d>(2, 2);
+    in_ch = out_ch;
+  }
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(in_ch * 8 * 8, 64, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::Linear>(64, 4, rng);
+  return net;
+}
+
+nn::Tensor aerial_to_tensor(const image::Image& aerial) {
+  // Aerial intensities live in [0, ~1]; shift to [-1, 1] like other inputs.
+  nn::Tensor t({1, 1, aerial.height(), aerial.width()});
+  const auto src = aerial.data();
+  for (std::size_t i = 0; i < src.size(); ++i) t[i] = src[i] * 2.0f - 1.0f;
+  return t;
+}
+
+}  // namespace
+
+ThresholdFlow::ThresholdFlow(const core::LithoGanConfig& config, util::Rng rng)
+    : config_(config), rng_(rng), net_(build_threshold_cnn(config_, rng_)) {
+  config_.validate();
+}
+
+double ThresholdFlow::train(const data::Dataset& dataset,
+                            const std::vector<std::size_t>& train) {
+  LITHOGAN_REQUIRE(!train.empty(), "empty training set");
+
+  // Fit golden thresholds once.
+  std::vector<std::size_t> usable;
+  std::vector<Thresholds> targets;
+  for (const std::size_t i : train) {
+    const data::Sample& s = dataset.samples.at(i);
+    Thresholds t{};
+    if (fit_golden_thresholds(s.aerial, s.resist, t)) {
+      usable.push_back(i);
+      targets.push_back(t);
+    }
+  }
+  LITHOGAN_REQUIRE(!usable.empty(), "no sample has a printable golden pattern");
+
+  nn::Adam opt(net_->parameters(), config_.center_learning_rate, 0.9f, 0.999f);
+  net_->set_training(true);
+  double last_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.center_epochs; ++epoch) {
+    const auto order = rng_.permutation(usable.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < usable.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, usable.size());
+      const std::size_t bs = end - start;
+      const data::Sample& first = dataset.samples.at(usable[order[start]]);
+      nn::Tensor x({bs, 1, first.aerial.height(), first.aerial.width()});
+      nn::Tensor y({bs, 4});
+      for (std::size_t k = 0; k < bs; ++k) {
+        const std::size_t idx = order[start + k];
+        const data::Sample& s = dataset.samples.at(usable[idx]);
+        const auto src = s.aerial.data();
+        float* dst = x.raw() + k * src.size();
+        for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * 2.0f - 1.0f;
+        for (std::size_t j = 0; j < 4; ++j) {
+          y[k * 4 + j] = static_cast<float>(targets[idx][j]);
+        }
+      }
+      const nn::Tensor pred = net_->forward(x);
+      const auto loss = nn::mse_loss(pred, y);
+      opt.zero_grad();
+      net_->backward(loss.grad);
+      opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_loss = epoch_loss / static_cast<double>(batches);
+  }
+  util::log_info() << "threshold CNN final mse " << last_loss;
+  return last_loss;
+}
+
+Thresholds ThresholdFlow::predict_thresholds(const data::Sample& sample) {
+  net_->set_training(false);
+  const nn::Tensor out = net_->forward(aerial_to_tensor(sample.aerial));
+  net_->set_training(true);
+  Thresholds t{};
+  for (std::size_t j = 0; j < 4; ++j) t[j] = out[j];
+  return t;
+}
+
+image::Image ThresholdFlow::predict(const data::Sample& sample) {
+  return contour_from_thresholds(sample.aerial, predict_thresholds(sample));
+}
+
+image::Image ThresholdFlow::predict_with_golden(const data::Sample& sample) {
+  Thresholds t{};
+  if (!fit_golden_thresholds(sample.aerial, sample.resist, t)) {
+    return image::Image(1, sample.aerial.height(), sample.aerial.width());
+  }
+  return contour_from_thresholds(sample.aerial, t);
+}
+
+}  // namespace lithogan::baseline

@@ -1,0 +1,48 @@
+// The complete Ref.[12]-style comparison flow (Sec. 4.2, Table 3/4):
+// optical simulation -> CNN threshold prediction -> contour processing.
+//
+// Unlike LithoGAN, this flow REQUIRES the aerial image, which is why its
+// end-to-end runtime is dominated by optical simulation (the paper reports
+// 80 min optical + 8 s ML + 15 min contour vs 30 s for LithoGAN).
+#pragma once
+
+#include <memory>
+
+#include "baseline/threshold_model.hpp"
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::baseline {
+
+class ThresholdFlow {
+ public:
+  /// `config` supplies the image size and CNN scaling (shared with the
+  /// LithoGAN configuration so comparisons are fair).
+  ThresholdFlow(const core::LithoGanConfig& config, util::Rng rng);
+
+  /// Trains the threshold CNN against golden thresholds fitted from the
+  /// aerial/golden pairs of `train`. Returns the final epoch MSE. Samples
+  /// whose golden pattern is empty are skipped.
+  double train(const data::Dataset& dataset, const std::vector<std::size_t>& train);
+
+  /// Predicted thresholds for one sample's aerial crop.
+  Thresholds predict_thresholds(const data::Sample& sample);
+
+  /// Full flow output: threshold-processed resist image.
+  image::Image predict(const data::Sample& sample);
+
+  /// Oracle variant using golden-fit thresholds — an upper bound on what
+  /// threshold processing can achieve (used in ablation).
+  image::Image predict_with_golden(const data::Sample& sample);
+
+  nn::Sequential& network() { return *net_; }
+
+ private:
+  core::LithoGanConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace lithogan::baseline

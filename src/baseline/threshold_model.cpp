@@ -1,0 +1,89 @@
+#include "baseline/threshold_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/connected_components.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::baseline {
+
+namespace {
+
+/// Bilinear sample of channel 0 at continuous pixel coordinates (pixel
+/// centers at i + 0.5), clamped at borders.
+double sample_bilinear(const image::Image& img, double x, double y) {
+  const double gx = x - 0.5;
+  const double gy = y - 0.5;
+  const auto ix = static_cast<std::ptrdiff_t>(std::floor(gx));
+  const auto iy = static_cast<std::ptrdiff_t>(std::floor(gy));
+  const double wx = gx - static_cast<double>(ix);
+  const double wy = gy - static_cast<double>(iy);
+  const auto pick = [&](std::ptrdiff_t xx, std::ptrdiff_t yy) {
+    xx = std::clamp<std::ptrdiff_t>(xx, 0, static_cast<std::ptrdiff_t>(img.width()) - 1);
+    yy = std::clamp<std::ptrdiff_t>(yy, 0, static_cast<std::ptrdiff_t>(img.height()) - 1);
+    return static_cast<double>(
+        img.at(0, static_cast<std::size_t>(yy), static_cast<std::size_t>(xx)));
+  };
+  return (1 - wy) * ((1 - wx) * pick(ix, iy) + wx * pick(ix + 1, iy)) +
+         wy * ((1 - wx) * pick(ix, iy + 1) + wx * pick(ix + 1, iy + 1));
+}
+
+}  // namespace
+
+bool fit_golden_thresholds(const image::Image& aerial, const image::Image& golden_resist,
+                           Thresholds& out) {
+  LITHOGAN_REQUIRE(aerial.channels() == 1 && golden_resist.channels() == 1 &&
+                       aerial.height() == golden_resist.height() &&
+                       aerial.width() == golden_resist.width(),
+                   "threshold fit image mismatch");
+  const auto mask = golden_resist.to_mask(0);
+  const auto labeling =
+      image::label_components(mask, golden_resist.width(), golden_resist.height());
+  const auto* blob = image::largest_component(labeling);
+  if (blob == nullptr) return false;
+
+  // bbox holds inclusive pixel indices; edges sit at the outer pixel
+  // boundaries. Sample the aerial intensity where each edge crosses the
+  // pattern's center row/column — the iso-level reproducing that edge.
+  const double left_x = blob->bbox.lo.x;
+  const double right_x = blob->bbox.hi.x + 1.0;
+  const double bottom_y = blob->bbox.lo.y;
+  const double top_y = blob->bbox.hi.y + 1.0;
+  const double cx = blob->bbox.center().x + 0.5;
+  const double cy = blob->bbox.center().y + 0.5;
+
+  out[0] = sample_bilinear(aerial, left_x, cy);
+  out[1] = sample_bilinear(aerial, right_x, cy);
+  out[2] = sample_bilinear(aerial, cx, bottom_y);
+  out[3] = sample_bilinear(aerial, cx, top_y);
+  return true;
+}
+
+image::Image contour_from_thresholds(const image::Image& aerial, const Thresholds& t) {
+  LITHOGAN_REQUIRE(aerial.channels() == 1, "aerial must be monochrome");
+  const std::size_t h = aerial.height();
+  const std::size_t w = aerial.width();
+  const double cx = static_cast<double>(w) / 2.0;
+  const double cy = static_cast<double>(h) / 2.0;
+
+  std::vector<std::uint8_t> mask(h * w, 0);
+  for (std::size_t y = 0; y < h; ++y) {
+    const double dy = (static_cast<double>(y) + 0.5) - cy;
+    for (std::size_t x = 0; x < w; ++x) {
+      const double dx = (static_cast<double>(x) + 0.5) - cx;
+      const double denom = dx * dx + dy * dy + 1e-12;
+      const double wx = dx * dx / denom;
+      const double tx = dx >= 0.0 ? t[1] : t[0];
+      const double ty = dy >= 0.0 ? t[3] : t[2];
+      const double threshold = wx * tx + (1.0 - wx) * ty;
+      mask[y * w + x] = aerial.at(0, y, x) >= threshold ? 1 : 0;
+    }
+  }
+  // Threshold processing can clear other bumps in the window; keep only the
+  // target contact's blob.
+  const auto isolated = image::isolate_component(mask, w, h, {cx, cy});
+  return image::Image::from_mask(isolated, h, w);
+}
+
+}  // namespace lithogan::baseline

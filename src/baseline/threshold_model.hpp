@@ -1,0 +1,36 @@
+// Threshold-based resist modeling used by the comparison flow (the paper's
+// Ref. [12]: Lin et al., "Data efficient lithography modeling with transfer
+// learning and active data selection", TCAD 2018).
+//
+// That line of work predicts a handful of slicing thresholds per clip from
+// the aerial image and reconstructs the contour by thresshold processing.
+// Following the paper's description ("predict four thresholds for each
+// clip"), we fit one threshold per bounding-box edge direction (left/right/
+// bottom/top) and reconstruct with an angularly interpolated threshold
+// field around the target contact.
+#pragma once
+
+#include <array>
+
+#include "image/image.hpp"
+
+namespace lithogan::baseline {
+
+/// Slicing thresholds for the four edge directions, in aerial-intensity
+/// units. Order: left, right, bottom, top.
+using Thresholds = std::array<double, 4>;
+
+/// Fits the golden thresholds: the aerial intensity sampled where each
+/// golden bounding-box edge crosses the pattern center row/column. Returns
+/// false when the golden image holds no pattern.
+bool fit_golden_thresholds(const image::Image& aerial, const image::Image& golden_resist,
+                           Thresholds& out);
+
+/// Threshold processing: reconstructs the printed pattern from the aerial
+/// crop and four directional thresholds. The threshold at a pixel blends
+/// the directional values by its angle from the pattern seed (the image
+/// center); the output is the connected component of {aerial >= t} at the
+/// seed.
+image::Image contour_from_thresholds(const image::Image& aerial, const Thresholds& t);
+
+}  // namespace lithogan::baseline

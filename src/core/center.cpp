@@ -1,0 +1,88 @@
+#include "core/center.hpp"
+
+#include <cmath>
+
+#include "core/networks.hpp"
+#include "data/batch.hpp"
+#include "nn/loss.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::core {
+
+CenterPredictor::CenterPredictor(const LithoGanConfig& config, util::Rng& rng)
+    : config_(config), net_(build_center_cnn(config, rng)) {
+  // Warm-start at the prior: the printed pattern sits near the image center
+  // (normalized (0.5, 0.5)), so initialize the regression head's bias there
+  // and let training learn the deviations. Without this the network spends
+  // most of its budget just finding the constant.
+  const auto params = net_->parameters();
+  nn::Parameter* head_bias = params.back();
+  LITHOGAN_REQUIRE(head_bias->value.size() == 2, "unexpected center CNN head");
+  head_bias->value.fill(0.5f);
+}
+
+double CenterPredictor::train(const data::Dataset& dataset,
+                              const std::vector<std::size_t>& train, util::Rng& rng) {
+  LITHOGAN_REQUIRE(!train.empty(), "empty training set");
+  nn::Adam opt(net_->parameters(), config_.center_learning_rate, 0.9f, 0.999f);
+  net_->set_training(true);
+
+  double last_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.center_epochs; ++epoch) {
+    const auto order = rng.permutation(train.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < train.size(); start += config_.batch_size) {
+      std::vector<std::size_t> batch;
+      for (std::size_t k = start; k < std::min(start + config_.batch_size, train.size());
+           ++k) {
+        batch.push_back(train[order[k]]);
+      }
+      const nn::Tensor x = data::batch_masks(dataset, batch);
+      const nn::Tensor target = data::batch_centers(dataset, batch);
+      const nn::Tensor pred = net_->forward(x);
+      const auto loss = nn::mse_loss(pred, target);
+      opt.zero_grad();
+      net_->backward(loss.grad);
+      opt.step();
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<double>(batches);
+    if ((epoch + 1) % 10 == 0) {
+      util::log_debug() << "center CNN epoch " << (epoch + 1) << " mse "
+                        << last_epoch_loss;
+    }
+  }
+  return last_epoch_loss;
+}
+
+geometry::Point CenterPredictor::predict(const nn::Tensor& mask,
+                                         std::size_t image_size) const {
+  auto& net = const_cast<nn::Sequential&>(*net_);
+  net.set_training(false);
+  const nn::Tensor out = net.forward(mask);
+  net.set_training(true);
+  return data::denormalize_center(out, 0, image_size, image_size);
+}
+
+double CenterPredictor::evaluate_pixels(const data::Dataset& dataset,
+                                        const std::vector<std::size_t>& indices) const {
+  LITHOGAN_REQUIRE(!indices.empty(), "empty evaluation set");
+  auto& net = const_cast<nn::Sequential&>(*net_);
+  net.set_training(false);
+  double total = 0.0;
+  for (const std::size_t i : indices) {
+    const data::Sample& s = dataset.samples.at(i);
+    const nn::Tensor x = data::image_to_tensor(s.mask_rgb);
+    const nn::Tensor out = net.forward(x);
+    const geometry::Point p =
+        data::denormalize_center(out, 0, s.resist.height(), s.resist.width());
+    total += geometry::distance(p, s.center_px);
+  }
+  net.set_training(true);
+  return total / static_cast<double>(indices.size());
+}
+
+}  // namespace lithogan::core

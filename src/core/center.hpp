@@ -1,0 +1,41 @@
+// Resist-center prediction (Sec. 3.3, Table 2): a CNN regressing the
+// bounding-box center of the printed pattern from the mask image — the
+// second arm of LithoGAN's dual-learning scheme.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+#include "geometry/primitives.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace lithogan::core {
+
+class CenterPredictor {
+ public:
+  CenterPredictor(const LithoGanConfig& config, util::Rng& rng);
+
+  /// Trains on the golden centers of `train` indices; returns the final
+  /// epoch's mean squared error (normalized coordinates).
+  double train(const data::Dataset& dataset, const std::vector<std::size_t>& train,
+               util::Rng& rng);
+
+  /// Predicted center in resist-image pixel coordinates for a single mask
+  /// tensor (1, C, H, W).
+  geometry::Point predict(const nn::Tensor& mask, std::size_t image_size) const;
+
+  /// Mean Euclidean center error (pixels) over `indices`.
+  double evaluate_pixels(const data::Dataset& dataset,
+                         const std::vector<std::size_t>& indices) const;
+
+  nn::Sequential& network() { return *net_; }
+  const nn::Sequential& network() const { return *net_; }
+
+ private:
+  LithoGanConfig config_;
+  std::unique_ptr<nn::Sequential> net_;
+};
+
+}  // namespace lithogan::core

@@ -1,0 +1,53 @@
+#include "core/config.hpp"
+
+#include <sstream>
+
+#include "math/fft.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::core {
+
+LithoGanConfig LithoGanConfig::paper() {
+  return LithoGanConfig{};  // defaults are the paper's settings
+}
+
+LithoGanConfig LithoGanConfig::lite() {
+  LithoGanConfig c;
+  c.image_size = 64;
+  c.base_channels = 16;
+  c.max_channels = 128;
+  c.epochs = 12;
+  c.center_epochs = 40;
+  return c;
+}
+
+LithoGanConfig LithoGanConfig::tiny() {
+  LithoGanConfig c;
+  c.image_size = 32;
+  c.base_channels = 8;
+  c.max_channels = 32;
+  c.epochs = 3;
+  c.center_epochs = 8;
+  return c;
+}
+
+std::string LithoGanConfig::arch_tag() const {
+  std::ostringstream oss;
+  oss << "lithogan:img" << image_size << ":in" << mask_channels << ":out" << out_channels
+      << ":base" << base_channels << ":max" << max_channels;
+  return oss.str();
+}
+
+void LithoGanConfig::validate() const {
+  LITHOGAN_REQUIRE(math::is_power_of_two(image_size) && image_size >= 16,
+                   "image size must be a power of two >= 16");
+  LITHOGAN_REQUIRE(mask_channels >= 1 && out_channels >= 1, "channel counts");
+  LITHOGAN_REQUIRE(base_channels >= 2 && max_channels >= base_channels,
+                   "channel widths");
+  LITHOGAN_REQUIRE(dropout >= 0.0f && dropout < 1.0f, "dropout range");
+  LITHOGAN_REQUIRE(epochs >= 1 && batch_size >= 1, "training schedule");
+  LITHOGAN_REQUIRE(lambda_l1 >= 0.0f, "lambda");
+  LITHOGAN_REQUIRE(learning_rate > 0.0f && center_learning_rate > 0.0f, "learning rates");
+}
+
+}  // namespace lithogan::core

@@ -1,0 +1,64 @@
+// LithoGAN hyperparameters.
+//
+// `paper()` reproduces Section 4 exactly: 256x256 images, 64-channel base,
+// batch 4, 80 epochs, lambda = 100, Adam(2e-4, betas 0.5/0.999). `lite()`
+// scales the spatial resolution and channel widths down so the full
+// train/evaluate cycle fits the single-core reproduction machine; every
+// architectural ratio (depth, channel doubling, where BN/dropout sit) is
+// preserved.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lithogan::core {
+
+struct LithoGanConfig {
+  // Image geometry (must match the dataset's RenderConfig).
+  std::size_t image_size = 256;   ///< mask and resist resolution (power of two)
+  std::size_t mask_channels = 3;  ///< RGB-encoded mask
+  std::size_t out_channels = 1;   ///< monochrome resist
+
+  // Architecture width.
+  std::size_t base_channels = 64;    ///< first conv width; deeper layers double
+  std::size_t max_channels = 512;    ///< channel cap (paper: 512)
+  float dropout = 0.5f;              ///< decoder dropout (doubles as noise z)
+  float leaky_slope = 0.2f;
+
+  // Optimization (Sec. 4).
+  std::size_t epochs = 80;
+  std::size_t batch_size = 4;
+  float lambda_l1 = 100.0f;
+  /// Ablation switch: replace the l1 reconstruction term with l2 (the paper
+  /// argues l1 blurs less, after Isola et al.).
+  bool use_l2_reconstruction = false;
+  float learning_rate = 2e-4f;
+  float adam_beta1 = 0.5f;
+  float adam_beta2 = 0.999f;
+
+  // Center CNN.
+  std::size_t center_epochs = 60;
+  float center_learning_rate = 1e-3f;
+  /// Dropout on the center CNN's 64-unit head (paper Table 2 lists
+  /// ReLU+Dropout). For a regression whose targets move by hundredths of
+  /// the normalized range, heavy head dropout is a large noise source;
+  /// lite-scale experiments set this to 0.
+  float center_dropout = 0.5f;
+
+  std::uint64_t seed = 1;
+
+  static LithoGanConfig paper();
+
+  /// Reduced configuration for CPU-scale experiments (64x64 images).
+  static LithoGanConfig lite();
+
+  /// Even smaller, for unit tests (32x32, minutes -> seconds).
+  static LithoGanConfig tiny();
+
+  /// Architecture fingerprint used as the checkpoint tag.
+  std::string arch_tag() const;
+
+  void validate() const;
+};
+
+}  // namespace lithogan::core

@@ -1,0 +1,82 @@
+#include "core/gan.hpp"
+
+#include "core/tensor_ops.hpp"
+#include "nn/loss.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::core {
+
+CganTrainer::CganTrainer(const LithoGanConfig& config,
+                         std::unique_ptr<nn::Module> generator,
+                         std::unique_ptr<nn::Module> discriminator)
+    : config_(config),
+      generator_(std::move(generator)),
+      discriminator_(std::move(discriminator)) {
+  config_.validate();
+  LITHOGAN_REQUIRE(generator_ && discriminator_, "null network");
+  g_opt_ = std::make_unique<nn::Adam>(generator_->parameters(), config_.learning_rate,
+                                      config_.adam_beta1, config_.adam_beta2);
+  d_opt_ = std::make_unique<nn::Adam>(discriminator_->parameters(), config_.learning_rate,
+                                      config_.adam_beta1, config_.adam_beta2);
+}
+
+GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor& resists) {
+  LITHOGAN_REQUIRE(masks.rank() == 4 && resists.rank() == 4 &&
+                       masks.dim(0) == resists.dim(0),
+                   "batch shape mismatch");
+  generator_->set_training(true);
+  discriminator_->set_training(true);
+  GanStepLosses losses;
+
+  // Generator forward once; the fake batch serves both phases. Dropout in
+  // the decoder plays the role of the noise input z (Sec. 3.2).
+  const nn::Tensor fake = generator_->forward(masks);
+
+  // --- Discriminator phase (Eq. 1): real pair up, fake pair down. -------
+  d_opt_->zero_grad();
+  {
+    const nn::Tensor real_logits = discriminator_->forward(concat_channels(masks, resists));
+    const auto real_loss = nn::bce_with_logits_loss(real_logits, 1.0f);
+    discriminator_->backward(real_loss.grad);
+
+    const nn::Tensor fake_logits = discriminator_->forward(concat_channels(masks, fake));
+    const auto fake_loss = nn::bce_with_logits_loss(fake_logits, 0.0f);
+    discriminator_->backward(fake_loss.grad);
+
+    losses.d_loss = real_loss.value + fake_loss.value;
+    d_opt_->step();
+  }
+
+  // --- Generator phase (Eq. 2): fool the updated D, stay near y in l1. --
+  g_opt_->zero_grad();
+  {
+    const nn::Tensor fake_pair = concat_channels(masks, fake);
+    const nn::Tensor logits = discriminator_->forward(fake_pair);
+    // Non-saturating objective: maximize log D(x, G(x,z)).
+    const auto adv = nn::bce_with_logits_loss(logits, 1.0f);
+    // d(adv)/d(fake): back through D (its parameter grads are discarded by
+    // the next zero_grad), keeping only the resist-channel slice.
+    const nn::Tensor grad_pair = discriminator_->backward(adv.grad);
+    nn::Tensor grad_fake = slice_channels(grad_pair, masks.dim(1), grad_pair.dim(1));
+
+    const auto rec = config_.use_l2_reconstruction ? nn::mse_loss(fake, resists)
+                                                   : nn::l1_loss(fake, resists);
+    grad_fake.add_scaled(rec.grad, config_.lambda_l1);
+
+    generator_->backward(grad_fake);
+    g_opt_->step();
+
+    losses.g_adv_loss = adv.value;
+    losses.g_l1_loss = rec.value;
+  }
+  return losses;
+}
+
+nn::Tensor CganTrainer::predict(const nn::Tensor& masks) {
+  generator_->set_training(false);
+  nn::Tensor out = generator_->forward(masks);
+  generator_->set_training(true);
+  return out;
+}
+
+}  // namespace lithogan::core

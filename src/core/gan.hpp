@@ -1,0 +1,59 @@
+// Conditional-GAN training (Sec. 3.2, Eq. 1-3).
+//
+// Alternates one discriminator update with one generator update per batch,
+// the standard GAN schedule the paper follows. The discriminator sees
+// channel-concatenated (mask, resist) pairs; the generator loss combines
+// the adversarial term with the lambda-weighted l1 reconstruction term.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/config.hpp"
+#include "nn/module.hpp"
+#include "nn/optimizer.hpp"
+
+namespace lithogan::core {
+
+/// Per-epoch averaged losses (the curves of the paper's Figure 9).
+struct GanEpochLosses {
+  std::size_t epoch = 0;
+  double generator = 0.0;      ///< adversarial + lambda * l1 (Eq. 2)
+  double discriminator = 0.0;  ///< Eq. 1
+  double l1 = 0.0;             ///< reconstruction term alone
+};
+
+/// Result of one optimization step over a batch.
+struct GanStepLosses {
+  double d_loss = 0.0;
+  double g_adv_loss = 0.0;
+  double g_l1_loss = 0.0;
+};
+
+class CganTrainer {
+ public:
+  /// Takes ownership of externally built generator/discriminator so callers
+  /// can swap architectures (encoder-decoder vs U-Net ablation).
+  CganTrainer(const LithoGanConfig& config, std::unique_ptr<nn::Module> generator,
+              std::unique_ptr<nn::Module> discriminator);
+
+  /// One alternating D/G update on a batch: `masks` (N, Cin, H, W) and
+  /// golden `resists` (N, 1, H, W), both in [-1, 1].
+  GanStepLosses train_step(const nn::Tensor& masks, const nn::Tensor& resists);
+
+  /// Deterministic inference (BN running stats, dropout off).
+  nn::Tensor predict(const nn::Tensor& masks);
+
+  nn::Module& generator() { return *generator_; }
+  nn::Module& discriminator() { return *discriminator_; }
+  const LithoGanConfig& config() const { return config_; }
+
+ private:
+  LithoGanConfig config_;
+  std::unique_ptr<nn::Module> generator_;
+  std::unique_ptr<nn::Module> discriminator_;
+  std::unique_ptr<nn::Adam> g_opt_;
+  std::unique_ptr<nn::Adam> d_opt_;
+};
+
+}  // namespace lithogan::core

@@ -1,0 +1,131 @@
+#include "core/lithogan.hpp"
+
+#include <algorithm>
+
+#include "core/networks.hpp"
+#include "data/batch.hpp"
+#include "data/render.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::core {
+
+LithoGan::LithoGan(const LithoGanConfig& config, Mode mode, GeneratorArch arch,
+                   DiscriminatorArch disc)
+    : config_(config), mode_(mode), arch_(arch), disc_(disc), rng_(config.seed) {
+  config_.validate();
+  std::unique_ptr<nn::Module> generator;
+  if (arch == GeneratorArch::kEncoderDecoder) {
+    generator = build_generator(config_, rng_);
+  } else {
+    generator = std::make_unique<UNetGenerator>(config_, rng_);
+  }
+  std::unique_ptr<nn::Module> discriminator =
+      disc == DiscriminatorArch::kGlobalFc ? build_discriminator(config_, rng_)
+                                           : build_patch_discriminator(config_, rng_);
+  cgan_ = std::make_unique<CganTrainer>(config_, std::move(generator),
+                                        std::move(discriminator));
+  if (mode_ == Mode::kDualLearning) {
+    center_ = std::make_unique<CenterPredictor>(config_, rng_);
+  }
+}
+
+std::vector<GanEpochLosses> LithoGan::train(const data::Dataset& dataset,
+                                            const std::vector<std::size_t>& train,
+                                            const EpochCallback& callback) {
+  LITHOGAN_REQUIRE(!train.empty(), "empty training set");
+  LITHOGAN_REQUIRE(dataset.render.resist_size_px == config_.image_size &&
+                       dataset.render.mask_size_px == config_.image_size,
+                   "dataset resolution does not match the model configuration");
+  // Dual learning trains the CGAN on re-centered shapes (Sec. 3.3).
+  const bool centered = mode_ == Mode::kDualLearning;
+
+  std::vector<GanEpochLosses> curves;
+  curves.reserve(config_.epochs);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto order = rng_.permutation(train.size());
+    GanEpochLosses acc;
+    acc.epoch = epoch + 1;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < train.size(); start += config_.batch_size) {
+      std::vector<std::size_t> batch;
+      for (std::size_t k = start; k < std::min(start + config_.batch_size, train.size());
+           ++k) {
+        batch.push_back(train[order[k]]);
+      }
+      const nn::Tensor x = data::batch_masks(dataset, batch);
+      const nn::Tensor y = data::batch_resists(dataset, batch, centered);
+      const GanStepLosses step = cgan_->train_step(x, y);
+      acc.discriminator += step.d_loss;
+      acc.generator += step.g_adv_loss +
+                       static_cast<double>(config_.lambda_l1) * step.g_l1_loss;
+      acc.l1 += step.g_l1_loss;
+      ++batches;
+    }
+    acc.discriminator /= static_cast<double>(batches);
+    acc.generator /= static_cast<double>(batches);
+    acc.l1 /= static_cast<double>(batches);
+    curves.push_back(acc);
+    util::log_info() << "epoch " << acc.epoch << "/" << config_.epochs
+                     << " G=" << acc.generator << " D=" << acc.discriminator
+                     << " l1=" << acc.l1;
+    if (callback) callback(acc, *this);
+  }
+
+  if (mode_ == Mode::kDualLearning) {
+    util::Rng cnn_rng = rng_.split();
+    const double mse = center_->train(dataset, train, cnn_rng);
+    util::log_info() << "center CNN final mse " << mse;
+  }
+  return curves;
+}
+
+nn::Tensor LithoGan::predict_shape(const nn::Tensor& mask) {
+  return cgan_->predict(mask);
+}
+
+geometry::Point LithoGan::predict_center(const data::Sample& sample) {
+  const nn::Tensor mask = data::image_to_tensor(sample.mask_rgb);
+  if (mode_ == Mode::kDualLearning) {
+    return center_->predict(mask, config_.image_size);
+  }
+  const image::Image shape = data::tensor_to_resist_image(predict_shape(mask));
+  return data::pattern_center(shape);
+}
+
+image::Image LithoGan::predict(const data::Sample& sample) {
+  const nn::Tensor mask = data::image_to_tensor(sample.mask_rgb);
+  image::Image shape = data::tensor_to_resist_image(predict_shape(mask));
+  if (mode_ == Mode::kDualLearning) {
+    // Post-adjustment (Fig. 5): move the generated shape to the CNN center.
+    const geometry::Point center = center_->predict(mask, config_.image_size);
+    shape = data::recenter_to(shape, center);
+  }
+  return shape;
+}
+
+std::string LithoGan::gan_tag() const {
+  return config_.arch_tag() + (arch_ == GeneratorArch::kUNet ? ":unet" : ":encdec") +
+         (disc_ == DiscriminatorArch::kPatch ? ":patchD" : "");
+}
+
+void LithoGan::save(const std::string& prefix) const {
+  nn::save_module(const_cast<LithoGan*>(this)->cgan_->generator(), gan_tag() + ":G",
+                  prefix + ".gen.bin");
+  nn::save_module(const_cast<LithoGan*>(this)->cgan_->discriminator(), gan_tag() + ":D",
+                  prefix + ".dis.bin");
+  if (mode_ == Mode::kDualLearning) {
+    nn::save_module(center_->network(), gan_tag() + ":CNN", prefix + ".cnn.bin");
+  }
+}
+
+void LithoGan::load(const std::string& prefix) {
+  nn::load_module(cgan_->generator(), gan_tag() + ":G", prefix + ".gen.bin");
+  nn::load_module(cgan_->discriminator(), gan_tag() + ":D", prefix + ".dis.bin");
+  if (mode_ == Mode::kDualLearning) {
+    nn::load_module(center_->network(), gan_tag() + ":CNN", prefix + ".cnn.bin");
+  }
+}
+
+}  // namespace lithogan::core

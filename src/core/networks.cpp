@@ -1,0 +1,266 @@
+#include "core/networks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tensor_ops.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::core {
+
+namespace {
+
+std::size_t log2_size(std::size_t n) {
+  std::size_t levels = 0;
+  while ((1u << levels) < n) ++levels;
+  return levels;
+}
+
+/// Encoder channel width at depth `level` (level 0 = first conv).
+std::size_t enc_channels(const LithoGanConfig& cfg, std::size_t level) {
+  const std::size_t raw = cfg.base_channels << std::min<std::size_t>(level, 16);
+  return std::min(raw, cfg.max_channels);
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_generator(const LithoGanConfig& cfg,
+                                                util::Rng& rng) {
+  cfg.validate();
+  auto net = std::make_unique<nn::Sequential>();
+  const std::size_t levels = log2_size(cfg.image_size);  // down to 1x1
+
+  // Encoder: 5x5 stride-2 convs; BN on every layer but the first (Table 1).
+  std::size_t in_ch = cfg.mask_channels;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t out_ch = enc_channels(cfg, l);
+    net->emplace<nn::Conv2d>(in_ch, out_ch, 5, 2, 2, rng);
+    if (l > 0) net->emplace<nn::BatchNorm2d>(out_ch);
+    net->emplace<nn::ReLU>();
+    in_ch = out_ch;
+  }
+
+  // Decoder: 5x5 stride-2 deconvs mirroring the encoder, LReLU activations,
+  // dropout on the first two blocks (Table 1).
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const std::size_t out_ch = enc_channels(cfg, levels - 2 - l);
+    net->emplace<nn::ConvTranspose2d>(in_ch, out_ch, 5, 2, 2, 1, rng);
+    net->emplace<nn::BatchNorm2d>(out_ch);
+    net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+    if (l < 2) net->emplace<nn::Dropout>(cfg.dropout, rng.split());
+    in_ch = out_ch;
+  }
+  net->emplace<nn::ConvTranspose2d>(in_ch, cfg.out_channels, 5, 2, 2, 1, rng);
+  net->emplace<nn::Tanh>();
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> build_discriminator(const LithoGanConfig& cfg,
+                                                    util::Rng& rng) {
+  cfg.validate();
+  auto net = std::make_unique<nn::Sequential>();
+  const std::size_t in_ch = cfg.mask_channels + cfg.out_channels;
+
+  // Three stride-2 blocks then one stride-1 block (Table 1 right column).
+  const std::size_t c0 = enc_channels(cfg, 0);
+  const std::size_t c1 = enc_channels(cfg, 1);
+  const std::size_t c2 = enc_channels(cfg, 2);
+  const std::size_t c3 = enc_channels(cfg, 3);
+  net->emplace<nn::Conv2d>(in_ch, c0, 5, 2, 2, rng);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c0, c1, 5, 2, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c1);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c1, c2, 5, 2, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c2);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c2, c3, 5, 1, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c3);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Flatten>();
+  const std::size_t spatial = cfg.image_size / 8;
+  net->emplace<nn::Linear>(c3 * spatial * spatial, 1, rng);
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> build_center_cnn(const LithoGanConfig& cfg,
+                                                 util::Rng& rng) {
+  cfg.validate();
+  auto net = std::make_unique<nn::Sequential>();
+  // Stages pool down to 8x8 (Table 2: 256 -> 8 in five stages).
+  const std::size_t levels = log2_size(cfg.image_size);
+  LITHOGAN_REQUIRE(levels >= 4, "center CNN needs image_size >= 16");
+  const std::size_t stages = levels - 3;
+
+  // Channel plan scaled from the paper's {32, 64, 64, ...}.
+  const std::size_t c_first = std::max<std::size_t>(8, cfg.base_channels / 2);
+  const std::size_t c_rest = std::max<std::size_t>(8, cfg.base_channels);
+
+  std::size_t in_ch = cfg.mask_channels;
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t out_ch = s == 0 ? c_first : c_rest;
+    const std::size_t k = s == 0 ? 7 : 3;
+    net->emplace<nn::Conv2d>(in_ch, out_ch, k, 1, k / 2, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::BatchNorm2d>(out_ch);
+    net->emplace<nn::MaxPool2d>(2, 2);
+    in_ch = out_ch;
+  }
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(in_ch * 8 * 8, 64, rng);
+  net->emplace<nn::ReLU>();
+  if (cfg.center_dropout > 0.0f) {
+    net->emplace<nn::Dropout>(cfg.center_dropout, rng.split());
+  }
+  net->emplace<nn::Linear>(64, 2, rng);
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> build_patch_discriminator(const LithoGanConfig& cfg,
+                                                          util::Rng& rng) {
+  cfg.validate();
+  auto net = std::make_unique<nn::Sequential>();
+  const std::size_t in_ch = cfg.mask_channels + cfg.out_channels;
+  const std::size_t c0 = enc_channels(cfg, 0);
+  const std::size_t c1 = enc_channels(cfg, 1);
+  const std::size_t c2 = enc_channels(cfg, 2);
+  const std::size_t c3 = enc_channels(cfg, 3);
+  net->emplace<nn::Conv2d>(in_ch, c0, 5, 2, 2, rng);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c0, c1, 5, 2, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c1);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c1, c2, 5, 2, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c2);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  net->emplace<nn::Conv2d>(c2, c3, 5, 1, 2, rng);
+  net->emplace<nn::BatchNorm2d>(c3);
+  net->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+  // Head: per-patch logit map instead of a global FC.
+  net->emplace<nn::Conv2d>(c3, 1, 5, 1, 2, rng);
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+// UNetGenerator
+// ---------------------------------------------------------------------------
+
+UNetGenerator::UNetGenerator(const LithoGanConfig& cfg, util::Rng& rng) {
+  cfg.validate();
+  const std::size_t levels = log2_size(cfg.image_size);
+
+  std::size_t in_ch = cfg.mask_channels;
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t out_ch = enc_channels(cfg, l);
+    auto block = std::make_unique<nn::Sequential>();
+    block->emplace<nn::Conv2d>(in_ch, out_ch, 5, 2, 2, rng);
+    if (l > 0) block->emplace<nn::BatchNorm2d>(out_ch);
+    block->emplace<nn::LeakyReLU>(cfg.leaky_slope);
+    encoder_.push_back(std::move(block));
+    in_ch = out_ch;
+  }
+
+  // Decoder level l consumes: bottleneck (l = 0) or concat(prev_out,
+  // skip at encoder level levels-1-l) otherwise.
+  for (std::size_t l = 0; l < levels; ++l) {
+    const bool last = (l + 1 == levels);
+    const std::size_t out_ch = last ? cfg.out_channels : enc_channels(cfg, levels - 2 - l);
+    const std::size_t prev_out = l == 0 ? enc_channels(cfg, levels - 1)
+                                        : enc_channels(cfg, levels - 1 - l);
+    const std::size_t in = l == 0 ? prev_out : prev_out * 2;  // concat doubles
+    auto block = std::make_unique<nn::Sequential>();
+    block->emplace<nn::ConvTranspose2d>(in, out_ch, 5, 2, 2, 1, rng);
+    if (!last) {
+      block->emplace<nn::BatchNorm2d>(out_ch);
+      block->emplace<nn::ReLU>();
+      if (l < 2) block->emplace<nn::Dropout>(cfg.dropout, rng.split());
+    } else {
+      block->emplace<nn::Tanh>();
+    }
+    decoder_.push_back(std::move(block));
+  }
+}
+
+nn::Tensor UNetGenerator::forward(const nn::Tensor& input) {
+  skips_.clear();
+  nn::Tensor x = input;
+  for (auto& block : encoder_) {
+    x = block->forward(x);
+    skips_.push_back(x);
+  }
+
+  const std::size_t levels = encoder_.size();
+  nn::Tensor y = decoder_[0]->forward(skips_[levels - 1]);
+  for (std::size_t l = 1; l < levels; ++l) {
+    y = decoder_[l]->forward(concat_channels(y, skips_[levels - 1 - l]));
+  }
+  return y;
+}
+
+nn::Tensor UNetGenerator::backward(const nn::Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!skips_.empty(), "UNetGenerator::backward before forward");
+  const std::size_t levels = encoder_.size();
+
+  // Walk the decoder in reverse, splitting each concat gradient into the
+  // upstream-decoder part and the skip part.
+  std::vector<nn::Tensor> skip_grads(levels);
+  nn::Tensor g = grad_output;
+  for (std::size_t l = levels; l-- > 1;) {
+    const nn::Tensor g_concat = decoder_[l]->backward(g);
+    const std::size_t prev_out_ch = g_concat.dim(1) / 2;
+    g = slice_channels(g_concat, 0, prev_out_ch);
+    skip_grads[levels - 1 - l] = slice_channels(g_concat, prev_out_ch, g_concat.dim(1));
+  }
+  // decoder_[0] consumed the bottleneck (= skips_[levels-1]) directly.
+  {
+    nn::Tensor g_bottleneck = decoder_[0]->backward(g);
+    skip_grads[levels - 1] = std::move(g_bottleneck);
+  }
+
+  // Encoder backward, deepest first, accumulating the skip contribution at
+  // each level with the gradient arriving from the deeper encoder block.
+  nn::Tensor g_enc;  // gradient flowing from deeper levels (empty at start)
+  for (std::size_t l = levels; l-- > 0;) {
+    nn::Tensor total = std::move(skip_grads[l]);
+    if (!g_enc.empty()) total.add_scaled(g_enc, 1.0f);
+    g_enc = encoder_[l]->backward(total);
+  }
+  return g_enc;
+}
+
+std::vector<nn::Parameter*> UNetGenerator::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& block : encoder_) {
+    const auto ps = block->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  for (auto& block : decoder_) {
+    const auto ps = block->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+void UNetGenerator::set_training(bool training) {
+  nn::Module::set_training(training);
+  for (auto& block : encoder_) block->set_training(training);
+  for (auto& block : decoder_) block->set_training(training);
+}
+
+void UNetGenerator::save_state(std::ostream& os) const {
+  for (const auto& block : encoder_) block->save_state(os);
+  for (const auto& block : decoder_) block->save_state(os);
+}
+
+void UNetGenerator::load_state(std::istream& is) {
+  for (auto& block : encoder_) block->load_state(is);
+  for (auto& block : decoder_) block->load_state(is);
+}
+
+}  // namespace lithogan::core

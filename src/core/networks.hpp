@@ -1,0 +1,73 @@
+// Network builders for the paper's three architectures.
+//
+// Table 1 (generator): an encoder of 5x5/stride-2 Conv-BN-ReLU blocks that
+// downsamples to a 1x1 bottleneck, and a decoder of 5x5/stride-2
+// Deconv-BN-LReLU blocks (dropout on the first two) that upsamples back.
+// The final layer maps to the output image; we squash it with Tanh so the
+// output is bounded in [-1, 1] (the pix2pix convention — Table 1's closing
+// LReLU cannot produce a bounded image; see DESIGN.md).
+//
+// Table 1 (discriminator): Conv-LReLU then Conv-BN-LReLU stride-2 blocks, a
+// stride-1 block, and a fully connected real/fake logit.
+//
+// Table 2 (center CNN): Conv-ReLU-BN-MaxPool stages down to 8x8, then
+// FC-64 -> ReLU+Dropout -> FC-2.
+//
+// All builders honor LithoGanConfig scaling: channel widths scale with
+// base_channels (cap max_channels) and depth scales with image_size, so the
+// paper configuration (256, 64, 512) reproduces the tables exactly.
+#pragma once
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::core {
+
+/// Encoder-decoder generator (paper Table 1 left/middle columns).
+std::unique_ptr<nn::Sequential> build_generator(const LithoGanConfig& config,
+                                                util::Rng& rng);
+
+/// Discriminator over channel-concatenated (x, y) pairs (Table 1 right).
+std::unique_ptr<nn::Sequential> build_discriminator(const LithoGanConfig& config,
+                                                    util::Rng& rng);
+
+/// PatchGAN discriminator (pix2pix's 70x70-receptive-field design): same
+/// convolutional trunk but the head is a 1-channel logit MAP — each output
+/// unit judges one patch — instead of the paper's single FC logit. Used by
+/// the discriminator ablation; works unchanged with CganTrainer because
+/// the BCE objective broadcasts over all logits.
+std::unique_ptr<nn::Sequential> build_patch_discriminator(const LithoGanConfig& config,
+                                                          util::Rng& rng);
+
+/// Center-prediction CNN (Table 2); output is (N, 2) normalized (cx, cy).
+std::unique_ptr<nn::Sequential> build_center_cnn(const LithoGanConfig& config,
+                                                 util::Rng& rng);
+
+/// U-Net generator with skip connections — the pix2pix default that the
+/// paper's plain encoder-decoder deviates from. Used by the generator
+/// ablation bench. Implements Module directly (skips need a graph).
+class UNetGenerator : public nn::Module {
+ public:
+  UNetGenerator(const LithoGanConfig& config, util::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& input) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  std::vector<nn::Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string kind() const override { return "UNetGenerator"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  // Per-level blocks. enc[i] halves resolution; dec[i] doubles it and (for
+  // i > 0) consumes the concat of the previous decoder output with the
+  // mirrored encoder activation.
+  std::vector<std::unique_ptr<nn::Sequential>> encoder_;
+  std::vector<std::unique_ptr<nn::Sequential>> decoder_;
+  std::vector<nn::Tensor> skips_;  ///< encoder outputs cached for backward
+};
+
+}  // namespace lithogan::core

@@ -1,0 +1,67 @@
+#include "core/screening.hpp"
+
+#include <cmath>
+
+#include "image/connected_components.hpp"
+
+namespace lithogan::core {
+
+litho::CriticalDimension predicted_cd(const image::Image& resist, double pixel_nm) {
+  const auto mask = resist.to_mask(0);
+  const auto labeling = image::label_components(mask, resist.width(), resist.height());
+  const auto* blob = image::largest_component(labeling);
+  if (blob == nullptr) return {};
+  // bbox holds inclusive pixel indices; +1 converts to pixel-edge extent.
+  return {(blob->bbox.width() + 1.0) * pixel_nm, (blob->bbox.height() + 1.0) * pixel_nm};
+}
+
+namespace {
+bool out_of_spec(const litho::CriticalDimension& cd, const ScreeningSpec& spec) {
+  if (cd.width_nm <= 0.0) return true;  // failure to print is the worst hotspot
+  return std::abs(cd.width_nm - spec.target_cd_nm) > spec.budget_nm ||
+         std::abs(cd.height_nm - spec.target_cd_nm) > spec.budget_nm;
+}
+}  // namespace
+
+ScreeningVerdict screen_sample(LithoGan& model, const data::Sample& sample,
+                               const ScreeningSpec& spec) {
+  ScreeningVerdict verdict;
+  const image::Image prediction = model.predict(sample);
+  verdict.cd = predicted_cd(prediction, sample.resist_pixel_nm);
+  verdict.hotspot = out_of_spec(verdict.cd, spec);
+  return verdict;
+}
+
+double ScreeningReport::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(true_hotspots + true_clean) /
+                            static_cast<double>(n);
+}
+
+double ScreeningReport::recall() const {
+  const std::size_t real = true_hotspots + missed;
+  return real == 0 ? 1.0 : static_cast<double>(true_hotspots) /
+                               static_cast<double>(real);
+}
+
+ScreeningReport screen_dataset(LithoGan& model, const std::vector<data::Sample>& samples,
+                               const ScreeningSpec& spec) {
+  ScreeningReport report;
+  for (const data::Sample& sample : samples) {
+    const ScreeningVerdict verdict = screen_sample(model, sample, spec);
+    const bool golden_hot =
+        out_of_spec({sample.cd_width_nm, sample.cd_height_nm}, spec);
+    if (golden_hot && verdict.hotspot) {
+      ++report.true_hotspots;
+    } else if (!golden_hot && !verdict.hotspot) {
+      ++report.true_clean;
+    } else if (!golden_hot && verdict.hotspot) {
+      ++report.false_alarms;
+    } else {
+      ++report.missed;
+    }
+  }
+  return report;
+}
+
+}  // namespace lithogan::core

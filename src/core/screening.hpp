@@ -1,0 +1,57 @@
+// Hotspot screening with a trained LithoGAN — the deployment pattern the
+// paper's conclusion proposes ("a new lithography modeling paradigm" for
+// design closure): predict the printed CD of every contact from the mask
+// image alone and flag out-of-spec candidates for (expensive) golden
+// verification.
+#pragma once
+
+#include <vector>
+
+#include "core/lithogan.hpp"
+#include "data/sample.hpp"
+#include "litho/simulator.hpp"
+
+namespace lithogan::core {
+
+struct ScreeningSpec {
+  double target_cd_nm = 60.0;
+  /// |CD - target| beyond this budget flags a hotspot (paper Sec. 4.2 uses
+  /// 10% of the contact half-pitch as the acceptance scale).
+  double budget_nm = 6.0;
+};
+
+struct ScreeningVerdict {
+  litho::CriticalDimension cd;  ///< predicted CD (nm); zero if unprinted
+  bool hotspot = false;
+};
+
+/// Predicted CD of a monochrome resist image (largest blob's bounding box,
+/// in nm via `pixel_nm`).
+litho::CriticalDimension predicted_cd(const image::Image& resist, double pixel_nm);
+
+/// Screens one sample with the trained model.
+ScreeningVerdict screen_sample(LithoGan& model, const data::Sample& sample,
+                               const ScreeningSpec& spec);
+
+/// Confusion counts of predicted vs golden verdicts.
+struct ScreeningReport {
+  std::size_t true_hotspots = 0;   ///< flagged and truly out of spec
+  std::size_t true_clean = 0;
+  std::size_t false_alarms = 0;    ///< flagged but in spec
+  std::size_t missed = 0;          ///< in-spec verdict on a real hotspot
+
+  std::size_t total() const {
+    return true_hotspots + true_clean + false_alarms + missed;
+  }
+  double accuracy() const;
+  /// Fraction of real hotspots caught (the metric that matters: a missed
+  /// hotspot is a yield escape, a false alarm is just a wasted simulation).
+  double recall() const;
+};
+
+/// Screens every sample, comparing against the golden CDs recorded in the
+/// dataset samples.
+ScreeningReport screen_dataset(LithoGan& model, const std::vector<data::Sample>& samples,
+                               const ScreeningSpec& spec);
+
+}  // namespace lithogan::core

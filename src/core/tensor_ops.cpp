@@ -1,0 +1,45 @@
+#include "core/tensor_ops.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace lithogan::core {
+
+nn::Tensor concat_channels(const nn::Tensor& a, const nn::Tensor& b) {
+  LITHOGAN_REQUIRE(a.rank() == 4 && b.rank() == 4, "concat expects NCHW");
+  LITHOGAN_REQUIRE(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) && a.dim(3) == b.dim(3),
+                   "concat shape mismatch: " + a.shape_string() + " vs " +
+                       b.shape_string());
+  const std::size_t batch = a.dim(0);
+  const std::size_t ca = a.dim(1);
+  const std::size_t cb = b.dim(1);
+  const std::size_t plane = a.dim(2) * a.dim(3);
+
+  nn::Tensor out({batch, ca + cb, a.dim(2), a.dim(3)});
+  for (std::size_t n = 0; n < batch; ++n) {
+    std::memcpy(out.raw() + n * (ca + cb) * plane, a.raw() + n * ca * plane,
+                ca * plane * sizeof(float));
+    std::memcpy(out.raw() + n * (ca + cb) * plane + ca * plane, b.raw() + n * cb * plane,
+                cb * plane * sizeof(float));
+  }
+  return out;
+}
+
+nn::Tensor slice_channels(const nn::Tensor& t, std::size_t from, std::size_t to) {
+  LITHOGAN_REQUIRE(t.rank() == 4, "slice expects NCHW");
+  LITHOGAN_REQUIRE(from < to && to <= t.dim(1), "channel slice out of range");
+  const std::size_t batch = t.dim(0);
+  const std::size_t c = t.dim(1);
+  const std::size_t plane = t.dim(2) * t.dim(3);
+  const std::size_t cs = to - from;
+
+  nn::Tensor out({batch, cs, t.dim(2), t.dim(3)});
+  for (std::size_t n = 0; n < batch; ++n) {
+    std::memcpy(out.raw() + n * cs * plane, t.raw() + (n * c + from) * plane,
+                cs * plane * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace lithogan::core

@@ -1,0 +1,16 @@
+// Small tensor utilities the GAN trainer needs outside any Module: channel
+// concatenation for the discriminator's (x, y) input and the matching split
+// of its input gradient.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace lithogan::core {
+
+/// Concatenates two NCHW tensors along the channel axis.
+nn::Tensor concat_channels(const nn::Tensor& a, const nn::Tensor& b);
+
+/// Extracts channels [from, to) of an NCHW tensor.
+nn::Tensor slice_channels(const nn::Tensor& t, std::size_t from, std::size_t to);
+
+}  // namespace lithogan::core

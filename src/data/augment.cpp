@@ -1,0 +1,136 @@
+#include "data/augment.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace lithogan::data {
+
+namespace {
+constexpr std::array<Dihedral, 8> kAll = {
+    Dihedral::kIdentity, Dihedral::kRot90,     Dihedral::kRot180,
+    Dihedral::kRot270,   Dihedral::kFlipX,     Dihedral::kFlipY,
+    Dihedral::kTranspose, Dihedral::kAntiTranspose};
+
+/// Source pixel (x, y) for destination pixel (dx, dy) under `op` — i.e.
+/// the inverse transform, which is what a gather loop needs.
+void source_of(Dihedral op, std::size_t n1 /* size-1 */, std::size_t dx, std::size_t dy,
+               std::size_t& sx, std::size_t& sy) {
+  switch (op) {
+    case Dihedral::kIdentity:
+      sx = dx;
+      sy = dy;
+      return;
+    case Dihedral::kRot90:  // dest(x,y) = src(n1-y, x) rotated CCW
+      sx = n1 - dy;
+      sy = dx;
+      return;
+    case Dihedral::kRot180:
+      sx = n1 - dx;
+      sy = n1 - dy;
+      return;
+    case Dihedral::kRot270:
+      sx = dy;
+      sy = n1 - dx;
+      return;
+    case Dihedral::kFlipX:
+      sx = n1 - dx;
+      sy = dy;
+      return;
+    case Dihedral::kFlipY:
+      sx = dx;
+      sy = n1 - dy;
+      return;
+    case Dihedral::kTranspose:
+      sx = dy;
+      sy = dx;
+      return;
+    case Dihedral::kAntiTranspose:
+      sx = n1 - dy;
+      sy = n1 - dx;
+      return;
+  }
+  sx = dx;
+  sy = dy;
+}
+}  // namespace
+
+std::span<const Dihedral> all_dihedrals() { return kAll; }
+
+image::Image transform_image(const image::Image& img, Dihedral op) {
+  LITHOGAN_REQUIRE(img.height() == img.width(), "dihedral ops need square images");
+  if (op == Dihedral::kIdentity) return img;
+  const std::size_t n = img.height();
+  image::Image out(img.channels(), n, n);
+  for (std::size_t c = 0; c < img.channels(); ++c) {
+    for (std::size_t dy = 0; dy < n; ++dy) {
+      for (std::size_t dx = 0; dx < n; ++dx) {
+        std::size_t sx = 0;
+        std::size_t sy = 0;
+        source_of(op, n - 1, dx, dy, sx, sy);
+        out.at(c, dy, dx) = img.at(c, sy, sx);
+      }
+    }
+  }
+  return out;
+}
+
+geometry::Point transform_point(const geometry::Point& p, Dihedral op, std::size_t size) {
+  const double n = static_cast<double>(size);
+  // Forward map of continuous pixel coordinates: mirror of the pixel
+  // gather above, expressed on [0, n).
+  switch (op) {
+    case Dihedral::kIdentity:
+      return p;
+    case Dihedral::kRot90:
+      return {p.y, n - p.x};
+    case Dihedral::kRot180:
+      return {n - p.x, n - p.y};
+    case Dihedral::kRot270:
+      return {n - p.y, p.x};
+    case Dihedral::kFlipX:
+      return {n - p.x, p.y};
+    case Dihedral::kFlipY:
+      return {p.x, n - p.y};
+    case Dihedral::kTranspose:
+      return {p.y, p.x};
+    case Dihedral::kAntiTranspose:
+      return {n - p.y, n - p.x};
+  }
+  return p;
+}
+
+Sample transform_sample(const Sample& sample, Dihedral op) {
+  Sample out;
+  out.clip_id = sample.clip_id + "+d" +
+                std::to_string(static_cast<int>(op));
+  out.array_type = sample.array_type;
+  out.mask_rgb = transform_image(sample.mask_rgb, op);
+  out.resist = transform_image(sample.resist, op);
+  out.resist_centered = transform_image(sample.resist_centered, op);
+  out.aerial = transform_image(sample.aerial, op);
+  out.center_px = transform_point(sample.center_px, op, sample.resist.width());
+  // Width/height swap under transposing ops.
+  const bool swaps = op == Dihedral::kRot90 || op == Dihedral::kRot270 ||
+                     op == Dihedral::kTranspose || op == Dihedral::kAntiTranspose;
+  out.cd_width_nm = swaps ? sample.cd_height_nm : sample.cd_width_nm;
+  out.cd_height_nm = swaps ? sample.cd_width_nm : sample.cd_height_nm;
+  out.resist_pixel_nm = sample.resist_pixel_nm;
+  return out;
+}
+
+Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops) {
+  LITHOGAN_REQUIRE(!ops.empty(), "no augmentation ops given");
+  Dataset out;
+  out.process_name = dataset.process_name;
+  out.render = dataset.render;
+  out.samples.reserve(dataset.samples.size() * ops.size());
+  for (const Sample& s : dataset.samples) {
+    for (const Dihedral op : ops) {
+      out.samples.push_back(transform_sample(s, op));
+    }
+  }
+  return out;
+}
+
+}  // namespace lithogan::data

@@ -1,0 +1,47 @@
+// Dataset augmentation: the eight symmetries of the square (dihedral
+// group D4) applied consistently to mask image, resist images and center
+// coordinates.
+//
+// Caveat (documented, and why augmentation is off by default in the
+// experiment harnesses): a scanner with residual coma is NOT symmetric
+// under these transforms — rotating the mask does not exactly rotate the
+// printed pattern — so D4 augmentation is an approximation, exactly as it
+// is when used on real fab data.
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+
+namespace lithogan::data {
+
+enum class Dihedral {
+  kIdentity,
+  kRot90,   ///< 90 degrees counter-clockwise (in image index space)
+  kRot180,
+  kRot270,
+  kFlipX,   ///< mirror about the vertical axis (x -> W-1-x)
+  kFlipY,   ///< mirror about the horizontal axis
+  kTranspose,      ///< (x,y) -> (y,x)
+  kAntiTranspose,  ///< transpose then rotate 180
+};
+
+/// All eight elements, identity first.
+std::span<const Dihedral> all_dihedrals();
+
+/// Applies `op` to a square image (any channel count).
+image::Image transform_image(const image::Image& img, Dihedral op);
+
+/// Maps a point given in pixel coordinates of a size x size image.
+geometry::Point transform_point(const geometry::Point& p, Dihedral op, std::size_t size);
+
+/// Transforms every image and the center coordinate of a sample; the
+/// clip_id is suffixed with the op index so ids stay unique.
+Sample transform_sample(const Sample& sample, Dihedral op);
+
+/// Returns a dataset holding, for each input sample, one copy per listed
+/// op (pass all_dihedrals() for 8x augmentation). Identity need not be
+/// included in `ops`; pass it explicitly to keep the originals.
+Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops);
+
+}  // namespace lithogan::data

@@ -1,0 +1,85 @@
+#include "data/batch.hpp"
+
+#include "util/error.hpp"
+
+namespace lithogan::data {
+
+namespace {
+void copy_scaled(const image::Image& img, float* dst) {
+  const auto src = img.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * 2.0f - 1.0f;
+}
+}  // namespace
+
+nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+  LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
+  const auto& first = dataset.samples.at(indices.front()).mask_rgb;
+  nn::Tensor out({indices.size(), first.channels(), first.height(), first.width()});
+  const std::size_t stride = first.data().size();
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const auto& img = dataset.samples.at(indices[n]).mask_rgb;
+    LITHOGAN_REQUIRE(img.data().size() == stride, "inhomogeneous dataset images");
+    copy_scaled(img, out.raw() + n * stride);
+  }
+  return out;
+}
+
+nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                         bool centered) {
+  LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
+  const auto& pick = [&](std::size_t i) -> const image::Image& {
+    const Sample& s = dataset.samples.at(i);
+    return centered ? s.resist_centered : s.resist;
+  };
+  const auto& first = pick(indices.front());
+  nn::Tensor out({indices.size(), 1, first.height(), first.width()});
+  const std::size_t stride = first.data().size();
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const auto& img = pick(indices[n]);
+    LITHOGAN_REQUIRE(img.data().size() == stride, "inhomogeneous dataset images");
+    copy_scaled(img, out.raw() + n * stride);
+  }
+  return out;
+}
+
+nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+  LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
+  nn::Tensor out({indices.size(), 2});
+  for (std::size_t n = 0; n < indices.size(); ++n) {
+    const Sample& s = dataset.samples.at(indices[n]);
+    out[n * 2 + 0] =
+        static_cast<float>(s.center_px.x / static_cast<double>(s.resist.width()));
+    out[n * 2 + 1] =
+        static_cast<float>(s.center_px.y / static_cast<double>(s.resist.height()));
+  }
+  return out;
+}
+
+image::Image tensor_to_resist_image(const nn::Tensor& tensor) {
+  LITHOGAN_REQUIRE(tensor.rank() == 4 || tensor.rank() == 3,
+                   "expected (1,1,H,W) or (1,H,W), got " + tensor.shape_string());
+  const std::size_t h = tensor.dim(tensor.rank() - 2);
+  const std::size_t w = tensor.dim(tensor.rank() - 1);
+  LITHOGAN_REQUIRE(tensor.size() == h * w, "expected a single-channel single sample");
+  image::Image img(1, h, w);
+  for (std::size_t i = 0; i < tensor.size(); ++i) {
+    img.data()[i] = (tensor[i] + 1.0f) / 2.0f;
+  }
+  return img;
+}
+
+nn::Tensor image_to_tensor(const image::Image& img) {
+  nn::Tensor out({1, img.channels(), img.height(), img.width()});
+  copy_scaled(img, out.raw());
+  return out;
+}
+
+geometry::Point denormalize_center(const nn::Tensor& centers, std::size_t row,
+                                   std::size_t height, std::size_t width) {
+  LITHOGAN_REQUIRE(centers.rank() == 2 && centers.dim(1) == 2 && row < centers.dim(0),
+                   "bad centers tensor");
+  return {static_cast<double>(centers[row * 2 + 0]) * static_cast<double>(width),
+          static_cast<double>(centers[row * 2 + 1]) * static_cast<double>(height)};
+}
+
+}  // namespace lithogan::data

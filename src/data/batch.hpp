@@ -1,0 +1,38 @@
+// Assembling network tensors from dataset samples.
+//
+// Convention (pix2pix): image pixels are mapped from {0,1} to [-1,1] on the
+// way into the networks; generator outputs come back through the inverse
+// mapping. Center coordinates are normalized to [0,1] across the image.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace lithogan::data {
+
+/// Mask images of `indices` as an (N, 3, H, W) tensor in [-1, 1].
+nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+/// Resist targets as (N, 1, H, W) in [-1, 1]. `centered` selects the
+/// re-centered variant (CGAN-shape objective) vs. the raw crop (plain CGAN).
+nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                         bool centered);
+
+/// Golden centers as (N, 2), normalized: cx/width, cy/height in [0, 1].
+nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices);
+
+/// Converts one generated (1, 1, H, W) or (1, H, W) tensor in [-1, 1] back
+/// to a {0..1}-valued monochrome image.
+image::Image tensor_to_resist_image(const nn::Tensor& tensor);
+
+/// Converts an image in {0..1} to a single-sample (1, C, H, W) tensor in
+/// [-1, 1] (inference-time input).
+nn::Tensor image_to_tensor(const image::Image& img);
+
+/// Denormalizes a (N, 2) center prediction row back to pixel coordinates.
+geometry::Point denormalize_center(const nn::Tensor& centers, std::size_t row,
+                                   std::size_t height, std::size_t width);
+
+}  // namespace lithogan::data

@@ -1,0 +1,198 @@
+#include "data/dataset.hpp"
+
+#include <fstream>
+
+#include "geometry/marching_squares.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::data {
+
+Split split_dataset(const Dataset& dataset, double train_fraction, util::Rng& rng) {
+  LITHOGAN_REQUIRE(train_fraction > 0.0 && train_fraction < 1.0, "train fraction");
+  const auto perm = rng.permutation(dataset.size());
+  const auto train_count =
+      static_cast<std::size_t>(static_cast<double>(dataset.size()) * train_fraction);
+  Split split;
+  split.train.assign(perm.begin(), perm.begin() + static_cast<std::ptrdiff_t>(train_count));
+  split.test.assign(perm.begin() + static_cast<std::ptrdiff_t>(train_count), perm.end());
+  return split;
+}
+
+DatasetBuilder::DatasetBuilder(const litho::ProcessConfig& process, BuildConfig config,
+                               util::Rng rng)
+    : config_(config),
+      sim_(process),
+      generator_(process, config.generator, rng.split()),
+      sraf_(process, config.sraf),
+      opc_(config.opc) {
+  if (config_.calibrate) sim_.calibrate_dose();
+}
+
+bool DatasetBuilder::build_sample(layout::MaskClip& clip, Sample& out) {
+  sraf_.insert(clip);
+  opc_.run_model_based(clip, sim_);
+
+  const auto result = sim_.run(clip.all_openings());
+  const auto contour = geometry::contour_at(result.contours, clip.center());
+  const auto golden = render_golden(contour, clip.center(), config_.render);
+  if (!golden.printed) return false;
+
+  // Sanity band on the printed CD: outside it the pattern bridged with a
+  // neighbor or nearly collapsed, which is a hotspot, not a usable sample.
+  const double drawn = sim_.process().contact_size_nm;
+  const double lo = config_.cd_band_lo * drawn;
+  const double hi = config_.cd_band_hi * drawn;
+  if (golden.cd_width_nm < lo || golden.cd_width_nm > hi || golden.cd_height_nm < lo ||
+      golden.cd_height_nm > hi) {
+    return false;
+  }
+
+  out.clip_id = clip.id;
+  out.array_type = clip.array_type;
+  out.mask_rgb = render_mask(clip, config_.render);
+  out.aerial = crop_field(result.aerial, clip.center(), config_.render);
+  out.resist = golden.resist;
+  out.resist_centered = golden.resist_centered;
+  out.center_px = golden.center_px;
+  out.cd_width_nm = golden.cd_width_nm;
+  out.cd_height_nm = golden.cd_height_nm;
+  out.resist_pixel_nm =
+      config_.render.crop_window_nm / static_cast<double>(config_.render.resist_size_px);
+  return true;
+}
+
+Dataset DatasetBuilder::build() {
+  Dataset dataset;
+  dataset.process_name = sim_.process().name;
+  dataset.render = config_.render;
+  dataset.samples.reserve(config_.clip_count);
+
+  constexpr layout::ArrayType kCycle[3] = {layout::ArrayType::kIsolated,
+                                           layout::ArrayType::kRow,
+                                           layout::ArrayType::kGrid};
+  for (std::size_t i = 0; i < config_.clip_count; ++i) {
+    Sample sample;
+    bool ok = false;
+    for (std::size_t attempt = 0; attempt <= config_.max_retries && !ok; ++attempt) {
+      layout::MaskClip clip = generator_.generate(kCycle[i % 3]);
+      ok = build_sample(clip, sample);
+    }
+    LITHOGAN_REQUIRE(ok, "target contact repeatedly failed to print; "
+                         "process is miscalibrated");
+    dataset.samples.push_back(std::move(sample));
+    if ((i + 1) % 50 == 0) {
+      util::log_info() << dataset.process_name << " dataset: " << (i + 1) << "/"
+                       << config_.clip_count << " clips";
+    }
+  }
+  return dataset;
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4c474453u;  // "LGDS"
+constexpr std::uint32_t kVersion = 1;
+
+// Binary-valued images (masks, resist patterns) pack to one byte per pixel;
+// continuous images (aerial crops) keep full float32 precision.
+void write_image(std::ostream& os, const image::Image& img, bool binary) {
+  util::write_u32(os, static_cast<std::uint32_t>(img.channels()));
+  util::write_u32(os, static_cast<std::uint32_t>(img.height()));
+  util::write_u32(os, static_cast<std::uint32_t>(img.width()));
+  util::write_u32(os, binary ? 1u : 0u);
+  if (binary) {
+    std::vector<std::uint8_t> bytes(img.data().size());
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      bytes[i] = img.data()[i] >= 0.5f ? 1 : 0;
+    }
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  } else {
+    util::write_f32_array(os, img.data().data(), img.data().size());
+  }
+  if (!os) throw util::IoError("dataset write failed");
+}
+
+image::Image read_image(std::istream& is) {
+  const std::size_t c = util::read_u32(is);
+  const std::size_t h = util::read_u32(is);
+  const std::size_t w = util::read_u32(is);
+  const std::uint32_t binary = util::read_u32(is);
+  LITHOGAN_REQUIRE(c <= 4 && h <= 4096 && w <= 4096, "implausible image dims");
+  image::Image img(c, h, w);
+  if (binary != 0) {
+    std::vector<std::uint8_t> bytes(c * h * w);
+    is.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    if (!is) throw util::FormatError("dataset read failed (truncated image)");
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      img.data()[i] = bytes[i] ? 1.0f : 0.0f;
+    }
+  } else {
+    util::read_f32_array(is, img.data().data(), img.data().size());
+  }
+  return img;
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw util::IoError("cannot open for writing: " + path);
+  util::write_u32(os, kMagic);
+  util::write_u32(os, kVersion);
+  util::write_string(os, dataset.process_name);
+  util::write_u64(os, dataset.render.mask_size_px);
+  util::write_u64(os, dataset.render.resist_size_px);
+  util::write_f64(os, dataset.render.crop_window_nm);
+  util::write_u64(os, dataset.samples.size());
+  for (const Sample& s : dataset.samples) {
+    util::write_string(os, s.clip_id);
+    util::write_u32(os, static_cast<std::uint32_t>(s.array_type));
+    write_image(os, s.mask_rgb, /*binary=*/true);
+    write_image(os, s.resist, /*binary=*/true);
+    write_image(os, s.resist_centered, /*binary=*/true);
+    write_image(os, s.aerial, /*binary=*/false);
+    util::write_f64(os, s.center_px.x);
+    util::write_f64(os, s.center_px.y);
+    util::write_f64(os, s.cd_width_nm);
+    util::write_f64(os, s.cd_height_nm);
+    util::write_f64(os, s.resist_pixel_nm);
+  }
+  if (!os) throw util::IoError("dataset write failed: " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw util::IoError("cannot open for reading: " + path);
+  if (util::read_u32(is) != kMagic) throw util::FormatError("not a dataset file: " + path);
+  if (util::read_u32(is) != kVersion) throw util::FormatError("unsupported dataset version");
+  Dataset dataset;
+  dataset.process_name = util::read_string(is);
+  dataset.render.mask_size_px = util::read_u64(is);
+  dataset.render.resist_size_px = util::read_u64(is);
+  dataset.render.crop_window_nm = util::read_f64(is);
+  const std::uint64_t count = util::read_u64(is);
+  // Guard before the resize: a corrupt count must not trigger a huge
+  // allocation (each Sample is hundreds of bytes even before its images).
+  if (count > 200000) throw util::FormatError("implausible sample count");
+  dataset.samples.resize(count);
+  for (Sample& s : dataset.samples) {
+    s.clip_id = util::read_string(is);
+    s.array_type = static_cast<layout::ArrayType>(util::read_u32(is));
+    s.mask_rgb = read_image(is);
+    s.resist = read_image(is);
+    s.resist_centered = read_image(is);
+    s.aerial = read_image(is);
+    s.center_px.x = util::read_f64(is);
+    s.center_px.y = util::read_f64(is);
+    s.cd_width_nm = util::read_f64(is);
+    s.cd_height_nm = util::read_f64(is);
+    s.resist_pixel_nm = util::read_f64(is);
+  }
+  return dataset;
+}
+
+}  // namespace lithogan::data

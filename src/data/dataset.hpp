@@ -1,0 +1,84 @@
+// Dataset construction and persistence.
+//
+// DatasetBuilder runs the complete substitute for the paper's data pipeline
+// (Sec. 4): synthesize clip -> SRAF insertion -> OPC -> rigorous simulation
+// -> golden crop, producing paired images. Datasets serialize to a compact
+// binary file so expensive simulation runs once per configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/render.hpp"
+#include "data/sample.hpp"
+#include "layout/generator.hpp"
+#include "layout/opc.hpp"
+#include "layout/sraf.hpp"
+#include "litho/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::data {
+
+struct Dataset {
+  std::string process_name;
+  RenderConfig render;
+  std::vector<Sample> samples;
+
+  std::size_t size() const { return samples.size(); }
+};
+
+/// Index-based train/test partition.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Random split with `train_fraction` of the samples in the training set
+/// (the paper uses 75/25, Sec. 4).
+Split split_dataset(const Dataset& dataset, double train_fraction, util::Rng& rng);
+
+struct BuildConfig {
+  std::size_t clip_count = 120;
+  RenderConfig render;
+  layout::GeneratorConfig generator;
+  layout::SrafConfig sraf;
+  layout::OpcConfig opc;
+  bool calibrate = true;  ///< auto-calibrate the simulator threshold first
+  /// Clips whose target fails to print, or prints outside the CD sanity
+  /// band (bridged with a neighbor / collapsed), are re-drawn up to this
+  /// many times — mirroring how unusable clips are discarded during data
+  /// prep (a bridged contact is a catastrophic hotspot, not a sample).
+  std::size_t max_retries = 6;
+  double cd_band_lo = 0.55;  ///< accepted golden CD, fraction of drawn CD
+  double cd_band_hi = 1.55;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const litho::ProcessConfig& process, BuildConfig config, util::Rng rng);
+
+  /// Generates the full dataset. Deterministic for a fixed seed.
+  Dataset build();
+
+  /// Builds one sample from an externally supplied clip (used by tests and
+  /// by the examples that visualize individual stages). Returns false when
+  /// the target fails to print.
+  bool build_sample(layout::MaskClip& clip, Sample& out);
+
+  litho::Simulator& simulator() { return sim_; }
+
+ private:
+  BuildConfig config_;
+  litho::Simulator sim_;
+  layout::ClipGenerator generator_;
+  layout::SrafInserter sraf_;
+  layout::OpcEngine opc_;
+};
+
+// Binary dataset persistence. Pixels are stored as bytes (images here are
+// binary-valued), so a 256px dataset of 1000 samples is ~250 MB -> stored
+// in ~0.2 GB; lite datasets are a few MB.
+void save_dataset(const Dataset& dataset, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace lithogan::data

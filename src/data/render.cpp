@@ -1,0 +1,137 @@
+#include "data/render.hpp"
+
+#include <cmath>
+
+#include "geometry/rasterize.hpp"
+#include "image/connected_components.hpp"
+#include "image/ops.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::data {
+
+namespace {
+// Channel indices of the paper's color encoding.
+constexpr std::size_t kRed = 0;    // neighboring contacts after OPC
+constexpr std::size_t kGreen = 1;  // target contact after OPC
+constexpr std::size_t kBlue = 2;   // SRAFs
+
+geometry::Rect to_pixels(const geometry::Rect& nm_rect, double scale) {
+  return {{nm_rect.lo.x * scale, nm_rect.lo.y * scale},
+          {nm_rect.hi.x * scale, nm_rect.hi.y * scale}};
+}
+}  // namespace
+
+image::Image render_mask(const layout::MaskClip& clip, const RenderConfig& config) {
+  LITHOGAN_REQUIRE(clip.has_opc(), "render_mask requires a post-OPC clip");
+  const std::size_t s = config.mask_size_px;
+  image::Image img(3, s, s);
+  const double scale = static_cast<double>(s) / clip.extent_nm;
+
+  for (const auto& r : clip.neighbors_opc) {
+    image::fill_rect(img, kRed, to_pixels(r, scale), 1.0f);
+  }
+  for (const auto& r : clip.srafs) {
+    image::fill_rect(img, kBlue, to_pixels(r, scale), 1.0f);
+  }
+  image::fill_rect(img, kGreen, to_pixels(clip.target_opc, scale), 1.0f);
+  return img;
+}
+
+GoldenRaster render_golden(const geometry::Polygon& contour,
+                           const geometry::Point& clip_center_nm,
+                           const RenderConfig& config) {
+  GoldenRaster out;
+  const std::size_t s = config.resist_size_px;
+  out.resist = image::Image(1, s, s);
+  out.resist_centered = image::Image(1, s, s);
+  out.center_px = {static_cast<double>(s) / 2.0, static_cast<double>(s) / 2.0};
+
+  if (contour.size() < 3) return out;  // printed stays false
+
+  const double window = config.crop_window_nm;
+  const double scale = static_cast<double>(s) / window;
+  const geometry::Point origin{clip_center_nm.x - window / 2.0,
+                               clip_center_nm.y - window / 2.0};
+
+  const geometry::Polygon in_px =
+      contour.translated({-origin.x, -origin.y}).scaled(scale, scale);
+  const auto mask = geometry::rasterize({in_px}, s, s);
+  out.resist = image::Image::from_mask(mask, s, s);
+
+  const geometry::Rect bbox_px = in_px.bounding_box();
+  out.center_px = bbox_px.center();
+
+  const geometry::Rect bbox_nm = contour.bounding_box();
+  out.cd_width_nm = bbox_nm.width();
+  out.cd_height_nm = bbox_nm.height();
+  out.printed = true;
+
+  // Re-centered copy for the CGAN shape objective. Placement errors are
+  // routinely sub-pixel, so the shift is fractional (bilinear) and the
+  // result re-binarized.
+  const double dx = static_cast<double>(s) / 2.0 - out.center_px.x;
+  const double dy = static_cast<double>(s) / 2.0 - out.center_px.y;
+  const image::Image soft = image::shift_bilinear(out.resist, dx, dy);
+  out.resist_centered =
+      image::Image::from_mask(soft.to_mask(0, 0.5f), soft.height(), soft.width());
+  return out;
+}
+
+geometry::Point pattern_center(const image::Image& resist, float threshold) {
+  LITHOGAN_REQUIRE(resist.channels() == 1, "pattern_center expects monochrome");
+  const auto mask = resist.to_mask(0, threshold);
+  const auto labeling = image::label_components(mask, resist.width(), resist.height());
+  const auto* blob = image::largest_component(labeling);
+  if (blob == nullptr) {
+    return {static_cast<double>(resist.width()) / 2.0,
+            static_cast<double>(resist.height()) / 2.0};
+  }
+  // bbox stores inclusive pixel indices; the geometric center of the covered
+  // pixel area is offset by half a pixel.
+  return {blob->bbox.center().x + 0.5, blob->bbox.center().y + 0.5};
+}
+
+image::Image crop_field(const litho::FieldGrid& field, const geometry::Point& center_nm,
+                        const RenderConfig& config) {
+  const std::size_t s = config.resist_size_px;
+  image::Image out(1, s, s);
+  const double window = config.crop_window_nm;
+  const geometry::Point origin{center_nm.x - window / 2.0, center_nm.y - window / 2.0};
+  const double dx = field.pixel_nm();
+  const auto n = static_cast<std::ptrdiff_t>(field.pixels);
+
+  const auto sample = [&](std::ptrdiff_t ix, std::ptrdiff_t iy) {
+    ix = std::clamp<std::ptrdiff_t>(ix, 0, n - 1);
+    iy = std::clamp<std::ptrdiff_t>(iy, 0, n - 1);
+    return field.values[static_cast<std::size_t>(iy) * field.pixels +
+                        static_cast<std::size_t>(ix)];
+  };
+
+  for (std::size_t y = 0; y < s; ++y) {
+    const double ny = origin.y + (static_cast<double>(y) + 0.5) * window /
+                                     static_cast<double>(s);
+    // Field cell centers sit at (i + 0.5) * dx.
+    const double gy = ny / dx - 0.5;
+    const auto iy = static_cast<std::ptrdiff_t>(std::floor(gy));
+    const double wy = gy - static_cast<double>(iy);
+    for (std::size_t x = 0; x < s; ++x) {
+      const double nx = origin.x + (static_cast<double>(x) + 0.5) * window /
+                                       static_cast<double>(s);
+      const double gx = nx / dx - 0.5;
+      const auto ix = static_cast<std::ptrdiff_t>(std::floor(gx));
+      const double wx = gx - static_cast<double>(ix);
+      const double v = (1 - wy) * ((1 - wx) * sample(ix, iy) + wx * sample(ix + 1, iy)) +
+                       wy * ((1 - wx) * sample(ix, iy + 1) + wx * sample(ix + 1, iy + 1));
+      out.at(0, y, x) = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+image::Image recenter_to(const image::Image& resist, const geometry::Point& center_px,
+                         float threshold) {
+  const geometry::Point current = pattern_center(resist, threshold);
+  return image::shift_bilinear(resist, center_px.x - current.x, center_px.y - current.y);
+}
+
+}  // namespace lithogan::data

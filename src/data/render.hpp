@@ -1,0 +1,60 @@
+// Rendering between physical geometry and network images.
+//
+// Mask side: the 1x1 um post-RET clip becomes an RGB image with the paper's
+// color encoding (Sec. 3.1) — green target, red neighbors, blue SRAFs.
+// Resist side: the golden contour from the simulator is cropped to the
+// crop_window_nm window around the clip center and rasterized; the paper
+// doubles the raster resolution relative to nm (128 nm -> 256 px) so one
+// pixel of prediction error is ~0.5 nm.
+#pragma once
+
+#include "data/sample.hpp"
+#include "geometry/polygon.hpp"
+#include "layout/clip.hpp"
+#include "litho/optical.hpp"
+
+namespace lithogan::data {
+
+struct RenderConfig {
+  std::size_t mask_size_px = 256;    ///< mask RGB resolution
+  std::size_t resist_size_px = 256;  ///< resist crop resolution
+  double crop_window_nm = 128.0;     ///< golden crop window (Sec. 3.1)
+};
+
+/// Renders the post-RET clip to the color-encoded RGB image. Requires OPC
+/// to have run (the paper trains on post-RET masks).
+image::Image render_mask(const layout::MaskClip& clip, const RenderConfig& config);
+
+/// Result of golden rasterization.
+struct GoldenRaster {
+  image::Image resist;           ///< crop-window raster (not re-centered)
+  image::Image resist_centered;  ///< shifted so the bbox center sits at image center
+  geometry::Point center_px;     ///< bbox center in raster pixel coordinates
+  double cd_width_nm = 0.0;
+  double cd_height_nm = 0.0;
+  bool printed = false;          ///< false if the contour was empty
+};
+
+/// Rasterizes the golden resist contour (clip-local nm coordinates) of the
+/// target contact into the crop window around `clip_center_nm`.
+GoldenRaster render_golden(const geometry::Polygon& contour,
+                           const geometry::Point& clip_center_nm,
+                           const RenderConfig& config);
+
+/// Shifts a predicted (or golden) 1-channel resist image so that its
+/// bounding-box center moves from wherever it is to `center_px` — the final
+/// adjustment step of LithoGAN (Fig. 5, "post-adjustment").
+image::Image recenter_to(const image::Image& resist, const geometry::Point& center_px,
+                         float threshold = 0.5f);
+
+/// Bounding-box center (pixel coordinates) of the thresholded pattern in
+/// channel 0. Returns the image center when nothing is set.
+geometry::Point pattern_center(const image::Image& resist, float threshold = 0.5f);
+
+/// Bilinearly resamples a simulation field into the crop window around
+/// `center_nm` at resist resolution (continuous values preserved) — how the
+/// baseline flow obtains its aerial-image input.
+image::Image crop_field(const litho::FieldGrid& field, const geometry::Point& center_nm,
+                        const RenderConfig& config);
+
+}  // namespace lithogan::data

@@ -1,0 +1,48 @@
+// One training/evaluation sample: the paired images of Sec. 3.1 plus the
+// golden center used by the dual-learning scheme of Sec. 3.3.
+#pragma once
+
+#include <string>
+
+#include "geometry/primitives.hpp"
+#include "image/image.hpp"
+#include "layout/clip.hpp"
+
+namespace lithogan::data {
+
+struct Sample {
+  std::string clip_id;
+  layout::ArrayType array_type = layout::ArrayType::kIsolated;
+
+  /// Post-RET mask clip rendered to RGB (green = target after OPC, red =
+  /// neighbors after OPC, blue = SRAFs), values in {0, 1}.
+  image::Image mask_rgb;
+
+  /// Golden resist pattern of the target contact: monochrome crop of the
+  /// crop_window_nm x crop_window_nm window centered on the clip center,
+  /// values in {0, 1}. NOT re-centered — this is what LithoGAN must output.
+  image::Image resist;
+
+  /// The same pattern re-centered at the image center: the CGAN-shape
+  /// training target of the dual-learning scheme.
+  image::Image resist_centered;
+
+  /// Aerial-image crop over the same window (continuous values, open field
+  /// = 1). LithoGAN never sees this; it feeds the Ref.[12]-style baseline
+  /// flow, which needs optical simulation output.
+  image::Image aerial;
+
+  /// Golden center: the resist bounding-box center in resist-image pixel
+  /// coordinates (the CNN regression target).
+  geometry::Point center_px;
+
+  /// Golden printed critical dimensions (nm), for reporting.
+  double cd_width_nm = 0.0;
+  double cd_height_nm = 0.0;
+
+  /// Physical size of one resist-image pixel (nm) — converts pixel metrics
+  /// (EDE, center error) to nanometres.
+  double resist_pixel_nm = 0.5;
+};
+
+}  // namespace lithogan::data

@@ -1,0 +1,84 @@
+#include "data/statistics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace lithogan::data {
+
+DatasetStatistics compute_statistics(const Dataset& dataset) {
+  DatasetStatistics stats;
+  stats.sample_count = dataset.size();
+  if (dataset.samples.empty()) return stats;
+  stats.pixel_nm = dataset.samples.front().resist_pixel_nm;
+
+  std::vector<double> widths;
+  std::vector<double> heights;
+  std::vector<double> offsets_px;
+  std::vector<double> offsets_nm;
+  std::vector<double> coverage;
+  widths.reserve(dataset.size());
+  heights.reserve(dataset.size());
+  offsets_px.reserve(dataset.size());
+  coverage.reserve(dataset.size());
+
+  for (const Sample& s : dataset.samples) {
+    switch (s.array_type) {
+      case layout::ArrayType::kIsolated:
+        ++stats.isolated_count;
+        break;
+      case layout::ArrayType::kRow:
+        ++stats.row_count;
+        break;
+      case layout::ArrayType::kGrid:
+        ++stats.grid_count;
+        break;
+    }
+    widths.push_back(s.cd_width_nm);
+    heights.push_back(s.cd_height_nm);
+    const double cx = static_cast<double>(s.resist.width()) / 2.0;
+    const double cy = static_cast<double>(s.resist.height()) / 2.0;
+    const double off = std::hypot(s.center_px.x - cx, s.center_px.y - cy);
+    offsets_px.push_back(off);
+    offsets_nm.push_back(off * s.resist_pixel_nm);
+
+    double fg = 0.0;
+    for (const float v : s.resist.channel(0)) fg += v >= 0.5f ? 1.0 : 0.0;
+    coverage.push_back(fg / static_cast<double>(s.resist.pixel_count()));
+  }
+
+  stats.cd_width_nm = math::summarize(widths);
+  stats.cd_height_nm = math::summarize(heights);
+  stats.center_offset_px = math::summarize(offsets_px);
+  stats.center_offset_nm = math::summarize(offsets_nm);
+  stats.resist_coverage = math::summarize(coverage);
+  return stats;
+}
+
+namespace {
+std::string summary_line(const char* label, const math::Summary& s, int decimals) {
+  using util::format_fixed;
+  std::ostringstream oss;
+  oss << util::pad_right(label, 22) << "mean " << format_fixed(s.mean, decimals)
+      << "  median " << format_fixed(s.median, decimals) << "  min "
+      << format_fixed(s.min, decimals) << "  max " << format_fixed(s.max, decimals)
+      << "  std " << format_fixed(s.stddev, decimals);
+  return oss.str();
+}
+}  // namespace
+
+std::string format_statistics(const DatasetStatistics& stats) {
+  std::ostringstream oss;
+  oss << "samples: " << stats.sample_count << " (isolated " << stats.isolated_count
+      << ", row " << stats.row_count << ", grid " << stats.grid_count << "), "
+      << util::format_fixed(stats.pixel_nm, 2) << " nm/px\n";
+  oss << summary_line("CD width (nm)", stats.cd_width_nm, 1) << "\n";
+  oss << summary_line("CD height (nm)", stats.cd_height_nm, 1) << "\n";
+  oss << summary_line("center offset (px)", stats.center_offset_px, 2) << "\n";
+  oss << summary_line("center offset (nm)", stats.center_offset_nm, 2) << "\n";
+  oss << summary_line("resist coverage", stats.resist_coverage, 3) << "\n";
+  return oss.str();
+}
+
+}  // namespace lithogan::data

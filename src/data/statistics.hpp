@@ -1,0 +1,37 @@
+// Dataset quality statistics: the sanity report a data engineer reads
+// before pouring GPU-hours into training — CD distribution, printed-center
+// spread (the dual-learning signal), per-array-type counts, foreground
+// coverage.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "math/statistics.hpp"
+
+namespace lithogan::data {
+
+struct DatasetStatistics {
+  std::size_t sample_count = 0;
+  std::size_t isolated_count = 0;
+  std::size_t row_count = 0;
+  std::size_t grid_count = 0;
+
+  math::Summary cd_width_nm;
+  math::Summary cd_height_nm;
+  /// Distance of each golden center from the image center, in pixels and nm.
+  math::Summary center_offset_px;
+  math::Summary center_offset_nm;
+  /// Foreground (resist) pixel fraction per sample.
+  math::Summary resist_coverage;
+
+  double pixel_nm = 0.0;
+};
+
+/// Computes the statistics over every sample.
+DatasetStatistics compute_statistics(const Dataset& dataset);
+
+/// Multi-line human-readable report.
+std::string format_statistics(const DatasetStatistics& stats);
+
+}  // namespace lithogan::data

@@ -1,0 +1,66 @@
+#include "eval/report.hpp"
+
+#include <sstream>
+
+#include "math/statistics.hpp"
+#include "util/strings.hpp"
+
+namespace lithogan::eval {
+
+MetricAccumulator::MetricAccumulator(std::string method, std::string dataset,
+                                     double pixel_nm)
+    : method_(std::move(method)), dataset_(std::move(dataset)), pixel_nm_(pixel_nm) {}
+
+void MetricAccumulator::add(const image::Image& golden, const image::Image& predicted) {
+  const EdeResult ede = edge_displacement_error(golden, predicted);
+  if (ede.valid) {
+    ede_nm_.push_back(ede.mean() * pixel_nm_);
+  } else {
+    ++invalid_;
+  }
+  const PixelMetrics pm = pixel_metrics(golden, predicted);
+  pixel_acc_.push_back(pm.pixel_accuracy);
+  class_acc_.push_back(pm.class_accuracy);
+  iou_.push_back(pm.mean_iou);
+}
+
+MethodReport MetricAccumulator::finalize() const {
+  MethodReport r;
+  r.method = method_;
+  r.dataset = dataset_;
+  r.ede_mean_nm = math::mean(ede_nm_);
+  r.ede_std_nm = math::stddev(ede_nm_);
+  r.pixel_accuracy = math::mean(pixel_acc_);
+  r.class_accuracy = math::mean(class_acc_);
+  r.mean_iou = math::mean(iou_);
+  r.sample_count = pixel_acc_.size();
+  r.invalid_count = invalid_;
+  return r;
+}
+
+std::string format_table3(const std::vector<MethodReport>& reports) {
+  using util::format_fixed;
+  using util::pad_left;
+  using util::pad_right;
+  std::ostringstream oss;
+  oss << pad_right("Dataset", 10) << pad_right("Method", 16) << pad_left("EDE (nm)", 10)
+      << pad_left("Std.", 8) << pad_left("PixAcc", 9) << pad_left("ClassAcc", 10)
+      << pad_left("MeanIoU", 9) << pad_left("N", 6) << "\n";
+  oss << std::string(78, '-') << "\n";
+  for (const auto& r : reports) {
+    oss << pad_right(r.dataset, 10) << pad_right(r.method, 16)
+        << pad_left(format_fixed(r.ede_mean_nm, 2), 10)
+        << pad_left(format_fixed(r.ede_std_nm, 2), 8)
+        << pad_left(format_fixed(r.pixel_accuracy, 3), 9)
+        << pad_left(format_fixed(r.class_accuracy, 3), 10)
+        << pad_left(format_fixed(r.mean_iou, 3), 9)
+        << pad_left(std::to_string(r.sample_count), 6);
+    if (r.invalid_count > 0) {
+      oss << "  (+" << r.invalid_count << " unprinted)";
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lithogan::eval

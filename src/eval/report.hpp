@@ -1,0 +1,53 @@
+// Aggregating per-sample metrics into the rows of the paper's Table 3 and
+// printing aligned comparison tables for the bench harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+
+namespace lithogan::eval {
+
+/// One Table-3 row: a method evaluated over a test set.
+struct MethodReport {
+  std::string method;
+  std::string dataset;
+  double ede_mean_nm = 0.0;
+  double ede_std_nm = 0.0;
+  double pixel_accuracy = 0.0;
+  double class_accuracy = 0.0;
+  double mean_iou = 0.0;
+  std::size_t sample_count = 0;
+  std::size_t invalid_count = 0;  ///< samples where EDE was undefined
+};
+
+/// Accumulates per-sample results and finalizes a MethodReport.
+class MetricAccumulator {
+ public:
+  MetricAccumulator(std::string method, std::string dataset, double pixel_nm);
+
+  /// Adds one golden/predicted pair. `pixel_nm` from construction converts
+  /// the EDE to nanometres.
+  void add(const image::Image& golden, const image::Image& predicted);
+
+  MethodReport finalize() const;
+
+  /// Per-sample mean-EDE values (nm), e.g. for the Figure 7 histogram.
+  const std::vector<double>& ede_samples_nm() const { return ede_nm_; }
+
+ private:
+  std::string method_;
+  std::string dataset_;
+  double pixel_nm_;
+  std::vector<double> ede_nm_;
+  std::vector<double> pixel_acc_;
+  std::vector<double> class_acc_;
+  std::vector<double> iou_;
+  std::size_t invalid_ = 0;
+};
+
+/// Renders reports as an aligned text table (same columns as Table 3).
+std::string format_table3(const std::vector<MethodReport>& reports);
+
+}  // namespace lithogan::eval

@@ -1,0 +1,236 @@
+#include "geometry/marching_squares.hpp"
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace lithogan::geometry {
+
+namespace {
+
+// A grid edge is identified by its lower-left lattice point and orientation
+// (0 = horizontal toward +x, 1 = vertical toward +y). Every contour vertex
+// lies on exactly one grid edge, which makes stitching exact — no floating
+// point key comparisons.
+std::uint64_t edge_key(std::size_t x, std::size_t y, int orientation, std::size_t width) {
+  return ((static_cast<std::uint64_t>(y) * width + x) << 1) |
+         static_cast<std::uint64_t>(orientation);
+}
+
+struct Segment {
+  std::uint64_t key_a;
+  std::uint64_t key_b;
+  Point a;
+  Point b;
+  bool used = false;
+};
+
+// Interpolated crossing on the edge from lattice point (x0,y0) (value v0) to
+// (x1,y1) (value v1).
+Point interpolate(double x0, double y0, double v0, double x1, double y1, double v1,
+                  double threshold) {
+  const double denom = v1 - v0;
+  const double t = std::abs(denom) < 1e-300 ? 0.5 : (threshold - v0) / denom;
+  const double tc = std::clamp(t, 0.0, 1.0);
+  return {x0 + tc * (x1 - x0), y0 + tc * (y1 - y0)};
+}
+
+}  // namespace
+
+std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t width,
+                                      std::size_t height, double threshold) {
+  LITHOGAN_REQUIRE(grid.size() == width * height, "grid size mismatch");
+  if (width < 2 || height < 2) return {};
+
+  const auto value = [&](std::size_t x, std::size_t y) { return grid[y * width + x]; };
+
+  std::vector<Segment> segments;
+  segments.reserve(width * height / 4);
+
+  for (std::size_t cy = 0; cy + 1 < height; ++cy) {
+    for (std::size_t cx = 0; cx + 1 < width; ++cx) {
+      const double v00 = value(cx, cy);          // bottom-left
+      const double v10 = value(cx + 1, cy);      // bottom-right
+      const double v11 = value(cx + 1, cy + 1);  // top-right
+      const double v01 = value(cx, cy + 1);      // top-left
+
+      int caseIndex = 0;
+      if (v00 >= threshold) caseIndex |= 1;
+      if (v10 >= threshold) caseIndex |= 2;
+      if (v11 >= threshold) caseIndex |= 4;
+      if (v01 >= threshold) caseIndex |= 8;
+      if (caseIndex == 0 || caseIndex == 15) continue;
+
+      const double x = static_cast<double>(cx);
+      const double y = static_cast<double>(cy);
+
+      // Crossing points and keys for the four cell edges.
+      const Point bottom = interpolate(x, y, v00, x + 1, y, v10, threshold);
+      const Point right = interpolate(x + 1, y, v10, x + 1, y + 1, v11, threshold);
+      const Point top = interpolate(x, y + 1, v01, x + 1, y + 1, v11, threshold);
+      const Point left = interpolate(x, y, v00, x, y + 1, v01, threshold);
+
+      const std::uint64_t kb = edge_key(cx, cy, 0, width);
+      const std::uint64_t kr = edge_key(cx + 1, cy, 1, width);
+      const std::uint64_t kt = edge_key(cx, cy + 1, 0, width);
+      const std::uint64_t kl = edge_key(cx, cy, 1, width);
+
+      const auto emit = [&](std::uint64_t ka2, const Point& pa, std::uint64_t kb2,
+                            const Point& pb) {
+        segments.push_back(Segment{ka2, kb2, pa, pb});
+      };
+
+      switch (caseIndex) {
+        case 1:
+        case 14:
+          emit(kl, left, kb, bottom);
+          break;
+        case 2:
+        case 13:
+          emit(kb, bottom, kr, right);
+          break;
+        case 3:
+        case 12:
+          emit(kl, left, kr, right);
+          break;
+        case 4:
+        case 11:
+          emit(kr, right, kt, top);
+          break;
+        case 6:
+        case 9:
+          emit(kb, bottom, kt, top);
+          break;
+        case 7:
+        case 8:
+          emit(kl, left, kt, top);
+          break;
+        case 5: {
+          // Saddle: disambiguate with the cell-center average.
+          const double center = (v00 + v10 + v11 + v01) / 4.0;
+          if (center >= threshold) {
+            emit(kl, left, kt, top);
+            emit(kb, bottom, kr, right);
+          } else {
+            emit(kl, left, kb, bottom);
+            emit(kr, right, kt, top);
+          }
+          break;
+        }
+        case 10: {
+          const double center = (v00 + v10 + v11 + v01) / 4.0;
+          if (center >= threshold) {
+            emit(kl, left, kb, bottom);
+            emit(kr, right, kt, top);
+          } else {
+            emit(kl, left, kt, top);
+            emit(kb, bottom, kr, right);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Index segments by their edge keys: each grid edge borders at most two
+  // cells, hence at most two segments.
+  std::unordered_map<std::uint64_t, std::array<std::ptrdiff_t, 2>> by_edge;
+  by_edge.reserve(segments.size() * 2);
+  const auto link = [&](std::uint64_t key, std::ptrdiff_t idx) {
+    auto [it, inserted] = by_edge.try_emplace(key, std::array<std::ptrdiff_t, 2>{-1, -1});
+    auto& slots = it->second;
+    if (slots[0] < 0) {
+      slots[0] = idx;
+    } else {
+      slots[1] = idx;
+    }
+  };
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    link(segments[i].key_a, static_cast<std::ptrdiff_t>(i));
+    link(segments[i].key_b, static_cast<std::ptrdiff_t>(i));
+  }
+
+  const auto neighbor = [&](std::uint64_t key, std::ptrdiff_t self) -> std::ptrdiff_t {
+    const auto it = by_edge.find(key);
+    if (it == by_edge.end()) return -1;
+    const auto& slots = it->second;
+    if (slots[0] >= 0 && slots[0] != self) return slots[0];
+    if (slots[1] >= 0 && slots[1] != self) return slots[1];
+    return -1;
+  };
+
+  std::vector<Polygon> contours;
+  for (std::size_t start = 0; start < segments.size(); ++start) {
+    if (segments[start].used) continue;
+
+    // Walk backwards first so open chains begin at a true endpoint.
+    std::ptrdiff_t head = static_cast<std::ptrdiff_t>(start);
+    std::uint64_t head_entry = segments[start].key_a;
+    while (true) {
+      const std::ptrdiff_t prev = neighbor(head_entry, head);
+      if (prev < 0 || segments[static_cast<std::size_t>(prev)].used) break;
+      if (prev == static_cast<std::ptrdiff_t>(start)) break;  // closed loop
+      const Segment& ps = segments[static_cast<std::size_t>(prev)];
+      head_entry = (ps.key_a == head_entry) ? ps.key_b : ps.key_a;
+      head = prev;
+      if (head == static_cast<std::ptrdiff_t>(start)) break;  // safety
+    }
+
+    // Forward walk collecting vertices.
+    Polygon poly;
+    std::ptrdiff_t cur = head;
+    std::uint64_t entry = head_entry;
+    while (cur >= 0 && !segments[static_cast<std::size_t>(cur)].used) {
+      Segment& seg = segments[static_cast<std::size_t>(cur)];
+      seg.used = true;
+      const bool forward = (seg.key_a == entry);
+      poly.push_back(forward ? seg.a : seg.b);
+      const std::uint64_t exit = forward ? seg.key_b : seg.key_a;
+      const std::ptrdiff_t next = neighbor(exit, cur);
+      if (next < 0) {
+        poly.push_back(forward ? seg.b : seg.a);  // open chain: keep last point
+        break;
+      }
+      entry = exit;
+      cur = next;
+    }
+    if (poly.size() >= 2) contours.push_back(std::move(poly));
+  }
+
+  return contours;
+}
+
+Polygon largest_contour(const std::vector<Polygon>& contours) {
+  Polygon best;
+  double best_area = -1.0;
+  for (const Polygon& c : contours) {
+    const double a = c.area();
+    if (a > best_area) {
+      best_area = a;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Polygon contour_at(const std::vector<Polygon>& contours, const Point& p) {
+  Polygon best;
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const Polygon& c : contours) {
+    const Rect box = c.bounding_box();
+    if (!box.contains(p)) continue;
+    const double a = box.area();
+    if (a < best_area) {
+      best_area = a;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace lithogan::geometry

@@ -1,0 +1,93 @@
+#include "geometry/polygon.hpp"
+
+#include <cmath>
+
+namespace lithogan::geometry {
+
+Polygon Polygon::from_rect(const Rect& r) {
+  return Polygon({{r.lo.x, r.lo.y}, {r.hi.x, r.lo.y}, {r.hi.x, r.hi.y}, {r.lo.x, r.hi.y}});
+}
+
+double Polygon::signed_area() const {
+  if (vertices_.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    acc += cross(a, b);
+  }
+  return acc / 2.0;
+}
+
+double Polygon::area() const { return std::abs(signed_area()); }
+
+Point Polygon::centroid() const {
+  const double a = signed_area();
+  if (std::abs(a) < 1e-12) {
+    Point sum{0.0, 0.0};
+    for (const Point& p : vertices_) sum = sum + p;
+    const double n = vertices_.empty() ? 1.0 : static_cast<double>(vertices_.size());
+    return {sum.x / n, sum.y / n};
+  }
+  double cx = 0.0;
+  double cy = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& p = vertices_[i];
+    const Point& q = vertices_[(i + 1) % vertices_.size()];
+    const double w = cross(p, q);
+    cx += (p.x + q.x) * w;
+    cy += (p.y + q.y) * w;
+  }
+  return {cx / (6.0 * a), cy / (6.0 * a)};
+}
+
+double Polygon::perimeter() const {
+  if (vertices_.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    acc += distance(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+  return acc;
+}
+
+Rect Polygon::bounding_box() const {
+  Rect box = Rect::empty();
+  for (const Point& p : vertices_) box = box.unite(Rect{p, p});
+  return box;
+}
+
+bool Polygon::contains(const Point& p) const {
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    const bool straddles = (a.y > p.y) != (b.y > p.y);
+    if (straddles) {
+      const double x_at = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+Polygon Polygon::translated(const Point& d) const {
+  std::vector<Point> out;
+  out.reserve(vertices_.size());
+  for (const Point& p : vertices_) out.push_back(p + d);
+  return Polygon(std::move(out));
+}
+
+Polygon Polygon::scaled(double sx, double sy) const {
+  std::vector<Point> out;
+  out.reserve(vertices_.size());
+  for (const Point& p : vertices_) out.push_back({p.x * sx, p.y * sy});
+  return Polygon(std::move(out));
+}
+
+Polygon Polygon::reversed() const {
+  std::vector<Point> out(vertices_.rbegin(), vertices_.rend());
+  return Polygon(std::move(out));
+}
+
+}  // namespace lithogan::geometry

@@ -1,0 +1,54 @@
+// Simple (non-self-intersecting) polygons with the operations the contour
+// pipeline needs: area, centroid, bounding box, point membership, and rigid
+// transforms. Vertices are stored in order; the closing edge from back() to
+// front() is implicit.
+#pragma once
+
+#include <vector>
+
+#include "geometry/primitives.hpp"
+
+namespace lithogan::geometry {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {}
+
+  /// Axis-aligned rectangle as a 4-vertex counter-clockwise polygon.
+  static Polygon from_rect(const Rect& r);
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+  void push_back(const Point& p) { vertices_.push_back(p); }
+
+  /// Signed area via the shoelace formula: positive for counter-clockwise.
+  double signed_area() const;
+  double area() const;
+
+  /// Area centroid. For degenerate (zero-area) polygons falls back to the
+  /// vertex average.
+  Point centroid() const;
+
+  double perimeter() const;
+
+  Rect bounding_box() const;
+
+  /// Even-odd point-in-polygon test. Points exactly on an edge may land on
+  /// either side; callers needing boundary semantics should inflate first.
+  bool contains(const Point& p) const;
+
+  Polygon translated(const Point& d) const;
+
+  /// Scales about the origin.
+  Polygon scaled(double sx, double sy) const;
+
+  /// Reverses the vertex order (flips orientation).
+  Polygon reversed() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+}  // namespace lithogan::geometry

@@ -1,0 +1,64 @@
+#include "geometry/rasterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lithogan::geometry {
+
+void rasterize_polygon(const Polygon& polygon, std::size_t width, std::size_t height,
+                       std::vector<std::uint8_t>& mask) {
+  LITHOGAN_REQUIRE(mask.size() == width * height, "mask size mismatch");
+  if (polygon.size() < 3) return;
+
+  const Rect box = polygon.bounding_box();
+  const auto y_begin = static_cast<std::size_t>(
+      std::clamp(std::floor(box.lo.y), 0.0, static_cast<double>(height)));
+  const auto y_end = static_cast<std::size_t>(
+      std::clamp(std::ceil(box.hi.y) + 1.0, 0.0, static_cast<double>(height)));
+
+  const auto& vs = polygon.vertices();
+  std::vector<double> crossings;
+  for (std::size_t y = y_begin; y < y_end; ++y) {
+    const double sy = static_cast<double>(y) + 0.5;  // pixel-center scanline
+    crossings.clear();
+    for (std::size_t i = 0, j = vs.size() - 1; i < vs.size(); j = i++) {
+      const Point& a = vs[j];
+      const Point& b = vs[i];
+      const bool straddles = (a.y > sy) != (b.y > sy);
+      if (!straddles) continue;
+      crossings.push_back(a.x + (b.x - a.x) * (sy - a.y) / (b.y - a.y));
+    }
+    std::sort(crossings.begin(), crossings.end());
+    for (std::size_t k = 0; k + 1 < crossings.size(); k += 2) {
+      // Fill pixels whose centers lie in [crossings[k], crossings[k+1]).
+      const auto x_begin = static_cast<std::ptrdiff_t>(std::ceil(crossings[k] - 0.5));
+      const auto x_end = static_cast<std::ptrdiff_t>(std::floor(crossings[k + 1] - 0.5));
+      const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(x_begin, 0);
+      const std::ptrdiff_t hi =
+          std::min<std::ptrdiff_t>(x_end, static_cast<std::ptrdiff_t>(width) - 1);
+      for (std::ptrdiff_t x = lo; x <= hi; ++x) {
+        mask[y * width + static_cast<std::size_t>(x)] = 1;
+      }
+    }
+  }
+}
+
+std::vector<std::uint8_t> rasterize(const std::vector<Polygon>& polygons,
+                                    std::size_t width, std::size_t height) {
+  std::vector<std::uint8_t> mask(width * height, 0);
+  for (const Polygon& p : polygons) rasterize_polygon(p, width, height, mask);
+  return mask;
+}
+
+double coverage(std::span<const std::uint8_t> mask) {
+  if (mask.empty()) return 0.0;
+  std::size_t set = 0;
+  for (const std::uint8_t v : mask) {
+    if (v != 0) ++set;
+  }
+  return static_cast<double>(set) / static_cast<double>(mask.size());
+}
+
+}  // namespace lithogan::geometry

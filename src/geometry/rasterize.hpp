@@ -1,0 +1,28 @@
+// Polygon scan conversion: turning contours back into pixel masks so the
+// data pipeline can produce the monochrome resist-pattern images the GAN is
+// trained on, and so evaluation can compare pixel sets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/polygon.hpp"
+
+namespace lithogan::geometry {
+
+/// Fills `mask` (row-major, width x height, values 0/1) with the even-odd
+/// interior of `polygon`. A pixel is set when its center (x+0.5, y+0.5) is
+/// inside. Existing set pixels are preserved (logical OR), letting callers
+/// accumulate several polygons.
+void rasterize_polygon(const Polygon& polygon, std::size_t width, std::size_t height,
+                       std::vector<std::uint8_t>& mask);
+
+/// Rasterizes all `polygons` into a fresh mask.
+std::vector<std::uint8_t> rasterize(const std::vector<Polygon>& polygons,
+                                    std::size_t width, std::size_t height);
+
+/// Fraction of `mask` pixels that are set.
+double coverage(std::span<const std::uint8_t> mask);
+
+}  // namespace lithogan::geometry

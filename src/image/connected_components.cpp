@@ -1,0 +1,106 @@
+#include "image/connected_components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace lithogan::image {
+
+Labeling label_components(std::span<const std::uint8_t> mask, std::size_t width,
+                          std::size_t height) {
+  LITHOGAN_REQUIRE(mask.size() == width * height, "mask size mismatch");
+  Labeling out;
+  out.labels.assign(mask.size(), 0);
+
+  std::int32_t next_label = 0;
+  std::vector<std::size_t> frontier;
+  for (std::size_t start = 0; start < mask.size(); ++start) {
+    if (mask[start] == 0 || out.labels[start] != 0) continue;
+    ++next_label;
+
+    Component comp;
+    comp.label = next_label;
+    comp.bbox = geometry::Rect::empty();
+    double sx = 0.0;
+    double sy = 0.0;
+
+    frontier.clear();
+    frontier.push_back(start);
+    out.labels[start] = next_label;
+    while (!frontier.empty()) {
+      const std::size_t idx = frontier.back();
+      frontier.pop_back();
+      const std::size_t x = idx % width;
+      const std::size_t y = idx / width;
+
+      ++comp.pixel_count;
+      const geometry::Point pc{static_cast<double>(x), static_cast<double>(y)};
+      comp.bbox = comp.bbox.unite(geometry::Rect{pc, pc});
+      sx += static_cast<double>(x) + 0.5;
+      sy += static_cast<double>(y) + 0.5;
+
+      const auto visit = [&](std::size_t nidx) {
+        if (mask[nidx] != 0 && out.labels[nidx] == 0) {
+          out.labels[nidx] = next_label;
+          frontier.push_back(nidx);
+        }
+      };
+      if (x > 0) visit(idx - 1);
+      if (x + 1 < width) visit(idx + 1);
+      if (y > 0) visit(idx - width);
+      if (y + 1 < height) visit(idx + width);
+    }
+
+    comp.centroid = {sx / static_cast<double>(comp.pixel_count),
+                     sy / static_cast<double>(comp.pixel_count)};
+    out.components.push_back(comp);
+  }
+  return out;
+}
+
+const Component* largest_component(const Labeling& labeling) {
+  const Component* best = nullptr;
+  for (const Component& c : labeling.components) {
+    if (best == nullptr || c.pixel_count > best->pixel_count) best = &c;
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> isolate_component(std::span<const std::uint8_t> mask,
+                                            std::size_t width, std::size_t height,
+                                            const geometry::Point& seed) {
+  const Labeling labeling = label_components(mask, width, height);
+  if (labeling.components.empty()) {
+    return std::vector<std::uint8_t>(mask.size(), 0);
+  }
+
+  std::int32_t keep = 0;
+  const auto sx = static_cast<std::ptrdiff_t>(seed.x);
+  const auto sy = static_cast<std::ptrdiff_t>(seed.y);
+  if (sx >= 0 && sy >= 0 && sx < static_cast<std::ptrdiff_t>(width) &&
+      sy < static_cast<std::ptrdiff_t>(height)) {
+    keep = labeling.labels[static_cast<std::size_t>(sy) * width +
+                           static_cast<std::size_t>(sx)];
+  }
+  if (keep == 0) {
+    // Seed landed on background: prefer the component whose centroid is
+    // nearest the seed, breaking ties toward larger blobs.
+    double best_dist = 1e300;
+    for (const Component& c : labeling.components) {
+      const double d = geometry::distance(c.centroid, seed);
+      if (d < best_dist) {
+        best_dist = d;
+        keep = c.label;
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out(mask.size(), 0);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out[i] = labeling.labels[i] == keep ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace lithogan::image

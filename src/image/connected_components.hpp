@@ -1,0 +1,41 @@
+// Connected-component labeling on binary masks (4-connectivity).
+//
+// Used to isolate the target contact's resist blob when the simulator prints
+// several features inside the crop window, and by evaluation to locate the
+// predicted pattern's bounding box.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/primitives.hpp"
+
+namespace lithogan::image {
+
+struct Component {
+  std::int32_t label = 0;      ///< 1-based label in the label map
+  std::size_t pixel_count = 0;
+  geometry::Rect bbox;         ///< pixel-coordinate bounds (inclusive centers)
+  geometry::Point centroid;    ///< mean of member pixel centers
+};
+
+struct Labeling {
+  std::vector<std::int32_t> labels;  ///< 0 = background, 1..n = components
+  std::vector<Component> components; ///< indexed by label-1
+};
+
+/// Labels 4-connected foreground (nonzero) regions of `mask`.
+Labeling label_components(std::span<const std::uint8_t> mask, std::size_t width,
+                          std::size_t height);
+
+/// Largest component by pixel count; nullptr if the mask is empty.
+const Component* largest_component(const Labeling& labeling);
+
+/// Keeps only the component containing `seed` (or the largest one if the
+/// seed pixel is background), zeroing everything else. Returns the new mask.
+std::vector<std::uint8_t> isolate_component(std::span<const std::uint8_t> mask,
+                                            std::size_t width, std::size_t height,
+                                            const geometry::Point& seed);
+
+}  // namespace lithogan::image

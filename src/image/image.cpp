@@ -1,0 +1,68 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lithogan::image {
+
+Image::Image(std::size_t channels, std::size_t height, std::size_t width, float fill)
+    : channels_(channels),
+      height_(height),
+      width_(width),
+      data_(channels * height * width, fill) {}
+
+float& Image::at(std::size_t c, std::size_t y, std::size_t x) {
+  LITHOGAN_REQUIRE(c < channels_ && y < height_ && x < width_, "pixel out of range");
+  return data_[(c * height_ + y) * width_ + x];
+}
+
+float Image::at(std::size_t c, std::size_t y, std::size_t x) const {
+  LITHOGAN_REQUIRE(c < channels_ && y < height_ && x < width_, "pixel out of range");
+  return data_[(c * height_ + y) * width_ + x];
+}
+
+float Image::at_or(std::ptrdiff_t c, std::ptrdiff_t y, std::ptrdiff_t x,
+                   float fallback) const {
+  if (c < 0 || y < 0 || x < 0 || c >= static_cast<std::ptrdiff_t>(channels_) ||
+      y >= static_cast<std::ptrdiff_t>(height_) ||
+      x >= static_cast<std::ptrdiff_t>(width_)) {
+    return fallback;
+  }
+  return data_[(static_cast<std::size_t>(c) * height_ + static_cast<std::size_t>(y)) *
+                   width_ +
+               static_cast<std::size_t>(x)];
+}
+
+std::span<float> Image::channel(std::size_t c) {
+  LITHOGAN_REQUIRE(c < channels_, "channel out of range");
+  return {data_.data() + c * height_ * width_, height_ * width_};
+}
+
+std::span<const float> Image::channel(std::size_t c) const {
+  LITHOGAN_REQUIRE(c < channels_, "channel out of range");
+  return {data_.data() + c * height_ * width_, height_ * width_};
+}
+
+void Image::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Image Image::from_mask(std::span<const std::uint8_t> mask, std::size_t height,
+                       std::size_t width) {
+  LITHOGAN_REQUIRE(mask.size() == height * width, "mask size mismatch");
+  Image img(1, height, width);
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    img.data_[i] = mask[i] ? 1.0f : 0.0f;
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> Image::to_mask(std::size_t c, float threshold) const {
+  const auto ch = channel(c);
+  std::vector<std::uint8_t> mask(ch.size());
+  for (std::size_t i = 0; i < ch.size(); ++i) {
+    mask[i] = ch[i] >= threshold ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace lithogan::image

@@ -1,0 +1,61 @@
+// Planar float image container.
+//
+// Storage is channel-major (CHW), matching the neural-network tensor layout
+// so image data moves into nn::Tensor without reshuffling. Pixel values are
+// nominally in [0, 1]; nothing enforces that, but the I/O routines clamp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geometry/primitives.hpp"
+
+namespace lithogan::image {
+
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a channels x height x width image filled with `fill`.
+  Image(std::size_t channels, std::size_t height, std::size_t width, float fill = 0.0f);
+
+  std::size_t channels() const { return channels_; }
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t pixel_count() const { return height_ * width_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t c, std::size_t y, std::size_t x);
+  float at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  /// Bounds-tolerant read: coordinates outside the image return `fallback`.
+  float at_or(std::ptrdiff_t c, std::ptrdiff_t y, std::ptrdiff_t x,
+              float fallback = 0.0f) const;
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+
+  /// One channel as a contiguous span of height*width floats.
+  std::span<float> channel(std::size_t c);
+  std::span<const float> channel(std::size_t c) const;
+
+  void fill(float value);
+
+  /// Builds a single-channel image from a 0/1 byte mask.
+  static Image from_mask(std::span<const std::uint8_t> mask, std::size_t height,
+                         std::size_t width);
+
+  /// Thresholds one channel into a 0/1 byte mask (value >= threshold → 1).
+  std::vector<std::uint8_t> to_mask(std::size_t c, float threshold = 0.5f) const;
+
+  bool operator==(const Image& o) const = default;
+
+ private:
+  std::size_t channels_ = 0;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace lithogan::image

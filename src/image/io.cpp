@@ -1,0 +1,154 @@
+#include "image/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lithogan::image {
+
+namespace {
+
+std::uint8_t quantize(float v) {
+  const float clamped = std::clamp(v, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(std::lround(clamped * 255.0f));
+}
+
+// Reads one whitespace-delimited token, skipping '#' comments.
+std::string next_token(std::istream& is) {
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return token;
+  }
+  throw util::FormatError("truncated netpbm header");
+}
+
+void parse_header(std::istream& is, const std::string& magic, std::size_t& width,
+                  std::size_t& height) {
+  const std::string found = next_token(is);
+  if (found != magic) throw util::FormatError("expected " + magic + ", found " + found);
+  try {
+    width = std::stoul(next_token(is));
+    height = std::stoul(next_token(is));
+  } catch (const std::exception&) {
+    throw util::FormatError("malformed netpbm dimensions");
+  }
+  // Guard before any allocation: corrupt headers must not trigger
+  // multi-gigabyte buffers.
+  constexpr std::size_t kMaxDim = 1u << 15;
+  if (width == 0 || height == 0 || width > kMaxDim || height > kMaxDim) {
+    throw util::FormatError("implausible netpbm dimensions");
+  }
+  unsigned maxval = 0;
+  try {
+    maxval = static_cast<unsigned>(std::stoul(next_token(is)));
+  } catch (const std::exception&) {
+    throw util::FormatError("malformed netpbm maxval");
+  }
+  if (maxval != 255) throw util::FormatError("only maxval 255 supported");
+  is.get();  // single whitespace before raster
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const Image& img) {
+  LITHOGAN_REQUIRE(img.channels() == 3, "PPM requires a 3-channel image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<std::uint8_t> row(img.width() * 3);
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      row[x * 3 + 0] = quantize(img.at(0, y, x));
+      row[x * 3 + 1] = quantize(img.at(1, y, x));
+      row[x * 3 + 2] = quantize(img.at(2, y, x));
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+void write_pgm(const std::string& path, const Image& img) {
+  LITHOGAN_REQUIRE(img.channels() == 1, "PGM requires a 1-channel image");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::IoError("cannot open for writing: " + path);
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<std::uint8_t> row(img.width());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) row[x] = quantize(img.at(0, y, x));
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw util::IoError("write failed: " + path);
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
+  std::size_t width = 0;
+  std::size_t height = 0;
+  parse_header(in, "P6", width, height);
+  Image img(3, height, width);
+  std::vector<std::uint8_t> row(width * 3);
+  for (std::size_t y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+    if (!in) throw util::FormatError("truncated PPM raster: " + path);
+    for (std::size_t x = 0; x < width; ++x) {
+      img.at(0, y, x) = static_cast<float>(row[x * 3 + 0]) / 255.0f;
+      img.at(1, y, x) = static_cast<float>(row[x * 3 + 1]) / 255.0f;
+      img.at(2, y, x) = static_cast<float>(row[x * 3 + 2]) / 255.0f;
+    }
+  }
+  return img;
+}
+
+Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::IoError("cannot open for reading: " + path);
+  std::size_t width = 0;
+  std::size_t height = 0;
+  parse_header(in, "P5", width, height);
+  Image img(1, height, width);
+  std::vector<std::uint8_t> row(width);
+  for (std::size_t y = 0; y < height; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()), static_cast<std::streamsize>(row.size()));
+    if (!in) throw util::FormatError("truncated PGM raster: " + path);
+    for (std::size_t x = 0; x < width; ++x) {
+      img.at(0, y, x) = static_cast<float>(row[x]) / 255.0f;
+    }
+  }
+  return img;
+}
+
+Image montage(const std::vector<Image>& panels) {
+  LITHOGAN_REQUIRE(!panels.empty(), "montage of zero panels");
+  const std::size_t h = panels.front().height();
+  const std::size_t w = panels.front().width();
+  for (const Image& p : panels) {
+    LITHOGAN_REQUIRE(p.channels() == 3 && p.height() == h && p.width() == w,
+                     "montage panels must be equal-size RGB");
+  }
+  constexpr std::size_t kGutter = 2;
+  const std::size_t total_w = panels.size() * w + (panels.size() - 1) * kGutter;
+  Image out(3, h, total_w, 1.0f);  // white background fills the gutters
+  std::size_t x_off = 0;
+  for (const Image& p : panels) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) out.at(c, y, x_off + x) = p.at(c, y, x);
+      }
+    }
+    x_off += w + kGutter;
+  }
+  return out;
+}
+
+}  // namespace lithogan::image

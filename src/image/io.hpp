@@ -1,0 +1,28 @@
+// Netpbm image I/O (binary PPM/PGM). Used to dump figure panels from the
+// bench harnesses; the formats are chosen because they need no codec.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace lithogan::image {
+
+/// Writes a 3-channel image as binary PPM (P6). Values are clamped to [0,1]
+/// and quantized to 8 bits. Throws InvalidArgument for non-3-channel images.
+void write_ppm(const std::string& path, const Image& img);
+
+/// Writes a 1-channel image as binary PGM (P5).
+void write_pgm(const std::string& path, const Image& img);
+
+/// Reads a binary PPM (P6) into a 3-channel image with values in [0,1].
+Image read_ppm(const std::string& path);
+
+/// Reads a binary PGM (P5) into a 1-channel image with values in [0,1].
+Image read_pgm(const std::string& path);
+
+/// Side-by-side horizontal montage of equally sized 3-channel panels,
+/// separated by a 2-pixel white gutter. Used by the Figure 6/8 benches.
+Image montage(const std::vector<Image>& panels);
+
+}  // namespace lithogan::image

@@ -1,0 +1,39 @@
+#include "layout/clip.hpp"
+
+namespace lithogan::layout {
+
+std::string to_string(ArrayType type) {
+  switch (type) {
+    case ArrayType::kIsolated:
+      return "isolated";
+    case ArrayType::kRow:
+      return "row";
+    case ArrayType::kGrid:
+      return "grid";
+  }
+  return "?";
+}
+
+std::vector<geometry::Rect> MaskClip::all_openings() const {
+  std::vector<geometry::Rect> out;
+  out.reserve(1 + neighbors.size() + srafs.size());
+  if (has_opc()) {
+    out.push_back(target_opc);
+    out.insert(out.end(), neighbors_opc.begin(), neighbors_opc.end());
+  } else {
+    out.push_back(target);
+    out.insert(out.end(), neighbors.begin(), neighbors.end());
+  }
+  out.insert(out.end(), srafs.begin(), srafs.end());
+  return out;
+}
+
+std::vector<geometry::Rect> MaskClip::drawn_contacts() const {
+  std::vector<geometry::Rect> out;
+  out.reserve(1 + neighbors.size());
+  out.push_back(target);
+  out.insert(out.end(), neighbors.begin(), neighbors.end());
+  return out;
+}
+
+}  // namespace lithogan::layout

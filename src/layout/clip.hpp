@@ -1,0 +1,48 @@
+// Mask clip representation.
+//
+// A clip is the 1x1 um window around one target contact (the paper crops
+// 2x2 um RET-processed clips down to 1x1 um with the target centered,
+// Sec. 3.1). Coordinates are clip-local nanometres with the origin at the
+// lower-left corner, so the target center sits at (extent/2, extent/2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/primitives.hpp"
+
+namespace lithogan::layout {
+
+/// The three contact-array families observed in the paper's datasets
+/// (Sec. 4.1 mentions "three types of contact arrays").
+enum class ArrayType { kIsolated, kRow, kGrid };
+
+std::string to_string(ArrayType type);
+
+struct MaskClip {
+  std::string id;
+  ArrayType array_type = ArrayType::kIsolated;
+  double extent_nm = 1024.0;
+
+  // Drawn (pre-RET) shapes.
+  geometry::Rect target;                   ///< the center contact
+  std::vector<geometry::Rect> neighbors;   ///< other contacts in the window
+
+  // Post-RET shapes (filled by OpcEngine / SrafInserter).
+  geometry::Rect target_opc = geometry::Rect::empty();  ///< empty until OPC runs
+  std::vector<geometry::Rect> neighbors_opc;
+  std::vector<geometry::Rect> srafs;
+
+  geometry::Point center() const { return {extent_nm / 2.0, extent_nm / 2.0}; }
+
+  bool has_opc() const { return !target_opc.is_empty(); }
+
+  /// All transmitting openings for simulation: post-OPC contacts when OPC
+  /// has run (drawn shapes otherwise) plus SRAFs.
+  std::vector<geometry::Rect> all_openings() const;
+
+  /// Drawn contacts only (target first), pre-RET.
+  std::vector<geometry::Rect> drawn_contacts() const;
+};
+
+}  // namespace lithogan::layout

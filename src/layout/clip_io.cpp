@@ -1,0 +1,121 @@
+#include "layout/clip_io.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/strings.hpp"
+
+namespace lithogan::layout {
+
+namespace {
+
+const char* type_name(ArrayType t) {
+  switch (t) {
+    case ArrayType::kIsolated:
+      return "isolated";
+    case ArrayType::kRow:
+      return "row";
+    case ArrayType::kGrid:
+      return "grid";
+  }
+  return "isolated";
+}
+
+ArrayType type_from(const std::string& name) {
+  if (name == "isolated") return ArrayType::kIsolated;
+  if (name == "row") return ArrayType::kRow;
+  if (name == "grid") return ArrayType::kGrid;
+  throw util::FormatError("unknown array type: " + name);
+}
+
+void write_rect(std::ostream& os, const char* tag, const geometry::Rect& r) {
+  os << tag << " " << r.lo.x << " " << r.lo.y << " " << r.hi.x << " " << r.hi.y << "\n";
+}
+
+geometry::Rect parse_rect(std::istringstream& ss, const std::string& line) {
+  geometry::Rect r;
+  if (!(ss >> r.lo.x >> r.lo.y >> r.hi.x >> r.hi.y)) {
+    throw util::FormatError("malformed rectangle line: " + line);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::string clips_to_text(const std::vector<MaskClip>& clips) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip exact doubles
+  os << "# lithogan clip library v1\n";
+  for (const MaskClip& clip : clips) {
+    os << "clip " << clip.id << " " << type_name(clip.array_type) << " "
+       << clip.extent_nm << "\n";
+    write_rect(os, "target", clip.target);
+    for (const auto& r : clip.neighbors) write_rect(os, "neighbor", r);
+    if (clip.has_opc()) {
+      write_rect(os, "target_opc", clip.target_opc);
+      for (const auto& r : clip.neighbors_opc) write_rect(os, "neighbor_opc", r);
+    }
+    for (const auto& r : clip.srafs) write_rect(os, "sraf", r);
+    os << "end\n";
+  }
+  return os.str();
+}
+
+std::vector<MaskClip> clips_from_text(const std::string& text) {
+  std::vector<MaskClip> clips;
+  std::istringstream in(text);
+  std::string line;
+  bool in_clip = false;
+  MaskClip current;
+  while (std::getline(in, line)) {
+    line = util::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "clip") {
+      if (in_clip) throw util::FormatError("nested clip without end");
+      current = MaskClip{};
+      std::string type;
+      if (!(ss >> current.id >> type >> current.extent_nm)) {
+        throw util::FormatError("malformed clip header: " + line);
+      }
+      current.array_type = type_from(type);
+      in_clip = true;
+    } else if (keyword == "end") {
+      if (!in_clip) throw util::FormatError("end without clip");
+      if (current.target.area() <= 0.0) {
+        throw util::FormatError("clip has no target: " + current.id);
+      }
+      clips.push_back(std::move(current));
+      in_clip = false;
+    } else if (!in_clip) {
+      throw util::FormatError("shape outside clip: " + line);
+    } else if (keyword == "target") {
+      current.target = parse_rect(ss, line);
+    } else if (keyword == "neighbor") {
+      current.neighbors.push_back(parse_rect(ss, line));
+    } else if (keyword == "target_opc") {
+      current.target_opc = parse_rect(ss, line);
+    } else if (keyword == "neighbor_opc") {
+      current.neighbors_opc.push_back(parse_rect(ss, line));
+    } else if (keyword == "sraf") {
+      current.srafs.push_back(parse_rect(ss, line));
+    } else {
+      throw util::FormatError("unknown keyword: " + keyword);
+    }
+  }
+  if (in_clip) throw util::FormatError("unterminated clip: " + current.id);
+  return clips;
+}
+
+void save_clips(const std::vector<MaskClip>& clips, const std::string& path) {
+  util::write_file(path, clips_to_text(clips));
+}
+
+std::vector<MaskClip> load_clips(const std::string& path) {
+  return clips_from_text(util::read_file(path));
+}
+
+}  // namespace lithogan::layout

@@ -1,0 +1,32 @@
+// Plain-text clip-library persistence.
+//
+// A minimal, diffable interchange format (one shape per line) so clip sets
+// can be generated once, inspected by hand, and replayed through different
+// RET/simulation configurations — the role GDS/OASIS clips play in real
+// flows, without the binary format baggage.
+//
+//   clip <id> <array_type> <extent_nm>
+//   target  <lox> <loy> <hix> <hiy>
+//   neighbor <lox> <loy> <hix> <hiy>
+//   target_opc / neighbor_opc / sraf ...
+//   end
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/clip.hpp"
+
+namespace lithogan::layout {
+
+/// Serializes clips to the text format above.
+std::string clips_to_text(const std::vector<MaskClip>& clips);
+
+/// Parses the text format. Throws FormatError on malformed input.
+std::vector<MaskClip> clips_from_text(const std::string& text);
+
+/// File convenience wrappers.
+void save_clips(const std::vector<MaskClip>& clips, const std::string& path);
+std::vector<MaskClip> load_clips(const std::string& path);
+
+}  // namespace lithogan::layout

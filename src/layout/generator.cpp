@@ -1,0 +1,129 @@
+#include "layout/generator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lithogan::layout {
+
+ClipGenerator::ClipGenerator(const litho::ProcessConfig& process, GeneratorConfig config,
+                             util::Rng rng)
+    : process_(process), config_(config), rng_(rng) {
+  process_.validate();
+  LITHOGAN_REQUIRE(config.pitch_min_factor >= 1.0, "pitch below process minimum");
+  LITHOGAN_REQUIRE(config.pitch_max_factor >= config.pitch_min_factor, "pitch range");
+  LITHOGAN_REQUIRE(config.occupancy > 0.0 && config.occupancy <= 1.0, "occupancy");
+}
+
+geometry::Rect ClipGenerator::contact_at(geometry::Point center) {
+  const double jitter = config_.position_jitter_nm;
+  const geometry::Point jittered{center.x + rng_.uniform(-jitter, jitter),
+                                 center.y + rng_.uniform(-jitter, jitter)};
+  return geometry::Rect::from_center(jittered, process_.contact_size_nm,
+                                     process_.contact_size_nm);
+}
+
+MaskClip ClipGenerator::make_base(ArrayType type) {
+  MaskClip clip;
+  clip.id = process_.name + "-" + to_string(type) + "-" + std::to_string(next_id_++);
+  clip.array_type = type;
+  clip.extent_nm = process_.grid.extent_nm;
+  // The target is exactly centered (no jitter): the paper's crops guarantee
+  // this and the center CNN learns displacement of the *printed* pattern.
+  clip.target = geometry::Rect::from_center(clip.center(), process_.contact_size_nm,
+                                            process_.contact_size_nm);
+  return clip;
+}
+
+MaskClip ClipGenerator::make_isolated() {
+  MaskClip clip = make_base(ArrayType::kIsolated);
+  // Zero to two far-away companions so "isolated" still has mild context
+  // variation.
+  const auto companions = static_cast<std::size_t>(rng_.uniform_int(0, 2));
+  const geometry::Point c = clip.center();
+  for (std::size_t i = 0; i < companions; ++i) {
+    const double r = rng_.uniform(2.2, 3.2) * process_.min_pitch_nm;
+    const double theta = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+    clip.neighbors.push_back(
+        contact_at({c.x + r * std::cos(theta), c.y + r * std::sin(theta)}));
+  }
+  return clip;
+}
+
+MaskClip ClipGenerator::make_row() {
+  MaskClip clip = make_base(ArrayType::kRow);
+  const double pitch = process_.min_pitch_nm *
+                       rng_.uniform(config_.pitch_min_factor, config_.pitch_max_factor);
+  const bool horizontal = rng_.bernoulli(0.5);
+  const auto half_len = static_cast<int>(rng_.uniform_int(1, 3));
+  const geometry::Point c = clip.center();
+  for (int k = -half_len; k <= half_len; ++k) {
+    if (k == 0) continue;  // the target occupies the center site
+    if (!rng_.bernoulli(config_.occupancy)) continue;
+    const double off = static_cast<double>(k) * pitch;
+    const geometry::Point site =
+        horizontal ? geometry::Point{c.x + off, c.y} : geometry::Point{c.x, c.y + off};
+    if (std::abs(site.x - c.x) > config_.neighborhood_nm ||
+        std::abs(site.y - c.y) > config_.neighborhood_nm) {
+      continue;
+    }
+    clip.neighbors.push_back(contact_at(site));
+  }
+  return clip;
+}
+
+MaskClip ClipGenerator::make_grid() {
+  MaskClip clip = make_base(ArrayType::kGrid);
+  const double pitch_x = process_.min_pitch_nm *
+                         rng_.uniform(config_.pitch_min_factor, config_.pitch_max_factor);
+  const double pitch_y = process_.min_pitch_nm *
+                         rng_.uniform(config_.pitch_min_factor, config_.pitch_max_factor);
+  const auto half_x = static_cast<int>(rng_.uniform_int(1, 2));
+  const auto half_y = static_cast<int>(rng_.uniform_int(1, 2));
+  const geometry::Point c = clip.center();
+  for (int ky = -half_y; ky <= half_y; ++ky) {
+    for (int kx = -half_x; kx <= half_x; ++kx) {
+      if (kx == 0 && ky == 0) continue;
+      if (!rng_.bernoulli(config_.occupancy)) continue;
+      const geometry::Point site{c.x + static_cast<double>(kx) * pitch_x,
+                                 c.y + static_cast<double>(ky) * pitch_y};
+      if (std::abs(site.x - c.x) > config_.neighborhood_nm ||
+          std::abs(site.y - c.y) > config_.neighborhood_nm) {
+        continue;
+      }
+      clip.neighbors.push_back(contact_at(site));
+    }
+  }
+  return clip;
+}
+
+MaskClip ClipGenerator::generate(ArrayType type) {
+  switch (type) {
+    case ArrayType::kIsolated:
+      return make_isolated();
+    case ArrayType::kRow:
+      return make_row();
+    case ArrayType::kGrid:
+      return make_grid();
+  }
+  LITHOGAN_REQUIRE(false, "unknown array type");
+  return {};
+}
+
+MaskClip ClipGenerator::generate() {
+  const auto pick = rng_.uniform_int(0, 2);
+  return generate(static_cast<ArrayType>(pick));
+}
+
+std::vector<MaskClip> ClipGenerator::generate_dataset(std::size_t count) {
+  std::vector<MaskClip> clips;
+  clips.reserve(count);
+  constexpr ArrayType kCycle[3] = {ArrayType::kIsolated, ArrayType::kRow,
+                                   ArrayType::kGrid};
+  for (std::size_t i = 0; i < count; ++i) {
+    clips.push_back(generate(kCycle[i % 3]));
+  }
+  return clips;
+}
+
+}  // namespace lithogan::layout

@@ -1,0 +1,58 @@
+// Randomized contact-clip synthesis.
+//
+// Stands in for the paper's industrial mask clips: ~1000 clips per node,
+// drawn from three contact-array families (isolated, 1-D rows, 2-D grids)
+// with randomized pitch, extent and dropout so the GAN sees a wide range of
+// optical neighborhoods. The target contact is always exactly centered.
+#pragma once
+
+#include "layout/clip.hpp"
+#include "litho/process.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::layout {
+
+struct GeneratorConfig {
+  /// Pitch range, as multiples of the process minimum pitch.
+  double pitch_min_factor = 1.0;
+  double pitch_max_factor = 2.2;
+  /// Maximum half-extent of neighbor placement around the target (nm);
+  /// clipped to keep all contacts inside the window with margin.
+  double neighborhood_nm = 400.0;
+  /// Probability that a grid/row site (other than the target) is occupied.
+  double occupancy = 0.8;
+  /// Per-contact random center jitter (nm, uniform in +/- jitter). Jittered
+  /// neighborhoods make the printed target center wander, which is what the
+  /// center CNN must learn.
+  double position_jitter_nm = 5.0;
+};
+
+class ClipGenerator {
+ public:
+  ClipGenerator(const litho::ProcessConfig& process, GeneratorConfig config,
+                util::Rng rng);
+
+  /// One random clip of the given family.
+  MaskClip generate(ArrayType type);
+
+  /// One random clip, family drawn uniformly.
+  MaskClip generate();
+
+  /// `count` clips cycling through the three families (so every dataset has
+  /// all of them, like the paper's).
+  std::vector<MaskClip> generate_dataset(std::size_t count);
+
+ private:
+  litho::ProcessConfig process_;
+  GeneratorConfig config_;
+  util::Rng rng_;
+  std::size_t next_id_ = 0;
+
+  MaskClip make_isolated();
+  MaskClip make_row();
+  MaskClip make_grid();
+  MaskClip make_base(ArrayType type);
+  geometry::Rect contact_at(geometry::Point center);
+};
+
+}  // namespace lithogan::layout

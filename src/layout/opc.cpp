@@ -1,0 +1,94 @@
+#include "layout/opc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/marching_squares.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::layout {
+
+geometry::Rect OpcEngine::biased(const geometry::Rect& drawn,
+                                 const std::vector<geometry::Rect>& all_contacts) const {
+  // Density rule: contacts with close neighbors get the dense bias,
+  // lonely ones the (larger) isolated bias.
+  bool dense = false;
+  for (const auto& other : all_contacts) {
+    if (other == drawn) continue;
+    if (geometry::distance(other.center(), drawn.center()) <= config_.rule_dense_radius_nm) {
+      dense = true;
+      break;
+    }
+  }
+  const double bias = dense ? config_.rule_dense_bias_nm : config_.rule_iso_bias_nm;
+  return drawn.inflated(bias);
+}
+
+void OpcEngine::run_rule_based(MaskClip& clip) const {
+  const auto contacts = clip.drawn_contacts();
+  clip.target_opc = biased(clip.target, contacts);
+  clip.neighbors_opc.clear();
+  clip.neighbors_opc.reserve(clip.neighbors.size());
+  for (const auto& n : clip.neighbors) clip.neighbors_opc.push_back(biased(n, contacts));
+}
+
+namespace {
+
+/// Re-centers and resizes `mask_rect` to cancel the measured print error
+/// against `drawn`, with damping and a total-movement clamp.
+geometry::Rect correct(const geometry::Rect& mask_rect, const geometry::Rect& drawn,
+                       const litho::CriticalDimension& printed,
+                       const geometry::Point& printed_center, const OpcConfig& cfg) {
+  if (printed.width_nm <= 0.0 || printed.height_nm <= 0.0) {
+    // Feature failed to print: open the mask aggressively.
+    return mask_rect.inflated(cfg.damping * 4.0);
+  }
+  const double dw = cfg.damping * (drawn.width() - printed.width_nm) / 2.0;
+  const double dh = cfg.damping * (drawn.height() - printed.height_nm) / 2.0;
+  const geometry::Point dc =
+      (drawn.center() - printed_center) * (cfg.damping * cfg.placement_correction);
+
+  geometry::Rect out{{mask_rect.lo.x - dw + dc.x, mask_rect.lo.y - dh + dc.y},
+                     {mask_rect.hi.x + dw + dc.x, mask_rect.hi.y + dh + dc.y}};
+  // Clamp total edge movement relative to the drawn shape.
+  const auto clamp_edge = [&](double value, double reference) {
+    return std::clamp(value, reference - cfg.max_bias_nm, reference + cfg.max_bias_nm);
+  };
+  out.lo.x = clamp_edge(out.lo.x, drawn.lo.x);
+  out.lo.y = clamp_edge(out.lo.y, drawn.lo.y);
+  out.hi.x = clamp_edge(out.hi.x, drawn.hi.x);
+  out.hi.y = clamp_edge(out.hi.y, drawn.hi.y);
+  // Never collapse.
+  if (out.width() < 4.0 || out.height() < 4.0) return mask_rect;
+  return out;
+}
+
+}  // namespace
+
+void OpcEngine::run_model_based(MaskClip& clip, litho::Simulator& sim) const {
+  run_rule_based(clip);  // warm start
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    const auto result = sim.run(clip.all_openings());
+
+    // Target contact.
+    {
+      const auto printed = litho::measure_cd(result.contours, clip.target.center());
+      const auto contour = geometry::contour_at(result.contours, clip.target.center());
+      const geometry::Point pc =
+          contour.empty() ? clip.target.center() : contour.bounding_box().center();
+      clip.target_opc = correct(clip.target_opc, clip.target, printed, pc, config_);
+    }
+    // Neighbors.
+    for (std::size_t i = 0; i < clip.neighbors.size(); ++i) {
+      const auto& drawn = clip.neighbors[i];
+      const auto printed = litho::measure_cd(result.contours, drawn.center());
+      const auto contour = geometry::contour_at(result.contours, drawn.center());
+      const geometry::Point pc =
+          contour.empty() ? drawn.center() : contour.bounding_box().center();
+      clip.neighbors_opc[i] = correct(clip.neighbors_opc[i], drawn, printed, pc, config_);
+    }
+  }
+}
+
+}  // namespace lithogan::layout

@@ -1,0 +1,55 @@
+// Optical proximity correction.
+//
+// Two engines, as in production flows:
+//   * rule-based — a constant-plus-density bias lookup, instant;
+//   * model-based — iterative: simulate, measure each contact's printed CD
+//     and center, resize/shift the mask rectangle to cancel the error.
+// The dataset pipeline runs model-based OPC (the paper's clips went through
+// Mentor Calibre OPC) so the GAN sees realistic post-RET mask geometry.
+#pragma once
+
+#include "layout/clip.hpp"
+#include "litho/simulator.hpp"
+
+namespace lithogan::layout {
+
+struct OpcConfig {
+  std::size_t iterations = 5;      ///< model-based correction passes
+  /// Fraction of the measured error corrected per pass. Deliberately small:
+  /// low-k1 contacts have a mask error enhancement factor (MEEF) of 3-4, so
+  /// aggressive damping over-relaxes and oscillates.
+  double damping = 0.3;
+  double max_bias_nm = 12.0;       ///< clamp on total edge movement
+  /// Fraction of the printed-center offset corrected per pass. Basic OPC
+  /// recipes target CD only, leaving the pattern-placement error induced by
+  /// asymmetric neighborhoods — exactly the signal LithoGAN's center CNN
+  /// learns (Sec. 3.3). Set > 0 for placement-aware OPC.
+  double placement_correction = 0.0;
+  double rule_iso_bias_nm = 4.0;   ///< rule-based: bias for isolated contacts
+  double rule_dense_bias_nm = 1.0; ///< rule-based: bias when neighbors are close
+  double rule_dense_radius_nm = 150.0;
+};
+
+class OpcEngine {
+ public:
+  explicit OpcEngine(OpcConfig config) : config_(config) {}
+
+  /// Fills target_opc / neighbors_opc with biased rectangles from the
+  /// density rule. O(contacts^2), no simulation.
+  void run_rule_based(MaskClip& clip) const;
+
+  /// Iterative model-based OPC using `sim` (which must be calibrated).
+  /// Starts from the rule-based solution, then corrects per-contact width,
+  /// height and center against the drawn shapes. SRAFs are held fixed.
+  void run_model_based(MaskClip& clip, litho::Simulator& sim) const;
+
+  const OpcConfig& config() const { return config_; }
+
+ private:
+  OpcConfig config_;
+
+  geometry::Rect biased(const geometry::Rect& drawn,
+                        const std::vector<geometry::Rect>& all_contacts) const;
+};
+
+}  // namespace lithogan::layout

@@ -1,0 +1,79 @@
+#include "layout/sraf.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace lithogan::layout {
+
+SrafInserter::SrafInserter(const litho::ProcessConfig& process, SrafConfig config)
+    : process_(process), config_(config) {
+  LITHOGAN_REQUIRE(config.bar_width_nm > 0 && config.bar_length_nm > 0, "bar size");
+  LITHOGAN_REQUIRE(config.bar_width_nm < process.contact_size_nm,
+                   "SRAF must be sub-resolution (narrower than a contact)");
+  LITHOGAN_REQUIRE(config.offset_nm > process.contact_size_nm / 2.0,
+                   "SRAF offset must clear the contact itself");
+}
+
+void SrafInserter::insert(MaskClip& clip) const {
+  clip.srafs.clear();
+  const auto contacts = clip.drawn_contacts();
+
+  const auto too_close = [&](const geometry::Rect& bar) {
+    const geometry::Rect guard = bar.inflated(config_.clearance_nm);
+    for (const auto& c : contacts) {
+      if (guard.intersects(c)) return true;
+    }
+    for (const auto& s : clip.srafs) {
+      if (guard.intersects(s)) return true;
+    }
+    return false;
+  };
+
+  for (const auto& contact : contacts) {
+    const geometry::Point c = contact.center();
+    // Candidate bars on the four sides: E, W, N, S. Vertical bars flank in
+    // x; horizontal bars flank in y.
+    struct Side {
+      geometry::Point dir;
+      bool vertical;
+    };
+    const std::array<Side, 4> sides = {{{{1.0, 0.0}, true},
+                                        {{-1.0, 0.0}, true},
+                                        {{0.0, 1.0}, false},
+                                        {{0.0, -1.0}, false}}};
+    for (const auto& side : sides) {
+      // Skip sides that already have a contact nearby.
+      bool open = true;
+      for (const auto& other : contacts) {
+        if (&other == &contact) continue;
+        const geometry::Point d = other.center() - c;
+        const double along = dot(d, side.dir);
+        const double across = std::abs(cross(d, side.dir));
+        if (along > 0 && along < config_.open_space_nm &&
+            across < config_.open_space_nm / 2.0) {
+          open = false;
+          break;
+        }
+      }
+      if (!open) continue;
+
+      const geometry::Point bar_center = c + side.dir * config_.offset_nm;
+      const geometry::Rect bar =
+          side.vertical
+              ? geometry::Rect::from_center(bar_center, config_.bar_width_nm,
+                                            config_.bar_length_nm)
+              : geometry::Rect::from_center(bar_center, config_.bar_length_nm,
+                                            config_.bar_width_nm);
+      // Keep bars inside the clip with margin.
+      if (bar.lo.x < 0 || bar.lo.y < 0 || bar.hi.x > clip.extent_nm ||
+          bar.hi.y > clip.extent_nm) {
+        continue;
+      }
+      if (too_close(bar)) continue;
+      clip.srafs.push_back(bar);
+    }
+  }
+}
+
+}  // namespace lithogan::layout

@@ -1,0 +1,39 @@
+// Rule-based sub-resolution assist feature (SRAF) insertion.
+//
+// Scattering bars are placed beside contact edges that face open space:
+// they steepen the image slope of sparse features (improving their process
+// window) without printing themselves. The rules mirror typical production
+// recipes: fixed bar width/offset, bars suppressed where a neighbor or an
+// existing bar is too close.
+#pragma once
+
+#include "layout/clip.hpp"
+#include "litho/process.hpp"
+
+namespace lithogan::layout {
+
+struct SrafConfig {
+  double bar_width_nm = 24.0;       ///< below the printing threshold
+  double bar_length_nm = 80.0;
+  double offset_nm = 90.0;          ///< contact edge to bar center
+  /// A bar is only placed when no contact lies within this distance on
+  /// that side (dense contacts assist each other already).
+  double open_space_nm = 180.0;
+  /// Minimum clearance between a new bar and any existing shape.
+  double clearance_nm = 30.0;
+};
+
+class SrafInserter {
+ public:
+  SrafInserter(const litho::ProcessConfig& process, SrafConfig config);
+
+  /// Fills clip.srafs. Pre-existing SRAFs are replaced. Bars that would
+  /// violate clearance against contacts or earlier bars are dropped.
+  void insert(MaskClip& clip) const;
+
+ private:
+  litho::ProcessConfig process_;
+  SrafConfig config_;
+};
+
+}  // namespace lithogan::layout

@@ -1,0 +1,144 @@
+#include "litho/optical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "math/fft.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::litho {
+
+FieldGrid rasterize_mask(const std::vector<geometry::Rect>& openings,
+                         const GridConfig& grid) {
+  FieldGrid out;
+  out.pixels = grid.pixels;
+  out.extent_nm = grid.extent_nm;
+  out.values.assign(grid.pixels * grid.pixels, 0.0);
+  const double dx = grid.pixel_nm();
+
+  for (const geometry::Rect& r : openings) {
+    if (r.is_empty()) continue;
+    // Pixel index range overlapped by the rectangle.
+    const auto ix0 = static_cast<std::ptrdiff_t>(std::floor(r.lo.x / dx));
+    const auto ix1 = static_cast<std::ptrdiff_t>(std::ceil(r.hi.x / dx));
+    const auto iy0 = static_cast<std::ptrdiff_t>(std::floor(r.lo.y / dx));
+    const auto iy1 = static_cast<std::ptrdiff_t>(std::ceil(r.hi.y / dx));
+    const auto n = static_cast<std::ptrdiff_t>(grid.pixels);
+    for (std::ptrdiff_t iy = std::max<std::ptrdiff_t>(iy0, 0);
+         iy < std::min(iy1, n); ++iy) {
+      const double py0 = static_cast<double>(iy) * dx;
+      const double cover_y =
+          std::max(0.0, std::min(r.hi.y, py0 + dx) - std::max(r.lo.y, py0)) / dx;
+      if (cover_y <= 0.0) continue;
+      for (std::ptrdiff_t ix = std::max<std::ptrdiff_t>(ix0, 0);
+           ix < std::min(ix1, n); ++ix) {
+        const double px0 = static_cast<double>(ix) * dx;
+        const double cover_x =
+            std::max(0.0, std::min(r.hi.x, px0 + dx) - std::max(r.lo.x, px0)) / dx;
+        if (cover_x <= 0.0) continue;
+        double& cell = out.values[static_cast<std::size_t>(iy) * grid.pixels +
+                                  static_cast<std::size_t>(ix)];
+        cell = std::min(1.0, cell + cover_x * cover_y);
+      }
+    }
+  }
+  return out;
+}
+
+OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid)
+    : grid_(grid) {
+  LITHOGAN_REQUIRE(math::is_power_of_two(grid.pixels), "grid must be power of two");
+  const std::size_t n = grid.pixels;
+  const double dx = grid.pixel_nm();
+  const double cutoff = optical.numerical_aperture / optical.wavelength_nm;  // 1/nm
+
+  const auto source = sample_source(optical);
+
+  // Frequency of FFT bin i (signed, cycles/nm).
+  const auto bin_freq = [&](std::size_t i) {
+    const auto si = static_cast<std::ptrdiff_t>(i);
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    const std::ptrdiff_t signed_i = si < half ? si : si - static_cast<std::ptrdiff_t>(n);
+    return static_cast<double>(signed_i) / (static_cast<double>(n) * dx);
+  };
+
+  const std::size_t planes = std::max<std::size_t>(1, optical.focus_planes);
+  transfer_.reserve(source.size() * planes);
+  kernel_weights_.reserve(source.size() * planes);
+
+  for (std::size_t zi = 0; zi < planes; ++zi) {
+    // Focus offsets symmetric around the (possibly shifted) focus center:
+    // offset + {0, ±step, ±2*step, ...}.
+    const double z = optical.focus_offset_nm +
+                     (static_cast<double>(zi) - static_cast<double>(planes - 1) / 2.0) *
+                         optical.focus_step_nm;
+    for (const SourcePoint& s : source) {
+      std::vector<std::complex<double>> t(n * n, {0.0, 0.0});
+      // Source offset converted to absolute frequency (1/nm).
+      const double sfx = s.fx * cutoff;
+      const double sfy = s.fy * cutoff;
+      for (std::size_t iy = 0; iy < n; ++iy) {
+        const double fy = bin_freq(iy) + sfy;
+        for (std::size_t ix = 0; ix < n; ++ix) {
+          const double fx = bin_freq(ix) + sfx;
+          const double rho2 = (fx * fx + fy * fy) / (cutoff * cutoff);
+          if (rho2 > 1.0) continue;  // outside the pupil
+          // Paraxial defocus phase: -pi * lambda * z * |f|^2.
+          double phase = -std::numbers::pi * optical.wavelength_nm * z *
+                         (fx * fx + fy * fy);
+          // Residual coma (Zernike Z8/Z7): radial (3 rho^3 - 2 rho) times
+          // cos/sin of the pupil azimuth, in waves.
+          if (optical.coma_x_waves != 0.0 || optical.coma_y_waves != 0.0) {
+            const double rho = std::sqrt(rho2);
+            const double radial = 3.0 * rho * rho2 - 2.0 * rho;
+            const double inv = rho > 1e-12 ? 1.0 / (rho * cutoff) : 0.0;
+            const double cos_t = fx * inv;
+            const double sin_t = fy * inv;
+            phase += 2.0 * std::numbers::pi * radial *
+                     (optical.coma_x_waves * cos_t + optical.coma_y_waves * sin_t);
+          }
+          t[iy * n + ix] = std::complex<double>(std::cos(phase), std::sin(phase));
+        }
+      }
+      transfer_.push_back(std::move(t));
+      kernel_weights_.push_back(s.weight / static_cast<double>(planes));
+    }
+  }
+
+  // Normalize so a fully open mask images at intensity 1: its spectrum is a
+  // DC delta, so the open-field intensity is sum_k w_k |T_k(0)|^2.
+  double open_field = 0.0;
+  for (std::size_t k = 0; k < transfer_.size(); ++k) {
+    open_field += kernel_weights_[k] * std::norm(transfer_[k][0]);
+  }
+  LITHOGAN_REQUIRE(open_field > 0.0, "no source point falls inside the pupil");
+  normalization_ = 1.0 / open_field;
+}
+
+FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
+  LITHOGAN_REQUIRE(mask.pixels == grid_.pixels, "mask grid resolution mismatch");
+  const std::size_t n = grid_.pixels;
+
+  std::vector<math::Complex> spectrum(mask.values.begin(), mask.values.end());
+  math::fft2d(spectrum, n, n, /*inverse=*/false);
+
+  FieldGrid out;
+  out.pixels = n;
+  out.extent_nm = grid_.extent_nm;
+  out.values.assign(n * n, 0.0);
+
+  std::vector<math::Complex> field(n * n);
+  for (std::size_t k = 0; k < transfer_.size(); ++k) {
+    const auto& t = transfer_[k];
+    for (std::size_t i = 0; i < field.size(); ++i) field[i] = spectrum[i] * t[i];
+    math::fft2d(field, n, n, /*inverse=*/true);
+    const double w = kernel_weights_[k] * normalization_;
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      out.values[i] += w * std::norm(field[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lithogan::litho

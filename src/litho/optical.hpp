@@ -1,0 +1,68 @@
+// Partially coherent aerial-image formation (the "optical model" stage of
+// Figure 1 in the paper).
+//
+// The model is Abbe source-point integration: for each sampled illumination
+// direction s the mask spectrum is filtered by the shifted pupil P(f + s)
+// (with a paraxial defocus phase) and the intensities of the resulting
+// coherent fields are accumulated:
+//
+//   I(x) = sum_s w_s | IFT[ P(f + s) * FT[m](f) ] (x) |^2
+//
+// which is algebraically a sum-of-coherent-systems (SOCS) with one kernel
+// per source point. Intensities are normalized so that a fully open mask
+// images to 1.0.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "geometry/primitives.hpp"
+#include "litho/process.hpp"
+#include "litho/source.hpp"
+
+namespace lithogan::litho {
+
+/// Scalar field sampled on the simulation grid (row-major, pixels^2).
+/// Grid coordinates: cell (ix, iy) covers physical nm coordinates
+/// [ix*dx, (ix+1)*dx) x [iy*dx, (iy+1)*dx) with dx = extent/pixels.
+struct FieldGrid {
+  std::size_t pixels = 0;
+  double extent_nm = 0.0;
+  std::vector<double> values;
+
+  double pixel_nm() const { return extent_nm / static_cast<double>(pixels); }
+  double& at(std::size_t ix, std::size_t iy) { return values[iy * pixels + ix]; }
+  double at(std::size_t ix, std::size_t iy) const { return values[iy * pixels + ix]; }
+};
+
+/// Rasterizes transmitting rectangles (nm coordinates, clip-local) onto the
+/// simulation grid: 1 inside chrome openings, 0 elsewhere. Area-weighted
+/// antialiasing at rectangle edges keeps sub-pixel geometry information.
+FieldGrid rasterize_mask(const std::vector<geometry::Rect>& openings,
+                         const GridConfig& grid);
+
+class OpticalModel {
+ public:
+  /// Precomputes the shifted-pupil transfer functions for every source
+  /// point x focus plane combination.
+  OpticalModel(const OpticalConfig& optical, const GridConfig& grid);
+
+  /// Aerial image of a rasterized mask. Output grid matches the input.
+  FieldGrid aerial_image(const FieldGrid& mask) const;
+
+  /// Number of coherent kernels (source points x focus planes): the main
+  /// accuracy/runtime knob (Table 4's "rigorous" uses many, compact few).
+  std::size_t kernel_count() const { return transfer_.size(); }
+
+  double pixel_nm() const { return grid_.pixel_nm(); }
+  const GridConfig& grid() const { return grid_; }
+
+ private:
+  GridConfig grid_;
+  double normalization_ = 1.0;
+  /// Frequency-domain transfer functions, one per (source point, focus).
+  std::vector<std::vector<std::complex<double>>> transfer_;
+  std::vector<double> kernel_weights_;
+};
+
+}  // namespace lithogan::litho

@@ -1,0 +1,65 @@
+#include "litho/process.hpp"
+
+#include "math/fft.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::litho {
+
+ProcessConfig ProcessConfig::n10() {
+  ProcessConfig p;
+  p.name = "N10";
+  p.optical.sigma_inner = 0.70;
+  p.optical.sigma_outer = 0.90;
+  p.optical.source_shape = SourceShape::kAnnular;
+  p.optical.coma_x_waves = 0.035;  // residual lens aberration (context-
+  p.optical.coma_y_waves = 0.020;  // dependent pattern placement error)
+  p.resist.diffusion_length_nm = 15.0;
+  p.resist.threshold = 0.225;
+  p.contact_size_nm = 60.0;
+  p.min_pitch_nm = 136.0;
+  return p;
+}
+
+ProcessConfig ProcessConfig::n7() {
+  ProcessConfig p;
+  p.name = "N7";
+  // Same 193i tool pushed harder: cross-quad illumination for tighter
+  // pitches, slightly stronger acid diffusion relative to the feature.
+  p.optical.source_shape = SourceShape::kQuadrupole;
+  p.optical.sigma_inner = 0.75;
+  p.optical.sigma_outer = 0.95;
+  p.optical.coma_x_waves = 0.030;
+  p.optical.coma_y_waves = 0.025;
+  p.resist.diffusion_length_nm = 18.0;
+  p.resist.threshold = 0.205;
+  p.resist.vtr_max_coeff = 0.30;
+  p.contact_size_nm = 60.0;  // the paper keeps 60x60 nm targets for both nodes
+  p.min_pitch_nm = 122.0;
+  return p;
+}
+
+void ProcessConfig::validate() const {
+  LITHOGAN_REQUIRE(optical.wavelength_nm > 0, "wavelength must be positive");
+  LITHOGAN_REQUIRE(optical.numerical_aperture > 0 && optical.numerical_aperture < 2.0,
+                   "NA out of range");
+  LITHOGAN_REQUIRE(optical.sigma_outer > optical.sigma_inner && optical.sigma_inner >= 0 &&
+                       optical.sigma_outer <= 1.0,
+                   "partial coherence radii must satisfy 0 <= in < out <= 1");
+  LITHOGAN_REQUIRE(optical.source_rings >= 1 && optical.source_points_per_ring >= 1,
+                   "source sampling must be non-empty");
+  LITHOGAN_REQUIRE(optical.focus_planes >= 1, "need at least one focus plane");
+  LITHOGAN_REQUIRE(resist.diffusion_length_nm >= 0, "diffusion length negative");
+  LITHOGAN_REQUIRE(resist.threshold > 0 && resist.threshold < 1,
+                   "threshold must be in (0, 1)");
+  LITHOGAN_REQUIRE(resist.vtr_window_nm > 0, "vtr window must be positive");
+  LITHOGAN_REQUIRE(grid.extent_nm > 0, "grid extent must be positive");
+  LITHOGAN_REQUIRE(math::is_power_of_two(grid.pixels),
+                   "grid resolution must be a power of two (FFT)");
+  LITHOGAN_REQUIRE(contact_size_nm > 0 && contact_size_nm < grid.extent_nm,
+                   "contact size out of range");
+  LITHOGAN_REQUIRE(min_pitch_nm > contact_size_nm, "pitch must exceed contact size");
+  LITHOGAN_REQUIRE(crop_window_nm > contact_size_nm && crop_window_nm < grid.extent_nm,
+                   "crop window out of range");
+}
+
+}  // namespace lithogan::litho

@@ -1,0 +1,87 @@
+// Lithography process descriptions.
+//
+// A ProcessConfig bundles everything the simulator needs: the imaging tool
+// (wavelength, NA, illumination), the simulation grid, the resist response,
+// and the node's nominal contact geometry. Two calibrated instances stand in
+// for the paper's N10 and N7 datasets (which came from Synopsys Sentaurus
+// models calibrated to manufactured wafers — see DESIGN.md substitutions).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lithogan::litho {
+
+/// Illumination shape. The paper's contact layers would use annular or
+/// quadrupole (cross-quad) sources; both are implemented.
+enum class SourceShape { kAnnular, kQuadrupole };
+
+struct OpticalConfig {
+  double wavelength_nm = 193.0;  ///< ArF excimer
+  double numerical_aperture = 1.35;  ///< water-immersion tool
+  SourceShape source_shape = SourceShape::kAnnular;
+  double sigma_inner = 0.70;  ///< inner partial-coherence radius
+  double sigma_outer = 0.90;  ///< outer partial-coherence radius
+  /// Number of Abbe source sample points per ring and number of rings;
+  /// total points = rings * points_per_ring. More points = more accurate
+  /// partial-coherence integration = slower ("rigorous" vs "fast").
+  std::size_t source_rings = 2;
+  std::size_t source_points_per_ring = 8;
+  /// Focus planes averaged to model exposure through the resist depth (nm
+  /// offsets from best focus). Empty means a single in-focus plane.
+  std::size_t focus_planes = 1;
+  double focus_step_nm = 40.0;
+  /// Offset of the whole focus stack from best focus (nm): the knob a
+  /// focus-exposure matrix sweeps.
+  double focus_offset_nm = 0.0;
+  /// Residual lens coma (waves, Zernike Z8/Z7 coefficients). Coma shifts
+  /// printed patterns by an amount that depends on their spatial-frequency
+  /// content — i.e. on the optical neighborhood — which is the physical
+  /// origin of the pattern-placement error LithoGAN's center CNN predicts.
+  double coma_x_waves = 0.0;
+  double coma_y_waves = 0.0;
+};
+
+/// Resist response. The latent image is the aerial image blurred by acid
+/// diffusion; development thresholds it. The variable-threshold term makes
+/// the printed contour depend on the local image environment, which is the
+/// behaviour ML resist models are built to capture.
+struct ResistConfig {
+  double diffusion_length_nm = 20.0;
+  double threshold = 0.225;          ///< base slicing threshold (open field = 1)
+  double vtr_max_coeff = 0.25;       ///< threshold shift per unit local-Imax deviation
+  double vtr_slope_coeff = 4.0;      ///< threshold shift per unit |grad I| (1/nm scale)
+  double vtr_window_nm = 160.0;      ///< neighborhood for local image statistics
+  double vtr_reference_imax = 0.40;  ///< local Imax at calibration conditions
+};
+
+struct GridConfig {
+  double extent_nm = 1024.0;  ///< simulated window edge length
+  std::size_t pixels = 256;   ///< grid resolution (power of two for the FFT)
+
+  double pixel_nm() const { return extent_nm / static_cast<double>(pixels); }
+};
+
+struct ProcessConfig {
+  std::string name;
+  OpticalConfig optical;
+  ResistConfig resist;
+  GridConfig grid;
+
+  // Node geometry (nm).
+  double contact_size_nm = 60.0;   ///< drawn target contact edge (60 nm, Sec. 3.1)
+  double min_pitch_nm = 120.0;     ///< densest contact pitch in generated layouts
+  double crop_window_nm = 128.0;   ///< golden resist crop around the target (Sec. 3.1)
+
+  /// 10 nm-node process: the paper's primary dataset (982 clips).
+  static ProcessConfig n10();
+
+  /// 7 nm-node process: tighter pitch, stronger diffusion relative to
+  /// feature size, harder imaging (979 clips in the paper).
+  static ProcessConfig n7();
+
+  /// Throws InvalidArgument when a field is out of its physical domain.
+  void validate() const;
+};
+
+}  // namespace lithogan::litho

@@ -1,0 +1,120 @@
+#include "litho/process_window.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lithogan::litho {
+
+double ProcessWindowResult::yield() const {
+  if (points.empty()) return 0.0;
+  std::size_t pass = 0;
+  for (const auto& p : points) {
+    if (p.in_spec) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(points.size());
+}
+
+double ProcessWindowResult::exposure_latitude() const {
+  double best = 0.0;
+  for (std::size_t f = 0; f < focus_steps; ++f) {
+    // Longest run of consecutive in-spec dose points at this focus.
+    double lo = 0.0;
+    double hi = -1.0;
+    double best_here = 0.0;
+    for (std::size_t d = 0; d < dose_steps; ++d) {
+      const auto& p = points[f * dose_steps + d];
+      if (p.in_spec) {
+        if (hi < lo) lo = p.dose;  // run starts
+        hi = p.dose;
+        best_here = std::max(best_here, hi - lo);
+      } else {
+        lo = 0.0;
+        hi = -1.0;
+      }
+    }
+    best = std::max(best, best_here);
+  }
+  return best;
+}
+
+ProcessWindowResult analyze_process_window(const ProcessConfig& process,
+                                           const std::vector<geometry::Rect>& mask,
+                                           const geometry::Point& target,
+                                           double target_cd_nm,
+                                           const ProcessWindowConfig& config) {
+  LITHOGAN_REQUIRE(config.dose_steps >= 1 && config.focus_steps >= 1,
+                   "process window needs at least one matrix point");
+  LITHOGAN_REQUIRE(target_cd_nm > 0, "target CD must be positive");
+
+  ProcessWindowResult result;
+  result.dose_steps = config.dose_steps;
+  result.focus_steps = config.focus_steps;
+  result.points.reserve(config.dose_steps * config.focus_steps);
+  const double tol = config.cd_tolerance_fraction * target_cd_nm;
+
+  for (std::size_t fi = 0; fi < config.focus_steps; ++fi) {
+    const double focus =
+        config.focus_steps == 1
+            ? config.focus_min_nm
+            : config.focus_min_nm + (config.focus_max_nm - config.focus_min_nm) *
+                                        static_cast<double>(fi) /
+                                        static_cast<double>(config.focus_steps - 1);
+    // Shift the focus stack: the optical model is rebuilt per focus row.
+    ProcessConfig defocused = process;
+    defocused.optical.focus_offset_nm += focus;
+    Simulator sweep_sim(defocused);
+
+    for (std::size_t di = 0; di < config.dose_steps; ++di) {
+      const double dose =
+          config.dose_steps == 1
+              ? config.dose_min
+              : config.dose_min + (config.dose_max - config.dose_min) *
+                                      static_cast<double>(di) /
+                                      static_cast<double>(config.dose_steps - 1);
+
+      ProcessWindowPoint point;
+      point.dose = dose;
+      point.focus_nm = focus;
+
+      FieldGrid aerial = sweep_sim.aerial_image(mask);
+      for (double& v : aerial.values) v *= dose;
+      const FieldGrid dev = sweep_sim.develop(aerial);
+      const auto contours = sweep_sim.contours(dev);
+      const auto cd = measure_cd(contours, target);
+      point.cd_width_nm = cd.width_nm;
+      point.cd_height_nm = cd.height_nm;
+      point.printed = cd.width_nm > 0.0;
+      point.in_spec = point.printed && std::abs(cd.width_nm - target_cd_nm) <= tol &&
+                      std::abs(cd.height_nm - target_cd_nm) <= tol;
+      result.points.push_back(point);
+    }
+  }
+  return result;
+}
+
+std::string render_window(const ProcessWindowResult& result) {
+  std::ostringstream oss;
+  oss << "focus\\dose ";
+  for (std::size_t d = 0; d < result.dose_steps; ++d) {
+    const auto& p = result.points[d];
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%5.2f ", p.dose);
+    oss << buf;
+  }
+  oss << "\n";
+  for (std::size_t f = 0; f < result.focus_steps; ++f) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "%+7.0fnm  ", result.points[f * result.dose_steps].focus_nm);
+    oss << head;
+    for (std::size_t d = 0; d < result.dose_steps; ++d) {
+      const auto& p = result.points[f * result.dose_steps + d];
+      oss << (p.in_spec ? "  ok  " : (p.printed ? " FAIL " : "  --  "));
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lithogan::litho

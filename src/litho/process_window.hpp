@@ -1,0 +1,63 @@
+// Process-window analysis: how much dose and focus variation a pattern
+// tolerates before its printed CD leaves specification. This is the
+// standard lithographic qualification tool ("FEM" — focus-exposure matrix)
+// and exercises the simulator across the process corners that rigorous
+// sign-off sweeps — context for the paper's runtime argument: every corner
+// multiplies simulation cost, which is what makes fast learned models
+// attractive.
+#pragma once
+
+#include <vector>
+
+#include "litho/simulator.hpp"
+
+namespace lithogan::litho {
+
+struct ProcessWindowConfig {
+  /// Dose is modeled as a multiplicative intensity factor; 1.0 = nominal.
+  double dose_min = 0.9;
+  double dose_max = 1.1;
+  std::size_t dose_steps = 5;
+  /// Focus offsets in nm from best focus.
+  double focus_min_nm = -60.0;
+  double focus_max_nm = 60.0;
+  std::size_t focus_steps = 5;
+  /// CD specification: |printed - target| <= tolerance passes.
+  double cd_tolerance_fraction = 0.10;
+};
+
+struct ProcessWindowPoint {
+  double dose = 1.0;
+  double focus_nm = 0.0;
+  double cd_width_nm = 0.0;
+  double cd_height_nm = 0.0;
+  bool printed = false;
+  bool in_spec = false;
+};
+
+struct ProcessWindowResult {
+  std::vector<ProcessWindowPoint> points;  ///< row-major over (focus, dose)
+  std::size_t dose_steps = 0;
+  std::size_t focus_steps = 0;
+
+  /// Fraction of matrix points in spec — a scalar window size proxy.
+  double yield() const;
+
+  /// Largest dose range (at any single focus) that stays fully in spec,
+  /// as a fraction of nominal dose (exposure latitude proxy).
+  double exposure_latitude() const;
+};
+
+/// Runs the focus-exposure matrix for `mask` around `target` (the contact
+/// whose CD is measured, clip-local nm). Dose scales the aerial image;
+/// focus rebuilds the optical model at the given defocus.
+ProcessWindowResult analyze_process_window(const ProcessConfig& process,
+                                           const std::vector<geometry::Rect>& mask,
+                                           const geometry::Point& target,
+                                           double target_cd_nm,
+                                           const ProcessWindowConfig& config);
+
+/// ASCII rendering of the pass/fail matrix (rows = focus, cols = dose).
+std::string render_window(const ProcessWindowResult& result);
+
+}  // namespace lithogan::litho

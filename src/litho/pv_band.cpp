@@ -1,0 +1,78 @@
+#include "litho/pv_band.hpp"
+
+#include <cmath>
+
+#include "geometry/rasterize.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::litho {
+
+double PvBandResult::band_area_nm2() const {
+  double band_pixels = 0.0;
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    if (outer[i] && !inner[i]) band_pixels += 1.0;
+  }
+  return band_pixels * pixel_nm * pixel_nm;
+}
+
+double PvBandResult::band_width_nm() const {
+  double inner_pixels = 0.0;
+  for (const auto v : inner) inner_pixels += v;
+  if (inner_pixels == 0.0) return 0.0;
+  // Approximate the inner region by a square: perimeter ~ 4 * sqrt(area).
+  const double inner_area = inner_pixels * pixel_nm * pixel_nm;
+  const double perimeter = 4.0 * std::sqrt(inner_area);
+  return band_area_nm2() / perimeter;
+}
+
+PvBandResult analyze_pv_band(const ProcessConfig& process,
+                             const std::vector<geometry::Rect>& mask,
+                             const PvBandConfig& config) {
+  LITHOGAN_REQUIRE(config.raster_pixels >= 8, "raster too small");
+  LITHOGAN_REQUIRE(config.dose_delta >= 0.0 && config.focus_delta_nm >= 0.0,
+                   "corner deltas must be non-negative");
+
+  struct Corner {
+    double dose;
+    double focus_nm;
+  };
+  const Corner corners[] = {{1.0, 0.0},
+                            {1.0 - config.dose_delta, 0.0},
+                            {1.0 + config.dose_delta, 0.0},
+                            {1.0, -config.focus_delta_nm},
+                            {1.0, +config.focus_delta_nm}};
+
+  PvBandResult result;
+  result.pixels = config.raster_pixels;
+  result.pixel_nm = process.grid.extent_nm / static_cast<double>(config.raster_pixels);
+  result.inner.assign(config.raster_pixels * config.raster_pixels, 1);
+  result.outer.assign(config.raster_pixels * config.raster_pixels, 0);
+
+  for (const Corner& corner : corners) {
+    ProcessConfig corner_process = process;
+    corner_process.optical.focus_offset_nm += corner.focus_nm;
+    Simulator sim(corner_process);
+
+    FieldGrid aerial = sim.aerial_image(mask);
+    for (double& v : aerial.values) v *= corner.dose;
+    const FieldGrid dev = sim.develop(aerial);
+    const auto contours = sim.contours(dev);
+
+    // Rasterize the printed region at the band resolution (contours are in
+    // nm; scale into raster pixel space).
+    const double scale = static_cast<double>(config.raster_pixels) / process.grid.extent_nm;
+    std::vector<geometry::Polygon> scaled;
+    scaled.reserve(contours.size());
+    for (const auto& c : contours) scaled.push_back(c.scaled(scale, scale));
+    const auto printed =
+        geometry::rasterize(scaled, config.raster_pixels, config.raster_pixels);
+
+    for (std::size_t i = 0; i < printed.size(); ++i) {
+      result.inner[i] = result.inner[i] && printed[i] ? 1 : 0;
+      result.outer[i] = result.outer[i] || printed[i] ? 1 : 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace lithogan::litho

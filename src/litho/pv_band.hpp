@@ -1,0 +1,47 @@
+// Process-variation (PV) band: the region swept by the printed contour as
+// dose and focus range over the process corners. The band area is the
+// standard variability metric OPC verification reports; narrow bands mean a
+// robust pattern. Complements the pass/fail process-window matrix with a
+// spatial view of variability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "litho/process_window.hpp"
+#include "litho/simulator.hpp"
+
+namespace lithogan::litho {
+
+struct PvBandConfig {
+  /// Corner set: nominal plus the four (dose, focus) extremes by default.
+  double dose_delta = 0.05;    ///< +/- dose excursion (fraction of nominal)
+  double focus_delta_nm = 40.0;
+  /// Grid resolution of the band rasters (pixels across the clip window).
+  std::size_t raster_pixels = 256;
+};
+
+struct PvBandResult {
+  /// Pixels printed at EVERY corner (the always-printed core).
+  std::vector<std::uint8_t> inner;
+  /// Pixels printed at ANY corner (the outer envelope).
+  std::vector<std::uint8_t> outer;
+  std::size_t pixels = 0;     ///< raster edge length
+  double pixel_nm = 0.0;
+
+  /// Band area in nm^2: |outer \ inner|.
+  double band_area_nm2() const;
+
+  /// Band width proxy: band area / inner contour perimeter-ish scale
+  /// (sqrt of inner area). 0 when nothing prints at all corners.
+  double band_width_nm() const;
+};
+
+/// Simulates `mask` at the five corners (nominal, dose±, focus±) and
+/// accumulates the printed-region rasters. Uses the process as given —
+/// calibrate first for meaningful results.
+PvBandResult analyze_pv_band(const ProcessConfig& process,
+                             const std::vector<geometry::Rect>& mask,
+                             const PvBandConfig& config);
+
+}  // namespace lithogan::litho

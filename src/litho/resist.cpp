@@ -1,0 +1,130 @@
+#include "litho/resist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "math/fft.hpp"
+#include "util/error.hpp"
+
+namespace lithogan::litho {
+
+FieldGrid diffuse(const FieldGrid& field, double sigma_nm) {
+  LITHOGAN_REQUIRE(sigma_nm >= 0.0, "diffusion sigma negative");
+  if (sigma_nm == 0.0) return field;
+  const std::size_t n = field.pixels;
+  const double dx = field.pixel_nm();
+
+  std::vector<math::Complex> spectrum(field.values.begin(), field.values.end());
+  math::fft2d(spectrum, n, n, /*inverse=*/false);
+
+  // FT of a unit-mass Gaussian: exp(-2 pi^2 sigma^2 |f|^2).
+  const auto bin_freq = [&](std::size_t i) {
+    const auto si = static_cast<std::ptrdiff_t>(i);
+    const auto half = static_cast<std::ptrdiff_t>(n / 2);
+    const std::ptrdiff_t signed_i = si < half ? si : si - static_cast<std::ptrdiff_t>(n);
+    return static_cast<double>(signed_i) / (static_cast<double>(n) * dx);
+  };
+  const double c = 2.0 * std::numbers::pi * std::numbers::pi * sigma_nm * sigma_nm;
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    const double fy = bin_freq(iy);
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double fx = bin_freq(ix);
+      spectrum[iy * n + ix] *= std::exp(-c * (fx * fx + fy * fy));
+    }
+  }
+  math::fft2d(spectrum, n, n, /*inverse=*/true);
+
+  FieldGrid out = field;
+  for (std::size_t i = 0; i < out.values.size(); ++i) out.values[i] = spectrum[i].real();
+  return out;
+}
+
+FieldGrid ResistModel::develop(const FieldGrid& aerial) const {
+  const FieldGrid latent = latent_image(aerial);
+  const FieldGrid threshold = threshold_field(latent);
+  FieldGrid out = latent;
+  for (std::size_t i = 0; i < out.values.size(); ++i) {
+    out.values[i] = latent.values[i] - threshold.values[i];
+  }
+  return out;
+}
+
+FieldGrid ConstantThresholdResist::latent_image(const FieldGrid& aerial) const {
+  return diffuse(aerial, config_.diffusion_length_nm);
+}
+
+FieldGrid ConstantThresholdResist::threshold_field(const FieldGrid& latent) const {
+  FieldGrid out = latent;
+  std::fill(out.values.begin(), out.values.end(), config_.threshold);
+  return out;
+}
+
+FieldGrid VariableThresholdResist::latent_image(const FieldGrid& aerial) const {
+  return diffuse(aerial, config_.diffusion_length_nm);
+}
+
+namespace {
+
+// Separable sliding-window maximum with circular wraparound (consistent with
+// the FFT's periodic boundary). Brute-force per row/column: radius is small
+// (tens of pixels) and this runs once per simulation.
+std::vector<double> window_max(const std::vector<double>& src, std::size_t n,
+                               std::size_t radius) {
+  std::vector<double> tmp(n * n);
+  // Horizontal pass.
+  for (std::size_t y = 0; y < n; ++y) {
+    const double* row = src.data() + y * n;
+    for (std::size_t x = 0; x < n; ++x) {
+      double best = row[x];
+      for (std::size_t d = 1; d <= radius; ++d) {
+        best = std::max(best, row[(x + d) % n]);
+        best = std::max(best, row[(x + n - d % n) % n]);
+      }
+      tmp[y * n + x] = best;
+    }
+  }
+  // Vertical pass.
+  std::vector<double> out(n * n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      double best = tmp[y * n + x];
+      for (std::size_t d = 1; d <= radius; ++d) {
+        best = std::max(best, tmp[((y + d) % n) * n + x]);
+        best = std::max(best, tmp[((y + n - d % n) % n) * n + x]);
+      }
+      out[y * n + x] = best;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FieldGrid VariableThresholdResist::threshold_field(const FieldGrid& latent) const {
+  const std::size_t n = latent.pixels;
+  const double dx = latent.pixel_nm();
+  const auto radius = static_cast<std::size_t>(
+      std::max(1.0, std::round(config_.vtr_window_nm / (2.0 * dx))));
+
+  const std::vector<double> local_max = window_max(latent.values, n, radius);
+
+  FieldGrid out = latent;
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      // Central-difference gradient magnitude (per nm), circular boundary.
+      const double gx = (latent.at((x + 1) % n, y) - latent.at((x + n - 1) % n, y)) /
+                        (2.0 * dx);
+      const double gy = (latent.at(x, (y + 1) % n) - latent.at(x, (y + n - 1) % n)) /
+                        (2.0 * dx);
+      const double grad = std::sqrt(gx * gx + gy * gy);
+      out.values[y * n + x] =
+          config_.threshold +
+          config_.vtr_max_coeff * (local_max[y * n + x] - config_.vtr_reference_imax) +
+          config_.vtr_slope_coeff * grad;
+    }
+  }
+  return out;
+}
+
+}  // namespace lithogan::litho

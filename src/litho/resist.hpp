@@ -1,0 +1,63 @@
+// Resist models (the "resist model" stage of Figure 1).
+//
+// Exposure deposits acid proportional to the aerial intensity; post-exposure
+// bake diffuses it (Gaussian blur); development removes resist where the
+// diffused latent image exceeds a slicing threshold. Two development models
+// are provided:
+//   * ConstantThresholdResist — the classical CTR compact model;
+//   * VariableThresholdResist — a VTR model whose local threshold depends on
+//     the local image maximum and gradient, as in Randall et al. (SPIE 1999)
+//     and the CNN-threshold line of work the paper builds on.
+#pragma once
+
+#include <memory>
+
+#include "litho/optical.hpp"
+#include "litho/process.hpp"
+
+namespace lithogan::litho {
+
+/// Gaussian blur of `field` with standard deviation `sigma_nm` (circular
+/// boundary, FFT-based — consistent with the optical model's conventions).
+FieldGrid diffuse(const FieldGrid& field, double sigma_nm);
+
+class ResistModel {
+ public:
+  virtual ~ResistModel() = default;
+
+  /// Latent image after exposure + post-exposure bake.
+  virtual FieldGrid latent_image(const FieldGrid& aerial) const = 0;
+
+  /// Locally varying slicing threshold for this latent image.
+  virtual FieldGrid threshold_field(const FieldGrid& latent) const = 0;
+
+  /// develop = latent - threshold; the printed pattern is develop >= 0 and
+  /// printed contours are the zero iso-lines of this field.
+  FieldGrid develop(const FieldGrid& aerial) const;
+};
+
+class ConstantThresholdResist : public ResistModel {
+ public:
+  explicit ConstantThresholdResist(const ResistConfig& config) : config_(config) {}
+  FieldGrid latent_image(const FieldGrid& aerial) const override;
+  FieldGrid threshold_field(const FieldGrid& latent) const override;
+
+ private:
+  ResistConfig config_;
+};
+
+class VariableThresholdResist : public ResistModel {
+ public:
+  explicit VariableThresholdResist(const ResistConfig& config) : config_(config) {}
+  FieldGrid latent_image(const FieldGrid& aerial) const override;
+
+  /// threshold(x) = t0 + c_max * (Imax_local(x) - Imax_ref)
+  ///                   + c_slope * |grad latent|(x)
+  /// where Imax_local is the latent maximum in a vtr_window_nm neighborhood.
+  FieldGrid threshold_field(const FieldGrid& latent) const override;
+
+ private:
+  ResistConfig config_;
+};
+
+}  // namespace lithogan::litho

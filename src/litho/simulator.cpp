@@ -1,0 +1,119 @@
+#include "litho/simulator.hpp"
+
+#include <cmath>
+
+#include "geometry/marching_squares.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::litho {
+
+Simulator::Simulator(const ProcessConfig& process, ResistKind resist_kind)
+    : process_(process), resist_kind_(resist_kind), optical_(process.optical, process.grid) {
+  process_.validate();
+  rebuild_resist();
+}
+
+void Simulator::rebuild_resist() {
+  if (resist_kind_ == ResistKind::kConstantThreshold) {
+    resist_ = std::make_unique<ConstantThresholdResist>(process_.resist);
+  } else {
+    resist_ = std::make_unique<VariableThresholdResist>(process_.resist);
+  }
+}
+
+FieldGrid Simulator::aerial_image(const std::vector<geometry::Rect>& mask_openings) {
+  util::Timer timer;
+  const FieldGrid mask = rasterize_mask(mask_openings, process_.grid);
+  FieldGrid aerial = optical_.aerial_image(mask);
+  timings_.add("optical", timer.elapsed_seconds());
+  return aerial;
+}
+
+FieldGrid Simulator::develop(const FieldGrid& aerial) const {
+  return resist_->develop(aerial);
+}
+
+std::vector<geometry::Polygon> Simulator::contours(const FieldGrid& develop_grid) const {
+  const double dx = develop_grid.pixel_nm();
+  // Contours come back in grid-index space; cell centers sit at (i+0.5)*dx.
+  auto raw = geometry::extract_contours(develop_grid.values, develop_grid.pixels,
+                                        develop_grid.pixels, 0.0);
+  std::vector<geometry::Polygon> out;
+  out.reserve(raw.size());
+  for (auto& poly : raw) {
+    out.push_back(poly.scaled(dx, dx).translated({dx / 2.0, dx / 2.0}));
+  }
+  return out;
+}
+
+SimulationResult Simulator::run(const std::vector<geometry::Rect>& mask_openings) {
+  SimulationResult result;
+  result.aerial = aerial_image(mask_openings);
+
+  util::Timer resist_timer;
+  result.latent = resist_->latent_image(result.aerial);
+  const FieldGrid threshold = resist_->threshold_field(result.latent);
+  result.develop = result.latent;
+  for (std::size_t i = 0; i < result.develop.values.size(); ++i) {
+    result.develop.values[i] = result.latent.values[i] - threshold.values[i];
+  }
+  timings_.add("resist", resist_timer.elapsed_seconds());
+
+  util::Timer contour_timer;
+  result.contours = contours(result.develop);
+  timings_.add("contour", contour_timer.elapsed_seconds());
+  return result;
+}
+
+double Simulator::calibrate_dose(double tolerance_nm) {
+  const double center = process_.grid.extent_nm / 2.0;
+  const std::vector<geometry::Rect> isolated = {geometry::Rect::from_center(
+      {center, center}, process_.contact_size_nm, process_.contact_size_nm)};
+
+  const FieldGrid aerial = aerial_image(isolated);
+  const double target = process_.contact_size_nm;
+
+  // Printed CD grows monotonically as the threshold drops (more of the
+  // intensity bump clears it), so bisection is safe. Track the threshold
+  // whose printed CD came closest to the target in case the tolerance is
+  // never met exactly (contour extraction quantizes the CD slightly).
+  double lo = 0.02;
+  double hi = 0.9;
+  double best_threshold = (lo + hi) / 2.0;
+  double best_error = 1e300;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    process_.resist.threshold = mid;
+    rebuild_resist();
+    const FieldGrid dev = develop(aerial);
+    const auto cs = contours(dev);
+    const auto cd = measure_cd(cs, {center, center});
+    const double printed = (cd.width_nm + cd.height_nm) / 2.0;
+    if (printed > 0.0 && std::abs(printed - target) < best_error) {
+      best_error = std::abs(printed - target);
+      best_threshold = mid;
+    }
+    if (printed <= 0.0 || printed < target) {
+      hi = mid;  // too small (or nothing printed): lower the threshold
+    } else {
+      lo = mid;
+    }
+    if (best_error <= tolerance_nm) break;
+  }
+  process_.resist.threshold = best_threshold;
+  rebuild_resist();
+  util::log_info() << "calibrated " << process_.name
+                   << " threshold=" << process_.resist.threshold;
+  return process_.resist.threshold;
+}
+
+CriticalDimension measure_cd(const std::vector<geometry::Polygon>& contours,
+                             const geometry::Point& at) {
+  const geometry::Polygon c = geometry::contour_at(contours, at);
+  if (c.empty()) return {};
+  const geometry::Rect box = c.bounding_box();
+  return {box.width(), box.height()};
+}
+
+}  // namespace lithogan::litho

@@ -1,0 +1,26 @@
+// Illumination source sampling for the Abbe (source-point integration)
+// imaging model. Each sample point is a plane-wave direction expressed as a
+// spatial-frequency offset in units of NA/lambda.
+#pragma once
+
+#include <vector>
+
+#include "litho/process.hpp"
+
+namespace lithogan::litho {
+
+/// One coherent source sample: (fx, fy) offset in normalized pupil
+/// coordinates (|f| = 1 is the pupil edge) plus an integration weight.
+struct SourcePoint {
+  double fx = 0.0;
+  double fy = 0.0;
+  double weight = 0.0;
+};
+
+/// Samples the configured source shape. Weights sum to 1. Annular sources
+/// place `source_rings` rings uniformly across [sigma_inner, sigma_outer];
+/// quadrupole sources concentrate the same rings into four 45-degree poles
+/// on the axes diagonals (cross-quad, the usual contact-hole illumination).
+std::vector<SourcePoint> sample_source(const OpticalConfig& config);
+
+}  // namespace lithogan::litho

@@ -1,0 +1,121 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace lithogan::math {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  LITHOGAN_REQUIRE(is_power_of_two(n), "fft size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& value : data) value *= scale;
+  }
+}
+
+void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool inverse) {
+  LITHOGAN_REQUIRE(data.size() == rows * cols, "fft2d size mismatch");
+  LITHOGAN_REQUIRE(is_power_of_two(rows) && is_power_of_two(cols),
+                   "fft2d dimensions must be powers of two");
+
+  std::vector<Complex> line(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    line.assign(data.begin() + static_cast<std::ptrdiff_t>(r * cols),
+                data.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
+    fft(line, inverse);
+    std::copy(line.begin(), line.end(), data.begin() + static_cast<std::ptrdiff_t>(r * cols));
+  }
+
+  std::vector<Complex> column(rows);
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 0; r < rows; ++r) column[r] = data[r * cols + c];
+    fft(column, inverse);
+    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = column[r];
+  }
+}
+
+std::vector<double> convolve2d_circular(const std::vector<double>& a,
+                                        const std::vector<double>& b,
+                                        std::size_t rows, std::size_t cols) {
+  LITHOGAN_REQUIRE(a.size() == rows * cols && b.size() == rows * cols,
+                   "convolve2d size mismatch");
+  std::vector<Complex> fa(a.begin(), a.end());
+  std::vector<Complex> fb(b.begin(), b.end());
+  fft2d(fa, rows, cols, /*inverse=*/false);
+  fft2d(fb, rows, cols, /*inverse=*/false);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  fft2d(fa, rows, cols, /*inverse=*/true);
+  std::vector<double> out(rows * cols);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fa[i].real();
+  return out;
+}
+
+std::vector<Complex> convolve2d_circular_complex(const std::vector<double>& field,
+                                                 const std::vector<Complex>& kernel,
+                                                 std::size_t rows, std::size_t cols) {
+  LITHOGAN_REQUIRE(field.size() == rows * cols && kernel.size() == rows * cols,
+                   "convolve2d size mismatch");
+  std::vector<Complex> ff(field.begin(), field.end());
+  std::vector<Complex> fk = kernel;
+  fft2d(ff, rows, cols, /*inverse=*/false);
+  fft2d(fk, rows, cols, /*inverse=*/false);
+  for (std::size_t i = 0; i < ff.size(); ++i) ff[i] *= fk[i];
+  fft2d(ff, rows, cols, /*inverse=*/true);
+  return ff;
+}
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> out(n, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle =
+          sign * 2.0 * std::numbers::pi * static_cast<double>(k * t) / static_cast<double>(n);
+      out[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  if (inverse) {
+    for (auto& value : out) value /= static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace lithogan::math

@@ -1,0 +1,75 @@
+#include "math/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lithogan::math {
+
+namespace {
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockM = 64;
+
+void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::memset(c, 0, m * n * sizeof(float));
+    return;
+  }
+  for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+          const float* b, float beta, float* c) {
+  scale_c(m, n, beta, c);
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+      const std::size_t p1 = std::min(p0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = c + i * n;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const float aval = alpha * a[i * k + p];
+          if (aval == 0.0f) continue;
+          const float* brow = b + p * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  // A is k x m row-major; we compute C[i][j] += A[p][i] * B[p][j].
+  scale_c(m, n, beta, c);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = alpha * arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void gemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+             const float* b, float beta, float* c) {
+  // B is n x k row-major; C[i][j] += A[i][p] * B[j][p] — a dot product, which
+  // keeps both streams sequential.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      // beta == 0 must not read C: it may be uninitialized (NaN propagation).
+      crow[j] = (beta == 0.0f) ? alpha * acc : alpha * acc + beta * crow[j];
+    }
+  }
+}
+
+}  // namespace lithogan::math

@@ -1,0 +1,57 @@
+#include "math/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lithogan::math {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  LITHOGAN_REQUIRE(hi > lo, "histogram range must be non-empty");
+  LITHOGAN_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (const double v : values) add(v);
+}
+
+std::int64_t Histogram::count(std::size_t bin) const {
+  LITHOGAN_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  LITHOGAN_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::string Histogram::ascii(const std::string& label, std::size_t max_bar) const {
+  std::ostringstream oss;
+  oss << label << " (n=" << total_ << ")\n";
+  const std::int64_t peak = counts_.empty()
+                                ? 0
+                                : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0
+                  : static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                             static_cast<double>(peak) *
+                                             static_cast<double>(max_bar));
+    oss << util::pad_left(util::format_fixed(bin_center(b), 2), 8) << " | "
+        << util::pad_left(std::to_string(counts_[b]), 6) << " "
+        << std::string(bar, '#') << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lithogan::math

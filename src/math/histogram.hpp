@@ -1,0 +1,40 @@
+// Fixed-bin histogram, used for the paper's Figure 7 (EDE distribution).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lithogan::math {
+
+/// Equal-width histogram over [lo, hi). Values outside the range are clamped
+/// into the first/last bin so every sample is counted.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::int64_t count(std::size_t bin) const;
+  std::int64_t total() const { return total_; }
+
+  /// Center of bin `bin`.
+  double bin_center(std::size_t bin) const;
+  double bin_width() const { return width_; }
+
+  /// ASCII rendering: one line per bin, bar of '#' proportional to count.
+  /// `label` prefixes the header. Useful for bench output.
+  std::string ascii(const std::string& label, std::size_t max_bar = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace lithogan::math

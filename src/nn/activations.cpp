@@ -1,0 +1,81 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+Tensor ReLU::forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.data()) {
+    if (v < 0.0f) v = 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(grad_output.same_shape(input_), "ReLU grad shape mismatch");
+  Tensor grad = grad_output;
+  const auto x = input_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = input;
+  for (float& v : out.data()) {
+    if (v < 0.0f) v *= slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(grad_output.same_shape(input_), "LeakyReLU grad shape mismatch");
+  Tensor grad = grad_output;
+  const auto x = input_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] *= slope_;
+  }
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.data()) v = std::tanh(v);
+  output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(grad_output.same_shape(output_), "Tanh grad shape mismatch");
+  Tensor grad = grad_output;
+  const auto y = output_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out = input;
+  for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(grad_output.same_shape(output_), "Sigmoid grad shape mismatch");
+  Tensor grad = grad_output;
+  const auto y = output_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return grad;
+}
+
+}  // namespace lithogan::nn

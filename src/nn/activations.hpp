@@ -1,0 +1,52 @@
+// Element-wise activations used by the paper's architectures: LReLU in the
+// discriminator/decoder, ReLU in the encoder/center CNN, Tanh/Sigmoid for
+// output squashing.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace lithogan::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  Tensor input_;
+};
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;  ///< tanh' = 1 - y^2, so caching the output suffices
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace lithogan::nn

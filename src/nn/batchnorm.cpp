@@ -1,0 +1,143 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+
+namespace lithogan::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma", Tensor::ones({channels})),
+      beta_("bn.beta", Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::ones({channels})) {}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == channels_,
+                   "BatchNorm2d input shape " + input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t plane = input.dim(2) * input.dim(3);
+  const std::size_t per_channel = batch * plane;
+  cached_shape_ = input.shape();
+  cached_training_ = training_;
+
+  Tensor output(input.shape());
+  xhat_ = Tensor(input.shape());
+  inv_std_.assign(channels_, 0.0f);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean = 0.0f;
+    float var = 0.0f;
+    if (training_) {
+      double sum = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* x = input.raw() + (n * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) sum += x[i];
+      }
+      mean = static_cast<float>(sum / static_cast<double>(per_channel));
+      double ss = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* x = input.raw() + (n * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          const double d = x[i] - mean;
+          ss += d * d;
+        }
+      }
+      var = static_cast<float>(ss / static_cast<double>(per_channel));
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      // Unbiased variance for the running estimate (PyTorch convention).
+      const float unbias = per_channel > 1
+                               ? var * static_cast<float>(per_channel) /
+                                     static_cast<float>(per_channel - 1)
+                               : var;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * unbias;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* x = input.raw() + (n * channels_ + c) * plane;
+      float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+      float* y = output.raw() + (n * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        xh[i] = (x[i] - mean) * inv_std;
+        y[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!xhat_.empty(), "BatchNorm2d::backward before forward");
+  LITHOGAN_REQUIRE(grad_output.shape() == cached_shape_,
+                   "BatchNorm2d grad shape " + grad_output.shape_string());
+  const std::size_t batch = cached_shape_[0];
+  const std::size_t plane = cached_shape_[2] * cached_shape_[3];
+  const std::size_t per_channel = batch * plane;
+  const auto m = static_cast<float>(per_channel);
+
+  Tensor grad_input(cached_shape_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // dgamma = sum(dy * xhat), dbeta = sum(dy).
+    double dg = 0.0;
+    double db = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const float* gy = grad_output.raw() + (n * channels_ + c) * plane;
+      const float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        dg += static_cast<double>(gy[i]) * xh[i];
+        db += gy[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dg);
+    beta_.grad[c] += static_cast<float>(db);
+
+    const float g = gamma_.value[c];
+    const float inv_std = inv_std_[c];
+    if (cached_training_) {
+      // dx = (g/std) * (dy - mean(dy) - xhat * mean(dy*xhat))
+      const float mean_dy = static_cast<float>(db) / m;
+      const float mean_dy_xhat = static_cast<float>(dg) / m;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* gy = grad_output.raw() + (n * channels_ + c) * plane;
+        const float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+        float* gx = grad_input.raw() + (n * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          gx[i] = g * inv_std * (gy[i] - mean_dy - xh[i] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Statistics are constants in eval mode.
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* gy = grad_output.raw() + (n * channels_ + c) * plane;
+        float* gx = grad_input.raw() + (n * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) gx[i] = g * inv_std * gy[i];
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::save_state(std::ostream& os) const {
+  Module::save_state(os);
+  util::write_f32_array(os, running_mean_.raw(), running_mean_.size());
+  util::write_f32_array(os, running_var_.raw(), running_var_.size());
+}
+
+void BatchNorm2d::load_state(std::istream& is) {
+  Module::load_state(is);
+  util::read_f32_array(is, running_mean_.raw(), running_mean_.size());
+  util::read_f32_array(is, running_var_.raw(), running_var_.size());
+}
+
+}  // namespace lithogan::nn

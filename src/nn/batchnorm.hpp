@@ -1,0 +1,44 @@
+// Batch normalization over (N, H, W) per channel (Ioffe & Szegedy, 2015).
+// The paper applies BN selectively inside both the generator and the
+// discriminator (Table 1) and after every conv of the center CNN (Table 2).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace lithogan::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f, float eps = 1e-5f);
+
+  /// Training mode normalizes by batch statistics and updates running
+  /// estimates; eval mode uses the running estimates.
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::string kind() const override { return "BatchNorm2d"; }
+
+  /// Running statistics are persistent (non-learnable) state.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward cache (training mode).
+  Tensor xhat_;
+  std::vector<float> inv_std_;
+  std::vector<std::size_t> cached_shape_;
+  bool cached_training_ = true;
+};
+
+}  // namespace lithogan::nn

@@ -1,0 +1,195 @@
+#include "nn/conv.hpp"
+
+#include "math/gemm.hpp"
+#include "nn/im2col.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::nn {
+
+namespace {
+constexpr float kInitStddev = 0.02f;  // DCGAN / pix2pix weight initialization
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t pad, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.weight",
+              Tensor::randn({out_channels, in_channels * kernel * kernel}, rng,
+                            kInitStddev)),
+      bias_("conv.bias", Tensor::zeros({out_channels})) {}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
+                   "Conv2d input shape " + input.shape_string());
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t h = input.dim(2);
+  const std::size_t w = input.dim(3);
+  const std::size_t out_h = conv_out_size(h, kernel_, stride_, pad_);
+  const std::size_t out_w = conv_out_size(w, kernel_, stride_, pad_);
+  const std::size_t cols = out_h * out_w;
+  const std::size_t rows = in_channels_ * kernel_ * kernel_;
+
+  Tensor output({batch, out_channels_, out_h, out_w});
+  std::vector<float> col(rows * cols);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* x = input.raw() + n * in_channels_ * h * w;
+    float* y = output.raw() + n * out_channels_ * cols;
+    im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
+    math::gemm(out_channels_, cols, rows, 1.0f, weight_.value.raw(), col.data(), 0.0f, y);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[oc];
+      float* plane = y + oc * cols;
+      for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!input_.empty(), "Conv2d::backward before forward");
+  const std::size_t batch = input_.dim(0);
+  const std::size_t h = input_.dim(2);
+  const std::size_t w = input_.dim(3);
+  const std::size_t out_h = conv_out_size(h, kernel_, stride_, pad_);
+  const std::size_t out_w = conv_out_size(w, kernel_, stride_, pad_);
+  const std::size_t cols = out_h * out_w;
+  const std::size_t rows = in_channels_ * kernel_ * kernel_;
+  LITHOGAN_REQUIRE(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
+                       grad_output.dim(1) == out_channels_ &&
+                       grad_output.dim(2) == out_h && grad_output.dim(3) == out_w,
+                   "Conv2d grad shape " + grad_output.shape_string());
+
+  Tensor grad_input(input_.shape());
+  std::vector<float> col(rows * cols);
+  std::vector<float> grad_col(rows * cols);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* x = input_.raw() + n * in_channels_ * h * w;
+    const float* gy = grad_output.raw() + n * out_channels_ * cols;
+    float* gx = grad_input.raw() + n * in_channels_ * h * w;
+
+    // Weight gradient: dW += dY * Col^T (Col is recomputed, trading FLOPs
+    // for not caching one col matrix per sample).
+    im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
+    math::gemm_bt(out_channels_, rows, cols, 1.0f, gy, col.data(), 1.0f,
+                  weight_.grad.raw());
+
+    // Bias gradient: channel-wise sums of dY.
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = gy + oc * cols;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < cols; ++i) acc += plane[i];
+      bias_.grad[oc] += acc;
+    }
+
+    // Data gradient: dCol = W^T * dY, then scatter back.
+    math::gemm_at(rows, cols, out_channels_, 1.0f, weight_.value.raw(), gy, 0.0f,
+                  grad_col.data());
+    col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, pad_, gx);
+  }
+  return grad_input;
+}
+
+// ---------------------------------------------------------------------------
+// ConvTranspose2d
+// ---------------------------------------------------------------------------
+
+ConvTranspose2d::ConvTranspose2d(std::size_t in_channels, std::size_t out_channels,
+                                 std::size_t kernel, std::size_t stride, std::size_t pad,
+                                 std::size_t output_pad, util::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      output_pad_(output_pad),
+      weight_("deconv.weight",
+              Tensor::randn({in_channels, out_channels * kernel * kernel}, rng,
+                            kInitStddev)),
+      bias_("deconv.bias", Tensor::zeros({out_channels})) {}
+
+Tensor ConvTranspose2d::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
+                   "ConvTranspose2d input shape " + input.shape_string());
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t in_h = input.dim(2);
+  const std::size_t in_w = input.dim(3);
+  out_h_ = deconv_out_size(in_h, kernel_, stride_, pad_, output_pad_);
+  out_w_ = deconv_out_size(in_w, kernel_, stride_, pad_, output_pad_);
+  // The transposed conv is the adjoint of a conv with identical geometry
+  // mapping the (out_h_, out_w_) grid down to (in_h, in_w).
+  LITHOGAN_REQUIRE(conv_out_size(out_h_, kernel_, stride_, pad_) == in_h &&
+                       conv_out_size(out_w_, kernel_, stride_, pad_) == in_w,
+                   "inconsistent deconv geometry");
+
+  const std::size_t cols = in_h * in_w;                         // columns of Col
+  const std::size_t rows = out_channels_ * kernel_ * kernel_;   // rows of Col
+  const std::size_t out_plane = out_h_ * out_w_;
+
+  Tensor output({batch, out_channels_, out_h_, out_w_});
+  std::vector<float> col(rows * cols);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* x = input.raw() + n * in_channels_ * cols;
+    float* y = output.raw() + n * out_channels_ * out_plane;
+    // Col = W^T * X, then scatter-add into the enlarged output grid.
+    math::gemm_at(rows, cols, in_channels_, 1.0f, weight_.value.raw(), x, 0.0f,
+                  col.data());
+    col2im(col.data(), out_channels_, out_h_, out_w_, kernel_, stride_, pad_, y);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float b = bias_.value[oc];
+      float* plane = y + oc * out_plane;
+      for (std::size_t i = 0; i < out_plane; ++i) plane[i] += b;
+    }
+  }
+  return output;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!input_.empty(), "ConvTranspose2d::backward before forward");
+  const std::size_t batch = input_.dim(0);
+  const std::size_t in_h = input_.dim(2);
+  const std::size_t in_w = input_.dim(3);
+  const std::size_t cols = in_h * in_w;
+  const std::size_t rows = out_channels_ * kernel_ * kernel_;
+  const std::size_t out_plane = out_h_ * out_w_;
+  LITHOGAN_REQUIRE(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
+                       grad_output.dim(1) == out_channels_ &&
+                       grad_output.dim(2) == out_h_ && grad_output.dim(3) == out_w_,
+                   "ConvTranspose2d grad shape " + grad_output.shape_string());
+
+  Tensor grad_input(input_.shape());
+  std::vector<float> grad_col(rows * cols);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* x = input_.raw() + n * in_channels_ * cols;
+    const float* gy = grad_output.raw() + n * out_channels_ * out_plane;
+    float* gx = grad_input.raw() + n * in_channels_ * cols;
+
+    // Gather the output gradient into column form (the adjoint of the
+    // forward col2im), then one GEMM each for data and weight gradients.
+    im2col(gy, out_channels_, out_h_, out_w_, kernel_, stride_, pad_, grad_col.data());
+    math::gemm(in_channels_, cols, rows, 1.0f, weight_.value.raw(), grad_col.data(),
+               0.0f, gx);
+    math::gemm_bt(in_channels_, rows, cols, 1.0f, x, grad_col.data(), 1.0f,
+                  weight_.grad.raw());
+
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float* plane = gy + oc * out_plane;
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < out_plane; ++i) acc += plane[i];
+      bias_.grad[oc] += acc;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace lithogan::nn

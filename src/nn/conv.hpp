@@ -1,0 +1,70 @@
+// 2-D convolution and transposed convolution, the backbone of the paper's
+// generator encoder/decoder (Table 1: 5x5 filters, stride 2) and of the
+// discriminator and center-prediction CNN.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace lithogan::util {
+class Rng;
+}
+
+namespace lithogan::nn {
+
+/// Standard cross-correlation convolution with square kernel, symmetric
+/// zero padding and square stride (the only shapes the paper uses).
+class Conv2d : public Module {
+ public:
+  /// Weights ~ N(0, 0.02), biases zero (DCGAN initialization).
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "Conv2d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  Parameter weight_;  ///< (out, in*k*k)
+  Parameter bias_;    ///< (out)
+  Tensor input_;      ///< cached forward input
+};
+
+/// Transposed convolution ("Deconv" in the paper's Table 1); exactly the
+/// adjoint of Conv2d with the same geometry. output_pad selects among the
+/// stride-many valid output sizes; the paper's 5x5/stride-2 layers use
+/// pad=2, output_pad=1 so each layer doubles the resolution.
+class ConvTranspose2d : public Module {
+ public:
+  ConvTranspose2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+                  std::size_t stride, std::size_t pad, std::size_t output_pad,
+                  util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "ConvTranspose2d"; }
+
+ private:
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  std::size_t output_pad_;
+  Parameter weight_;  ///< (in, out*k*k)
+  Parameter bias_;    ///< (out)
+  Tensor input_;
+  std::size_t out_h_ = 0;  ///< cached forward output extent
+  std::size_t out_w_ = 0;
+};
+
+}  // namespace lithogan::nn

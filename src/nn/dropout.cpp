@@ -1,0 +1,39 @@
+#include "nn/dropout.hpp"
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+Dropout::Dropout(float p, util::Rng rng) : p_(p), rng_(rng) {
+  LITHOGAN_REQUIRE(p >= 0.0f && p < 1.0f, "dropout probability must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training_ || p_ == 0.0f) {
+    mask_ = Tensor();  // identity in eval mode
+    return input;
+  }
+  const float keep_scale = 1.0f / (1.0f - p_);
+  mask_ = Tensor(input.shape());
+  Tensor out = input;
+  auto m = mask_.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const float s = rng_.bernoulli(p_) ? 0.0f : keep_scale;
+    m[i] = s;
+    o[i] *= s;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;  // forward ran in eval mode
+  LITHOGAN_REQUIRE(grad_output.same_shape(mask_), "Dropout grad shape mismatch");
+  Tensor grad = grad_output;
+  const auto m = mask_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= m[i];
+  return grad;
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,26 @@
+// Inverted dropout. In the pix2pix-style CGAN the decoder dropout doubles as
+// the generator's stochastic input z (the paper's G(x, z)); we follow the
+// convention of disabling it at inference so predictions are deterministic.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::nn {
+
+class Dropout : public Module {
+ public:
+  /// `p` is the drop probability; kept units are scaled by 1/(1-p).
+  Dropout(float p, util::Rng rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  util::Rng rng_;
+  Tensor mask_;  ///< per-element keep-scale applied in forward
+};
+
+}  // namespace lithogan::nn

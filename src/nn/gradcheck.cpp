@@ -1,0 +1,99 @@
+#include "nn/gradcheck.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+namespace {
+double weighted_sum(const Tensor& out, const Tensor& weights) {
+  LITHOGAN_REQUIRE(out.same_shape(weights), "gradcheck output weight shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    acc += static_cast<double>(out[i]) * weights[i];
+  }
+  return acc;
+}
+
+// Relative error, floored at magnitude 1 so tiny gradients are compared
+// absolutely (pure absolute error penalizes large-magnitude gradients for
+// float32 rounding; pure relative error blows up near zero).
+double grad_error(double analytic, double numeric) {
+  const double scale = std::max({1.0, std::abs(analytic), std::abs(numeric)});
+  return std::abs(analytic - numeric) / scale;
+}
+}  // namespace
+
+GradCheckResult check_gradients(Module& module, const Tensor& input,
+                                const Tensor& output_weights, double epsilon,
+                                double tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass. backward(weights) gives d(sum(w.*y))/d(input) and
+  // accumulates the matching parameter gradients.
+  zero_grads(module.parameters());
+  const Tensor out = module.forward(input);
+  const Tensor analytic_input_grad = module.backward(output_weights);
+
+  // Snapshot parameter grads (they would be re-accumulated by later passes).
+  std::vector<Tensor> analytic_param_grads;
+  for (Parameter* p : module.parameters()) analytic_param_grads.push_back(p->grad);
+
+  // Numeric input gradient.
+  Tensor probe = input;
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const float saved = probe[i];
+    probe[i] = saved + static_cast<float>(epsilon);
+    const double plus = weighted_sum(module.forward(probe), output_weights);
+    probe[i] = saved - static_cast<float>(epsilon);
+    const double minus = weighted_sum(module.forward(probe), output_weights);
+    probe[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    const double err = grad_error(analytic_input_grad[i], numeric);
+    if (err > result.max_input_error) {
+      result.max_input_error = err;
+      if (err > tolerance) {
+        std::ostringstream oss;
+        oss << "input[" << i << "]: analytic=" << analytic_input_grad[i]
+            << " numeric=" << numeric;
+        result.detail = oss.str();
+      }
+    }
+  }
+
+  // Numeric parameter gradients.
+  const auto params = module.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter& p = *params[pi];
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float saved = p.value[i];
+      p.value[i] = saved + static_cast<float>(epsilon);
+      const double plus = weighted_sum(module.forward(input), output_weights);
+      p.value[i] = saved - static_cast<float>(epsilon);
+      const double minus = weighted_sum(module.forward(input), output_weights);
+      p.value[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double err = grad_error(analytic_param_grads[pi][i], numeric);
+      if (err > result.max_param_error) {
+        result.max_param_error = err;
+        if (err > tolerance) {
+          std::ostringstream oss;
+          oss << p.name << "[" << i << "]: analytic=" << analytic_param_grads[pi][i]
+              << " numeric=" << numeric;
+          result.detail = oss.str();
+        }
+      }
+    }
+  }
+
+  result.passed =
+      result.max_input_error <= tolerance && result.max_param_error <= tolerance;
+  // Restore a consistent forward cache for any caller that continues using
+  // the module.
+  module.forward(input);
+  return result;
+}
+
+}  // namespace lithogan::nn

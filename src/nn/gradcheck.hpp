@@ -1,0 +1,33 @@
+// Numeric gradient verification. Every layer's hand-written backward pass
+// is validated in the test suite against central finite differences of a
+// scalar loss; this utility implements the machinery once.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace lithogan::nn {
+
+struct GradCheckResult {
+  bool passed = true;
+  double max_input_error = 0.0;   ///< worst |analytic - numeric| over inputs
+  double max_param_error = 0.0;   ///< worst over all parameters
+  std::string detail;             ///< description of the worst offender
+};
+
+/// Checks d(loss)/d(input) and d(loss)/d(params) of `module` at `input`,
+/// where loss = sum(w .* forward(input)) for a fixed random weighting w
+/// (so the loss is sensitive to every output element).
+///
+/// `epsilon` is the finite-difference step; `tolerance` bounds the allowed
+/// error, measured as |analytic - numeric| / max(1, |analytic|, |numeric|).
+/// Single layers pass comfortably at the default; deep stacks containing
+/// activation kinks (ReLU family) may need a looser tolerance because a
+/// finite step can flip a unit across its kink.
+GradCheckResult check_gradients(Module& module, const Tensor& input,
+                                const Tensor& output_weights, double epsilon = 1e-3,
+                                double tolerance = 2e-2);
+
+}  // namespace lithogan::nn

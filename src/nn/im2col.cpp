@@ -1,0 +1,92 @@
+#include "nn/im2col.hpp"
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
+                          std::size_t pad) {
+  LITHOGAN_REQUIRE(in + 2 * pad >= kernel, "kernel larger than padded input");
+  LITHOGAN_REQUIRE(stride >= 1, "stride must be >= 1");
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+std::size_t deconv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
+                            std::size_t pad, std::size_t output_pad) {
+  LITHOGAN_REQUIRE(stride >= 1, "stride must be >= 1");
+  LITHOGAN_REQUIRE(output_pad < stride, "output_pad must be < stride");
+  const std::size_t grown = (in - 1) * stride + kernel + output_pad;
+  LITHOGAN_REQUIRE(grown >= 2 * pad, "padding too large for deconv output");
+  return grown - 2 * pad;
+}
+
+void im2col(const float* src, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride, std::size_t pad,
+            float* col) {
+  const std::size_t out_h = conv_out_size(height, kernel, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel, stride, pad);
+  const std::size_t plane = height * width;
+  const std::size_t out_plane = out_h * out_w;
+
+  // Row r of `col` corresponds to (channel c, kernel tap ky, kx); column is
+  // the output position (oy, ox).
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* src_plane = src + c * plane;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx, ++row) {
+        float* out_row = col + row * out_plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) out_row[oy * out_w + ox] = 0.0f;
+            continue;
+          }
+          const float* src_row = src_plane + static_cast<std::size_t>(iy) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            out_row[oy * out_w + ox] =
+                (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width))
+                    ? 0.0f
+                    : src_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kernel, std::size_t stride, std::size_t pad,
+            float* dst) {
+  const std::size_t out_h = conv_out_size(height, kernel, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel, stride, pad);
+  const std::size_t plane = height * width;
+  const std::size_t out_plane = out_h * out_w;
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* dst_plane = dst + c * plane;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx, ++row) {
+        const float* col_row = col + row * out_plane;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) continue;
+          float* dst_row = dst_plane + static_cast<std::size_t>(iy) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width)) continue;
+            dst_row[static_cast<std::size_t>(ix)] += col_row[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lithogan::nn

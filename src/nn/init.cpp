@@ -1,0 +1,36 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace lithogan::nn {
+
+void init_normal(Module& module, util::Rng& rng, float stddev, float mean) {
+  for (Parameter* p : module.parameters()) {
+    for (float& v : p->value.data()) {
+      v = static_cast<float>(rng.normal(mean, stddev));
+    }
+  }
+}
+
+void init_xavier_uniform(Module& module, util::Rng& rng) {
+  for (Parameter* p : module.parameters()) {
+    const auto& shape = p->value.shape();
+    if (shape.size() < 2) {
+      p->value.zero();  // biases
+      continue;
+    }
+    const auto fan_out = static_cast<double>(shape[0]);
+    double fan_in = 1.0;
+    for (std::size_t i = 1; i < shape.size(); ++i) fan_in *= static_cast<double>(shape[i]);
+    const double a = std::sqrt(6.0 / (fan_in + fan_out));
+    for (float& v : p->value.data()) {
+      v = static_cast<float>(rng.uniform(-a, a));
+    }
+  }
+}
+
+void init_constant(Module& module, float value) {
+  for (Parameter* p : module.parameters()) p->value.fill(value);
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,22 @@
+// Weight re-initialization helpers. Layers self-initialize with the DCGAN
+// scheme at construction; these utilities support experiments that sweep
+// initialization (and tests that need deterministic weights).
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::nn {
+
+/// Fills every parameter with i.i.d. N(mean, stddev) draws.
+void init_normal(Module& module, util::Rng& rng, float stddev = 0.02f, float mean = 0.0f);
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6/(fan_in + fan_out)),
+/// treating dimension 0 as fan_out and the rest as fan_in.
+void init_xavier_uniform(Module& module, util::Rng& rng);
+
+/// Sets every parameter to `value`; handy for making layers deterministic
+/// in unit tests.
+void init_constant(Module& module, float value);
+
+}  // namespace lithogan::nn

@@ -1,0 +1,97 @@
+#include "nn/instancenorm.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+InstanceNorm2d::InstanceNorm2d(std::size_t channels, float eps, bool affine)
+    : channels_(channels),
+      eps_(eps),
+      affine_(affine),
+      gamma_("in.gamma", Tensor::ones({channels})),
+      beta_("in.beta", Tensor::zeros({channels})) {}
+
+std::vector<Parameter*> InstanceNorm2d::parameters() {
+  if (!affine_) return {};
+  return {&gamma_, &beta_};
+}
+
+Tensor InstanceNorm2d::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == channels_,
+                   "InstanceNorm2d input shape " + input.shape_string());
+  const std::size_t batch = input.dim(0);
+  const std::size_t plane = input.dim(2) * input.dim(3);
+  LITHOGAN_REQUIRE(plane > 1, "InstanceNorm2d needs spatial extent > 1");
+  cached_shape_ = input.shape();
+
+  Tensor output(input.shape());
+  xhat_ = Tensor(input.shape());
+  inv_std_.assign(batch * channels_, 0.0f);
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* x = input.raw() + (n * channels_ + c) * plane;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) sum += x[i];
+      const float mean = static_cast<float>(sum / static_cast<double>(plane));
+      double ss = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const double d = x[i] - mean;
+        ss += d * d;
+      }
+      const float var = static_cast<float>(ss / static_cast<double>(plane));
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      inv_std_[n * channels_ + c] = inv_std;
+
+      const float g = affine_ ? gamma_.value[c] : 1.0f;
+      const float b = affine_ ? beta_.value[c] : 0.0f;
+      float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+      float* y = output.raw() + (n * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        xh[i] = (x[i] - mean) * inv_std;
+        y[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor InstanceNorm2d::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!xhat_.empty(), "InstanceNorm2d::backward before forward");
+  LITHOGAN_REQUIRE(grad_output.shape() == cached_shape_,
+                   "InstanceNorm2d grad shape " + grad_output.shape_string());
+  const std::size_t batch = cached_shape_[0];
+  const std::size_t plane = cached_shape_[2] * cached_shape_[3];
+  const auto m = static_cast<float>(plane);
+
+  Tensor grad_input(cached_shape_);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* gy = grad_output.raw() + (n * channels_ + c) * plane;
+      const float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+      double dg = 0.0;
+      double db = 0.0;
+      for (std::size_t i = 0; i < plane; ++i) {
+        dg += static_cast<double>(gy[i]) * xh[i];
+        db += gy[i];
+      }
+      if (affine_) {
+        gamma_.grad[c] += static_cast<float>(dg);
+        beta_.grad[c] += static_cast<float>(db);
+      }
+      const float g = affine_ ? gamma_.value[c] : 1.0f;
+      const float inv_std = inv_std_[n * channels_ + c];
+      const float mean_dy = static_cast<float>(db) / m;
+      const float mean_dy_xhat = static_cast<float>(dg) / m;
+      float* gx = grad_input.raw() + (n * channels_ + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        gx[i] = g * inv_std * (gy[i] - mean_dy - xh[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,33 @@
+// Instance normalization (Ulyanov et al., 2016): per-sample, per-channel
+// normalization over (H, W). The pix2pix lineage prefers it over batch
+// norm at the small batch sizes GAN training uses (the paper trains with
+// batch 4, where BN statistics are noisy); provided for architecture
+// experiments alongside BatchNorm2d.
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace lithogan::nn {
+
+class InstanceNorm2d : public Module {
+ public:
+  explicit InstanceNorm2d(std::size_t channels, float eps = 1e-5f, bool affine = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::string kind() const override { return "InstanceNorm2d"; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  bool affine_;
+  Parameter gamma_;
+  Parameter beta_;
+
+  Tensor xhat_;
+  std::vector<float> inv_std_;  ///< one per (sample, channel)
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace lithogan::nn

@@ -1,0 +1,69 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "math/gemm.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("linear.weight",
+              Tensor::randn({out_features, in_features}, rng, 0.02f)),
+      bias_("linear.bias", Tensor::zeros({out_features})) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() == 2 && input.dim(1) == in_features_,
+                   "Linear input shape " + input.shape_string());
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  Tensor output({batch, out_features_});
+  // y = x W^T : (N, in) x (out, in)^T
+  math::gemm_bt(batch, out_features_, in_features_, 1.0f, input.raw(),
+                weight_.value.raw(), 0.0f, output.raw());
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* row = output.raw() + n * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+  }
+  return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!input_.empty(), "Linear::backward before forward");
+  const std::size_t batch = input_.dim(0);
+  LITHOGAN_REQUIRE(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                       grad_output.dim(1) == out_features_,
+                   "Linear grad shape " + grad_output.shape_string());
+
+  // dW += dY^T X : (out, N)^T-form via gemm_at with A = dY (N x out).
+  math::gemm_at(out_features_, in_features_, batch, 1.0f, grad_output.raw(),
+                input_.raw(), 1.0f, weight_.grad.raw());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.raw() + n * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+  }
+
+  // dX = dY W : (N, out) x (out, in)
+  Tensor grad_input({batch, in_features_});
+  math::gemm(batch, in_features_, out_features_, 1.0f, grad_output.raw(),
+             weight_.value.raw(), 0.0f, grad_input.raw());
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  LITHOGAN_REQUIRE(input.rank() >= 2, "Flatten needs rank >= 2");
+  input_shape_ = input.shape();
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < input.rank(); ++i) rest *= input.dim(i);
+  return input.reshaped({input.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  LITHOGAN_REQUIRE(!input_shape_.empty(), "Flatten::backward before forward");
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace lithogan::nn

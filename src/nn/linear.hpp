@@ -1,0 +1,45 @@
+// Fully connected layer and the Flatten adapter that feeds it from conv
+// feature maps (used by the discriminator head and the center CNN).
+#pragma once
+
+#include "nn/module.hpp"
+
+namespace lithogan::util {
+class Rng;
+}
+
+namespace lithogan::nn {
+
+/// y = x W^T + b with x of shape (N, in_features).
+class Linear : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string kind() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Parameter weight_;  ///< (out, in)
+  Parameter bias_;    ///< (out)
+  Tensor input_;
+};
+
+/// Collapses (N, C, H, W) — or any rank >= 2 — to (N, rest).
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace lithogan::nn

@@ -1,0 +1,68 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+LossResult l1_loss(const Tensor& pred, const Tensor& target) {
+  LITHOGAN_REQUIRE(pred.same_shape(target), "l1_loss shape mismatch");
+  LossResult r;
+  r.grad = Tensor(pred.shape());
+  const auto p = pred.data();
+  const auto t = target.data();
+  auto g = r.grad.data();
+  const double inv_n = 1.0 / static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    r.value += std::abs(static_cast<double>(d));
+    g[i] = static_cast<float>((d > 0.0f ? 1.0 : (d < 0.0f ? -1.0 : 0.0)) * inv_n);
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  LITHOGAN_REQUIRE(pred.same_shape(target), "mse_loss shape mismatch");
+  LossResult r;
+  r.grad = Tensor(pred.shape());
+  const auto p = pred.data();
+  const auto t = target.data();
+  auto g = r.grad.data();
+  const double inv_n = 1.0 / static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    r.value += d * d;
+    g[i] = static_cast<float>(2.0 * d * inv_n);
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target) {
+  LITHOGAN_REQUIRE(logits.same_shape(target), "bce shape mismatch");
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  const auto x = logits.data();
+  const auto t = target.data();
+  auto g = r.grad.data();
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // loss = max(x,0) - x*t + log(1 + exp(-|x|)) — the standard stable form.
+    const double xv = x[i];
+    const double tv = t[i];
+    r.value += std::max(xv, 0.0) - xv * tv + std::log1p(std::exp(-std::abs(xv)));
+    const double sigmoid = 1.0 / (1.0 + std::exp(-xv));
+    g[i] = static_cast<float>((sigmoid - tv) * inv_n);
+  }
+  r.value *= inv_n;
+  return r;
+}
+
+LossResult bce_with_logits_loss(const Tensor& logits, float label) {
+  Tensor target(logits.shape(), label);
+  return bce_with_logits_loss(logits, target);
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,30 @@
+// Loss functions of the CGAN objective (Eq. 1-3 of the paper): binary
+// cross-entropy for the adversarial terms and the l1 reconstruction term
+// weighted by lambda. MSE is provided for the center-CNN regression and the
+// l2 ablation.
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace lithogan::nn {
+
+/// Scalar loss value plus its gradient with respect to the prediction.
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;
+};
+
+/// Mean |pred - target|. Subgradient 0 at exact ties.
+LossResult l1_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean (pred - target)^2.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Mean binary cross-entropy on raw logits (numerically stable log-sum-exp
+/// form). `target` entries are labels in [0, 1]; typically all-0 or all-1.
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target);
+
+/// Convenience: BCE against a constant label.
+LossResult bce_with_logits_loss(const Tensor& logits, float label);
+
+}  // namespace lithogan::nn

@@ -1,0 +1,36 @@
+#include "nn/module.hpp"
+
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+
+namespace lithogan::nn {
+
+void Module::save_state(std::ostream& os) const {
+  // Default: persist every learnable parameter, shape-checked on load.
+  auto self = const_cast<Module*>(this);  // parameters() is logically const here
+  for (const Parameter* p : self->parameters()) {
+    util::write_u64(os, p->value.size());
+    util::write_f32_array(os, p->value.raw(), p->value.size());
+  }
+}
+
+void Module::load_state(std::istream& is) {
+  for (Parameter* p : parameters()) {
+    const std::uint64_t n = util::read_u64(is);
+    LITHOGAN_REQUIRE(n == p->value.size(),
+                     "parameter size mismatch while loading " + p->name);
+    util::read_f32_array(is, p->value.raw(), p->value.size());
+  }
+}
+
+void zero_grads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->grad.zero();
+}
+
+std::size_t parameter_count(const std::vector<Parameter*>& params) {
+  std::size_t n = 0;
+  for (const Parameter* p : params) n += p->value.size();
+  return n;
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,68 @@
+// Module: the unit of the layer-graph autodiff scheme.
+//
+// forward() caches whatever the layer needs; backward() consumes the cached
+// state, accumulates parameter gradients (+=) and returns the gradient with
+// respect to the layer input. Calling backward() without a preceding
+// forward() on the same module is a programming error.
+#pragma once
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace lithogan::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;  ///< diagnostic / serialization label, e.g. "conv1.weight"
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::string n = {}) : name(std::move(n)) {}
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(Tensor::zeros(value.shape())) {}
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Computes the layer output, caching activations needed by backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagates `grad_output` through the cached forward pass. Parameter
+  /// gradients are accumulated; the return value is d(loss)/d(input).
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (may be empty). Pointers remain valid for the
+  /// module's lifetime.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Switches between training behaviour (batch statistics, dropout on) and
+  /// inference behaviour. Default: no-op.
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Stable type tag used by serialization, e.g. "Conv2d".
+  virtual std::string kind() const = 0;
+
+  /// Serializes learnable and persistent state (e.g. BN running stats).
+  /// Layers without state write nothing.
+  virtual void save_state(std::ostream& os) const;
+  virtual void load_state(std::istream& is);
+
+ protected:
+  bool training_ = true;
+};
+
+/// Zeroes the gradients of every parameter in `params`.
+void zero_grads(const std::vector<Parameter*>& params);
+
+/// Total number of learnable scalars.
+std::size_t parameter_count(const std::vector<Parameter*>& params);
+
+}  // namespace lithogan::nn

@@ -1,0 +1,52 @@
+#include "nn/sequential.hpp"
+
+#include "util/error.hpp"
+
+namespace lithogan::nn {
+
+Sequential& Sequential::add(std::unique_ptr<Module> layer) {
+  LITHOGAN_REQUIRE(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    const auto ps = layer->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Sequential::save_state(std::ostream& os) const {
+  for (const auto& layer : layers_) layer->save_state(os);
+}
+
+void Sequential::load_state(std::istream& is) {
+  for (auto& layer : layers_) layer->load_state(is);
+}
+
+Module& Sequential::layer(std::size_t i) {
+  LITHOGAN_REQUIRE(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+}  // namespace lithogan::nn

@@ -1,0 +1,41 @@
+// Sequential container. The paper's three networks (generator
+// encoder-decoder, discriminator, center CNN) are all straight pipelines,
+// so a chain of Modules covers every architecture in Tables 1 and 2.
+#pragma once
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace lithogan::nn {
+
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for fluent construction.
+  Sequential& add(std::unique_ptr<Module> layer);
+
+  /// Convenience: constructs the layer in place.
+  template <typename LayerT, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<LayerT>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  void set_training(bool training) override;
+  std::string kind() const override { return "Sequential"; }
+
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  std::size_t layer_count() const { return layers_.size(); }
+  Module& layer(std::size_t i);
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace lithogan::nn

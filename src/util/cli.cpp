@@ -1,0 +1,98 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace lithogan::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+CliParser& CliParser::add_flag(const std::string& name, const std::string& default_value,
+                               const std::string& help) {
+  LITHOGAN_REQUIRE(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{default_value, help, default_value};
+  order_.push_back(name);
+  return *this;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (!starts_with(arg, "--")) {
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) throw InvalidArgument("unknown flag: --" + name);
+      // Boolean switches may omit the value; others consume the next token.
+      const std::string& def = it->second.default_value;
+      const bool is_bool = def == "true" || def == "false";
+      if (is_bool && (i + 1 >= argc || starts_with(argv[i + 1], "--"))) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) throw InvalidArgument("missing value for --" + name);
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) throw InvalidArgument("unknown flag: --" + name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LITHOGAN_REQUIRE(it != flags_.end(), "unregistered flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " is not an integer: " + value);
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string value = get(name);
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag --" + name + " is not a number: " + value);
+  }
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string value = to_lower(get(name));
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw InvalidArgument("flag --" + name + " is not a boolean: " + value);
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream oss;
+  oss << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& flag = flags_.at(name);
+    oss << "  " << pad_right("--" + name, 24) << flag.help
+        << " (default: " << flag.default_value << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace lithogan::util

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+//
+// Supports `--name value` and `--name=value` forms plus boolean switches.
+// Unknown flags are an error so typos don't silently fall back to defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lithogan::util {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Registers a flag. `help` is shown by usage(). Returns *this for chaining.
+  CliParser& add_flag(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+
+  /// Parses argv. Throws InvalidArgument for unknown flags or missing values.
+  /// Recognizes --help by returning false (caller should print usage()).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Human-readable usage text.
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::string value;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace lithogan::util

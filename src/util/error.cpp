@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace lithogan::util::detail {
+
+void throw_requirement_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream oss;
+  oss << "requirement failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) {
+    oss << " (" << msg << ")";
+  }
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace lithogan::util::detail

@@ -1,0 +1,54 @@
+// Error types used throughout the lithogan library.
+//
+// The library signals recoverable failures with exceptions derived from
+// lithogan::util::Error so callers can distinguish library errors from
+// standard-library ones, and uses LITHOGAN_REQUIRE for precondition checks
+// that stay active in release builds (violations indicate caller bugs).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lithogan::util {
+
+/// Base class for all errors raised by the lithogan library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when file or stream I/O fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when serialized data is malformed or version-incompatible.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_requirement_failure(const char* expr, const char* file,
+                                            int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace lithogan::util
+
+/// Precondition check that remains active in release builds.
+/// Throws lithogan::util::InvalidArgument on failure.
+#define LITHOGAN_REQUIRE(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lithogan::util::detail::throw_requirement_failure(#expr,         \
+                                                          __FILE__,      \
+                                                          __LINE__, msg); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,49 @@
+// Minimal leveled logging.
+//
+// The library logs sparingly — training progress, dataset generation
+// milestones — and never logs from hot loops. Severity is filtered by a
+// process-global threshold so tests can silence output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lithogan::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum severity that is emitted. Thread-compatible
+/// (call before spawning workers).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single log line to stderr if `level` passes the global filter.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style builder: collects one message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace lithogan::util

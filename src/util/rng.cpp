@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace lithogan::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  operator()();
+  state_ += seed;
+  operator()();
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  LITHOGAN_REQUIRE(lo <= hi, "uniform_int bounds");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range requested
+    const std::uint64_t v = (static_cast<std::uint64_t>(operator()()) << 32) | operator()();
+    return static_cast<std::int64_t>(v);
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / range) * range;
+  std::uint64_t v = 0;
+  do {
+    v = (static_cast<std::uint64_t>(operator()()) << 32) | operator()();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::uniform(double lo, double hi) {
+  const auto bits = (static_cast<std::uint64_t>(operator()()) << 32) | operator()();
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0,1)
+  return lo + unit * (hi - lo);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::split() {
+  const std::uint64_t seed = (static_cast<std::uint64_t>(operator()()) << 32) | operator()();
+  const std::uint64_t stream = (static_cast<std::uint64_t>(operator()()) << 32) | operator()();
+  return Rng(seed, stream);
+}
+
+}  // namespace lithogan::util

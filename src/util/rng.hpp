@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (weight initialization, dropout,
+// dataset generation, train/test splits) draw from util::Rng so experiments
+// are reproducible from a single seed. The generator is PCG32 (O'Neill,
+// 2014): small state, good statistical quality, cheap to advance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lithogan::util {
+
+/// PCG32 pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be plugged into
+/// <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  /// Next raw 32-bit value.
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal via Box-Muller, scaled to mean/stddev.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Random permutation of {0, 1, ..., n-1} (Fisher-Yates).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent generator; child streams never collide with
+  /// the parent sequence. Useful for giving each pipeline stage its own RNG.
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace lithogan::util

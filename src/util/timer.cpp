@@ -1,0 +1,21 @@
+#include "util/timer.hpp"
+
+namespace lithogan::util {
+
+void StageTimings::add(const std::string& name, double seconds) {
+  auto& bucket = buckets_[name];
+  bucket.first += seconds;
+  bucket.second += 1;
+}
+
+double StageTimings::total(const std::string& name) const {
+  const auto it = buckets_.find(name);
+  return it == buckets_.end() ? 0.0 : it->second.first;
+}
+
+std::int64_t StageTimings::count(const std::string& name) const {
+  const auto it = buckets_.find(name);
+  return it == buckets_.end() ? 0 : it->second.second;
+}
+
+}  // namespace lithogan::util

@@ -1,0 +1,51 @@
+// Wall-clock timing used by the runtime benchmarks (paper Table 4).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lithogan::util {
+
+/// Stopwatch over the steady clock. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_milliseconds() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named timing buckets, e.g. per-stage costs of a flow.
+class StageTimings {
+ public:
+  /// Adds `seconds` to the bucket `name`, creating it if absent.
+  void add(const std::string& name, double seconds);
+
+  /// Total seconds recorded for `name`; 0 if never recorded.
+  double total(const std::string& name) const;
+
+  /// Number of add() calls for `name`.
+  std::int64_t count(const std::string& name) const;
+
+  /// All bucket names in lexicographic order.
+  const std::map<std::string, std::pair<double, std::int64_t>>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::string, std::pair<double, std::int64_t>> buckets_;
+};
+
+}  // namespace lithogan::util

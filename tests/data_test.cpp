@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/batch.hpp"
+#include "data/dataset.hpp"
+#include "data/render.hpp"
+#include "geometry/polygon.hpp"
+#include "util/error.hpp"
+#include "util/fileio.hpp"
+#include "util/logging.hpp"
+
+namespace ld = lithogan::data;
+namespace ly = lithogan::layout;
+namespace ll = lithogan::litho;
+namespace lg = lithogan::geometry;
+namespace li = lithogan::image;
+namespace lu = lithogan::util;
+namespace ln = lithogan::nn;
+
+namespace {
+
+ll::ProcessConfig test_process() {
+  auto p = ll::ProcessConfig::n10();
+  p.grid.pixels = 128;
+  p.optical.source_rings = 1;
+  p.optical.source_points_per_ring = 8;
+  return p;
+}
+
+ld::BuildConfig small_build(std::size_t clips) {
+  ld::BuildConfig bc;
+  bc.clip_count = clips;
+  bc.render.mask_size_px = 32;
+  bc.render.resist_size_px = 32;
+  return bc;
+}
+
+/// A tiny shared dataset so the expensive simulation runs once per suite.
+const ld::Dataset& shared_dataset() {
+  static const ld::Dataset dataset = [] {
+    lu::set_log_level(lu::LogLevel::kWarn);
+    ld::DatasetBuilder builder(test_process(), small_build(9), lu::Rng(17));
+    return builder.build();
+  }();
+  return dataset;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// render_mask
+// ---------------------------------------------------------------------------
+
+TEST(RenderMask, ColorEncodingPerChannel) {
+  ly::MaskClip clip;
+  clip.extent_nm = 1024.0;
+  clip.target = lg::Rect::from_center(clip.center(), 60.0, 60.0);
+  clip.target_opc = clip.target.inflated(4.0);
+  clip.neighbors.push_back(lg::Rect::from_center({312.0, 512.0}, 60.0, 60.0));
+  clip.neighbors_opc.push_back(clip.neighbors.front().inflated(2.0));
+  clip.srafs.push_back(lg::Rect::from_center({412.0, 512.0}, 24.0, 80.0));
+
+  ld::RenderConfig cfg;
+  cfg.mask_size_px = 128;  // 8 nm per pixel
+  const auto img = ld::render_mask(clip, cfg);
+  ASSERT_EQ(img.channels(), 3u);
+
+  // Target center pixel: green only.
+  EXPECT_FLOAT_EQ(img.at(1, 64, 64), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 64, 64), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(2, 64, 64), 0.0f);
+  // Neighbor at x=312 nm -> px 39: red only.
+  EXPECT_FLOAT_EQ(img.at(0, 64, 39), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(1, 64, 39), 0.0f);
+  // SRAF at x=412 -> px 51: blue only.
+  EXPECT_FLOAT_EQ(img.at(2, 64, 51), 1.0f);
+  EXPECT_FLOAT_EQ(img.at(1, 64, 51), 0.0f);
+}
+
+TEST(RenderMask, RequiresOpc) {
+  ly::MaskClip clip;
+  clip.extent_nm = 1024.0;
+  clip.target = lg::Rect::from_center(clip.center(), 60.0, 60.0);
+  EXPECT_THROW(ld::render_mask(clip, ld::RenderConfig{}), lu::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// render_golden / pattern_center / recenter_to
+// ---------------------------------------------------------------------------
+
+TEST(RenderGolden, CentersAndCd) {
+  // Square contour 60x60 nm centered 4 nm right of the clip center.
+  const lg::Point clip_center{512.0, 512.0};
+  const auto contour =
+      lg::Polygon::from_rect(lg::Rect::from_center({516.0, 512.0}, 60.0, 60.0));
+  ld::RenderConfig cfg;
+  cfg.resist_size_px = 64;  // 2 nm per pixel over the 128 nm window
+  const auto golden = ld::render_golden(contour, clip_center, cfg);
+  ASSERT_TRUE(golden.printed);
+  EXPECT_NEAR(golden.cd_width_nm, 60.0, 1e-9);
+  EXPECT_NEAR(golden.cd_height_nm, 60.0, 1e-9);
+  // Center: image center (32) + 4 nm / 2 nm-per-px = 2 px.
+  EXPECT_NEAR(golden.center_px.x, 34.0, 1e-9);
+  EXPECT_NEAR(golden.center_px.y, 32.0, 1e-9);
+  // The re-centered copy sits at the image center.
+  const auto c = ld::pattern_center(golden.resist_centered);
+  EXPECT_NEAR(c.x, 32.0, 1.0);
+  EXPECT_NEAR(c.y, 32.0, 1.0);
+}
+
+TEST(RenderGolden, EmptyContourNotPrinted) {
+  const auto golden = ld::render_golden(lg::Polygon{}, {512.0, 512.0}, ld::RenderConfig{});
+  EXPECT_FALSE(golden.printed);
+  EXPECT_DOUBLE_EQ(golden.cd_width_nm, 0.0);
+}
+
+TEST(PatternCenter, EmptyImageGivesImageCenter) {
+  li::Image img(1, 32, 48);
+  const auto c = ld::pattern_center(img);
+  EXPECT_DOUBLE_EQ(c.x, 24.0);
+  EXPECT_DOUBLE_EQ(c.y, 16.0);
+}
+
+TEST(RecenterTo, MovesPattern) {
+  li::Image img(1, 32, 32);
+  for (std::size_t y = 4; y < 10; ++y) {
+    for (std::size_t x = 6; x < 12; ++x) img.at(0, y, x) = 1.0f;
+  }
+  const auto moved = ld::recenter_to(img, {20.0, 24.0});
+  const auto c = ld::pattern_center(moved);
+  EXPECT_NEAR(c.x, 20.0, 0.51);
+  EXPECT_NEAR(c.y, 24.0, 0.51);
+}
+
+TEST(CropField, BilinearSamplesField) {
+  ll::FieldGrid field;
+  field.pixels = 128;
+  field.extent_nm = 1024.0;  // 8 nm cells
+  field.values.assign(128 * 128, 0.0);
+  // Linear ramp in x: value = x_cell index.
+  for (std::size_t y = 0; y < 128; ++y) {
+    for (std::size_t x = 0; x < 128; ++x) field.values[y * 128 + x] = static_cast<double>(x);
+  }
+  ld::RenderConfig cfg;
+  cfg.resist_size_px = 32;
+  cfg.crop_window_nm = 128.0;
+  const auto img = ld::crop_field(field, {512.0, 512.0}, cfg);
+  // Pixel 0 center: nm x = 512-64+2 = 450 -> cell 450/8-0.5 = 55.75.
+  EXPECT_NEAR(img.at(0, 16, 0), 55.75f, 1e-3f);
+  // Ramp is linear: neighboring pixels differ by 4 nm / 8 nm-per-cell = 0.5.
+  EXPECT_NEAR(img.at(0, 16, 1) - img.at(0, 16, 0), 0.5f, 1e-3f);
+}
+
+// ---------------------------------------------------------------------------
+// DatasetBuilder (integration, shared across tests)
+// ---------------------------------------------------------------------------
+
+TEST(DatasetBuilder, ProducesRequestedCount) {
+  const auto& ds = shared_dataset();
+  EXPECT_EQ(ds.size(), 9u);
+  EXPECT_EQ(ds.process_name, "N10");
+}
+
+TEST(DatasetBuilder, SamplesAreWellFormed) {
+  const auto& ds = shared_dataset();
+  for (const auto& s : ds.samples) {
+    EXPECT_EQ(s.mask_rgb.channels(), 3u);
+    EXPECT_EQ(s.mask_rgb.height(), 32u);
+    EXPECT_EQ(s.resist.channels(), 1u);
+    EXPECT_EQ(s.aerial.channels(), 1u);
+    // Golden pattern exists and its CD is inside the sanity band.
+    EXPECT_GT(s.cd_width_nm, 0.55 * 60.0);
+    EXPECT_LT(s.cd_width_nm, 1.55 * 60.0);
+    // The target channel (green) has content.
+    double green = 0.0;
+    for (const float v : s.mask_rgb.channel(1)) green += v;
+    EXPECT_GT(green, 0.0);
+    // Pixel scale: 128 nm window at 32 px = 4 nm/px.
+    EXPECT_DOUBLE_EQ(s.resist_pixel_nm, 4.0);
+  }
+}
+
+TEST(DatasetBuilder, CoversAllArrayTypes) {
+  const auto& ds = shared_dataset();
+  bool iso = false;
+  bool row = false;
+  bool grid = false;
+  for (const auto& s : ds.samples) {
+    iso |= s.array_type == ly::ArrayType::kIsolated;
+    row |= s.array_type == ly::ArrayType::kRow;
+    grid |= s.array_type == ly::ArrayType::kGrid;
+  }
+  EXPECT_TRUE(iso && row && grid);
+}
+
+TEST(DatasetBuilder, CenteredVariantIsCentered) {
+  const auto& ds = shared_dataset();
+  for (const auto& s : ds.samples) {
+    const auto c = ld::pattern_center(s.resist_centered);
+    EXPECT_NEAR(c.x, 16.0, 1.0);
+    EXPECT_NEAR(c.y, 16.0, 1.0);
+  }
+}
+
+TEST(DatasetBuilder, AerialValuesAreContinuous) {
+  const auto& ds = shared_dataset();
+  // Aerial crops must contain non-binary intensities (otherwise the
+  // baseline flow has nothing to threshold).
+  bool found_fractional = false;
+  for (const float v : ds.samples[0].aerial.data()) {
+    if (v > 0.01f && v < 0.99f) {
+      found_fractional = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_fractional);
+}
+
+// ---------------------------------------------------------------------------
+// Split
+// ---------------------------------------------------------------------------
+
+TEST(Split, PartitionsWithoutOverlap) {
+  const auto& ds = shared_dataset();
+  lu::Rng rng(5);
+  const auto split = ld::split_dataset(ds, 0.75, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.size());
+  std::set<std::size_t> seen(split.train.begin(), split.train.end());
+  for (const auto i : split.test) {
+    EXPECT_EQ(seen.count(i), 0u);
+    seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), ds.size());
+}
+
+TEST(Split, FractionRespected) {
+  const auto& ds = shared_dataset();
+  lu::Rng rng(6);
+  const auto split = ld::split_dataset(ds, 0.75, rng);
+  EXPECT_EQ(split.train.size(), static_cast<std::size_t>(ds.size() * 0.75));
+  EXPECT_THROW(ld::split_dataset(ds, 0.0, rng), lu::InvalidArgument);
+  EXPECT_THROW(ld::split_dataset(ds, 1.0, rng), lu::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(DatasetIo, RoundTripPreservesSamples) {
+  const auto& ds = shared_dataset();
+  const auto dir = std::filesystem::temp_directory_path() / "lithogan_data_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "ds.bin").string();
+  ld::save_dataset(ds, path);
+  const auto back = ld::load_dataset(path);
+  std::filesystem::remove_all(dir);
+
+  ASSERT_EQ(back.size(), ds.size());
+  EXPECT_EQ(back.process_name, ds.process_name);
+  EXPECT_EQ(back.render.mask_size_px, ds.render.mask_size_px);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto& a = ds.samples[i];
+    const auto& b = back.samples[i];
+    EXPECT_EQ(a.clip_id, b.clip_id);
+    EXPECT_EQ(a.array_type, b.array_type);
+    EXPECT_EQ(a.mask_rgb, b.mask_rgb);     // binary images are bit-exact
+    EXPECT_EQ(a.resist, b.resist);
+    EXPECT_EQ(a.resist_centered, b.resist_centered);
+    EXPECT_EQ(a.aerial, b.aerial);         // float images stored as f32
+    EXPECT_DOUBLE_EQ(a.center_px.x, b.center_px.x);
+    EXPECT_DOUBLE_EQ(a.cd_width_nm, b.cd_width_nm);
+  }
+}
+
+TEST(DatasetIo, GarbageFileRejected) {
+  const auto dir = std::filesystem::temp_directory_path() / "lithogan_data_test2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "junk.bin").string();
+  lu::write_file(path, "not a dataset");
+  EXPECT_THROW(ld::load_dataset(path), lu::FormatError);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Batching
+// ---------------------------------------------------------------------------
+
+TEST(Batch, MaskTensorShapeAndRange) {
+  const auto& ds = shared_dataset();
+  const auto x = ld::batch_masks(ds, {0, 1, 2});
+  EXPECT_EQ(x.shape(), (std::vector<std::size_t>{3, 3, 32, 32}));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_TRUE(x[i] == -1.0f || x[i] == 1.0f);
+  }
+}
+
+TEST(Batch, ResistTensorRoundTripsToImage) {
+  const auto& ds = shared_dataset();
+  const auto y = ld::batch_resists(ds, {0}, /*centered=*/false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 32, 32}));
+  const auto img = ld::tensor_to_resist_image(y);
+  EXPECT_EQ(img, ds.samples[0].resist);
+}
+
+TEST(Batch, CentersNormalizedAndDenormalized) {
+  const auto& ds = shared_dataset();
+  const auto c = ld::batch_centers(ds, {0, 1});
+  EXPECT_EQ(c.shape(), (std::vector<std::size_t>{2, 2}));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_GE(c[i], 0.0f);
+    EXPECT_LE(c[i], 1.0f);
+  }
+  const auto p = ld::denormalize_center(c, 1, 32, 32);
+  EXPECT_NEAR(p.x, ds.samples[1].center_px.x, 1e-4);
+  EXPECT_NEAR(p.y, ds.samples[1].center_px.y, 1e-4);
+}
+
+TEST(Batch, ImageToTensorInverse) {
+  const auto& ds = shared_dataset();
+  const auto t = ld::image_to_tensor(ds.samples[0].mask_rgb);
+  EXPECT_EQ(t.shape(), (std::vector<std::size_t>{1, 3, 32, 32}));
+  EXPECT_FLOAT_EQ(t[0], ds.samples[0].mask_rgb.data()[0] * 2.0f - 1.0f);
+}
+
+TEST(Batch, EmptyBatchRejected) {
+  const auto& ds = shared_dataset();
+  EXPECT_THROW(ld::batch_masks(ds, {}), lu::InvalidArgument);
+}

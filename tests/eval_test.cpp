@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+#include "image/ops.hpp"
+#include "util/error.hpp"
+
+namespace le = lithogan::eval;
+namespace li = lithogan::image;
+
+namespace {
+/// Monochrome image with a filled rectangle [x0, x1) x [y0, y1).
+li::Image blob(std::size_t size, std::size_t x0, std::size_t y0, std::size_t x1,
+               std::size_t y1) {
+  li::Image img(1, size, size);
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) img.at(0, y, x) = 1.0f;
+  }
+  return img;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pixel metrics (paper Defs. 2-4)
+// ---------------------------------------------------------------------------
+
+TEST(PixelMetrics, IdenticalImagesScorePerfect) {
+  const auto img = blob(16, 4, 4, 10, 10);
+  const auto m = le::pixel_metrics(img, img);
+  EXPECT_DOUBLE_EQ(m.pixel_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.class_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_iou, 1.0);
+}
+
+TEST(PixelMetrics, DisjointBlobsScoreLow) {
+  const auto a = blob(16, 0, 0, 4, 4);
+  const auto b = blob(16, 8, 8, 12, 12);
+  const auto m = le::pixel_metrics(a, b);
+  // Foreground IoU is 0; background IoU is high; mean is ~0.44.
+  EXPECT_LT(m.mean_iou, 0.5);
+  EXPECT_LT(m.class_accuracy, 0.95);
+}
+
+TEST(PixelMetrics, HandComputedConfusion) {
+  // 2x2 images: golden = [1,1,0,0], predicted = [1,0,0,0].
+  li::Image g(1, 2, 2);
+  g.at(0, 0, 0) = 1.0f;
+  g.at(0, 0, 1) = 1.0f;
+  li::Image p(1, 2, 2);
+  p.at(0, 0, 0) = 1.0f;
+  const auto m = le::pixel_metrics(g, p);
+  // Correct: 3/4 pixels.
+  EXPECT_DOUBLE_EQ(m.pixel_accuracy, 0.75);
+  // Class 0: 2/2 correct; class 1: 1/2. Mean = 0.75.
+  EXPECT_DOUBLE_EQ(m.class_accuracy, 0.75);
+  // IoU0 = 2/3; IoU1 = 1/2. Mean = 7/12.
+  EXPECT_NEAR(m.mean_iou, 7.0 / 12.0, 1e-12);
+}
+
+TEST(PixelMetrics, AllBackgroundIsPerfect) {
+  li::Image empty(1, 8, 8);
+  const auto m = le::pixel_metrics(empty, empty);
+  EXPECT_DOUBLE_EQ(m.pixel_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.class_accuracy, 1.0);  // absent class counts as perfect
+  EXPECT_DOUBLE_EQ(m.mean_iou, 1.0);
+}
+
+TEST(PixelMetrics, SymmetryOfPixelAccuracy) {
+  const auto a = blob(16, 2, 2, 9, 9);
+  const auto b = blob(16, 4, 4, 11, 11);
+  EXPECT_DOUBLE_EQ(le::pixel_metrics(a, b).pixel_accuracy,
+                   le::pixel_metrics(b, a).pixel_accuracy);
+}
+
+TEST(PixelMetrics, MismatchedSizesThrow) {
+  li::Image a(1, 4, 4);
+  li::Image b(1, 4, 5);
+  EXPECT_THROW(le::pixel_metrics(a, b), lithogan::util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Edge displacement error (paper Def. 1)
+// ---------------------------------------------------------------------------
+
+TEST(Ede, IdenticalPatternsGiveZero) {
+  const auto img = blob(32, 10, 12, 20, 24);
+  const auto r = le::edge_displacement_error(img, img);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.max(), 0.0);
+}
+
+TEST(Ede, PureTranslationMovesAllEdges) {
+  const auto g = blob(32, 10, 10, 20, 20);
+  const auto p = blob(32, 13, 10, 23, 20);  // shifted +3 in x
+  const auto r = le::edge_displacement_error(g, p);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.left, 3.0);
+  EXPECT_DOUBLE_EQ(r.right, 3.0);
+  EXPECT_DOUBLE_EQ(r.top, 0.0);
+  EXPECT_DOUBLE_EQ(r.bottom, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(r.max(), 3.0);
+}
+
+TEST(Ede, UniformGrowthMovesOppositeEdges) {
+  const auto g = blob(32, 10, 10, 20, 20);
+  const auto p = blob(32, 8, 8, 22, 22);  // grown by 2 on every side
+  const auto r = le::edge_displacement_error(g, p);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.left, 2.0);
+  EXPECT_DOUBLE_EQ(r.right, 2.0);
+  EXPECT_DOUBLE_EQ(r.top, 2.0);
+  EXPECT_DOUBLE_EQ(r.bottom, 2.0);
+}
+
+TEST(Ede, SymmetricInArguments) {
+  const auto a = blob(32, 10, 10, 20, 20);
+  const auto b = blob(32, 12, 9, 21, 22);
+  const auto r1 = le::edge_displacement_error(a, b);
+  const auto r2 = le::edge_displacement_error(b, a);
+  EXPECT_DOUBLE_EQ(r1.mean(), r2.mean());
+}
+
+TEST(Ede, EmptyPredictionIsInvalid) {
+  const auto g = blob(32, 10, 10, 20, 20);
+  li::Image empty(1, 32, 32);
+  EXPECT_FALSE(le::edge_displacement_error(g, empty).valid);
+  EXPECT_FALSE(le::edge_displacement_error(empty, g).valid);
+}
+
+TEST(Ede, StraySpecksDoNotDominate) {
+  // A 1-pixel speck far from the main blob must not widen the bbox: the
+  // metric uses the largest connected component.
+  const auto g = blob(32, 10, 10, 20, 20);
+  auto p = blob(32, 10, 10, 20, 20);
+  p.at(0, 1, 30) = 1.0f;
+  const auto r = le::edge_displacement_error(g, p);
+  ASSERT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Center error
+// ---------------------------------------------------------------------------
+
+TEST(CenterError, ZeroForIdentical) {
+  const auto img = blob(32, 10, 10, 20, 20);
+  EXPECT_DOUBLE_EQ(le::center_error(img, img), 0.0);
+}
+
+TEST(CenterError, EqualsShiftDistance) {
+  const auto g = blob(32, 10, 10, 20, 20);
+  const auto p = blob(32, 13, 14, 23, 24);  // shifted (+3, +4)
+  EXPECT_NEAR(le::center_error(g, p), 5.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Report aggregation
+// ---------------------------------------------------------------------------
+
+TEST(Report, AccumulatorAveragesAndConverts) {
+  le::MetricAccumulator acc("test", "N10", 2.0);  // 2 nm per pixel
+  const auto g = blob(32, 10, 10, 20, 20);
+  acc.add(g, g);                                // EDE 0
+  acc.add(g, blob(32, 12, 10, 22, 20));         // EDE mean 1 px = 2 nm
+  const auto r = acc.finalize();
+  EXPECT_EQ(r.sample_count, 2u);
+  EXPECT_EQ(r.invalid_count, 0u);
+  EXPECT_DOUBLE_EQ(r.ede_mean_nm, 1.0);  // (0 + 2) / 2
+  EXPECT_GT(r.ede_std_nm, 0.0);
+  EXPECT_EQ(acc.ede_samples_nm().size(), 2u);
+}
+
+TEST(Report, InvalidSamplesCounted) {
+  le::MetricAccumulator acc("test", "N7", 1.0);
+  const auto g = blob(16, 4, 4, 10, 10);
+  acc.add(g, li::Image(1, 16, 16));  // empty prediction
+  const auto r = acc.finalize();
+  EXPECT_EQ(r.invalid_count, 1u);
+  EXPECT_EQ(r.sample_count, 1u);  // pixel metrics still computed
+}
+
+TEST(Report, TableFormatting) {
+  le::MethodReport r;
+  r.method = "LithoGAN";
+  r.dataset = "N10";
+  r.ede_mean_nm = 1.08;
+  r.ede_std_nm = 0.88;
+  r.pixel_accuracy = 0.97;
+  r.class_accuracy = 0.98;
+  r.mean_iou = 0.96;
+  r.sample_count = 246;
+  const std::string table = le::format_table3({r});
+  EXPECT_NE(table.find("LithoGAN"), std::string::npos);
+  EXPECT_NE(table.find("1.08"), std::string::npos);
+  EXPECT_NE(table.find("246"), std::string::npos);
+  EXPECT_NE(table.find("EDE"), std::string::npos);
+}

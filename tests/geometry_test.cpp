@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/marching_squares.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/primitives.hpp"
+#include "geometry/rasterize.hpp"
+#include "util/rng.hpp"
+
+namespace lg = lithogan::geometry;
+
+// ---------------------------------------------------------------------------
+// Rect
+// ---------------------------------------------------------------------------
+
+TEST(Rect, BasicAccessors) {
+  const lg::Rect r{{1.0, 2.0}, {4.0, 6.0}};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_EQ(r.center(), (lg::Point{2.5, 4.0}));
+  EXPECT_FALSE(r.is_empty());
+}
+
+TEST(Rect, FromCenter) {
+  const auto r = lg::Rect::from_center({10.0, 20.0}, 4.0, 6.0);
+  EXPECT_EQ(r.lo, (lg::Point{8.0, 17.0}));
+  EXPECT_EQ(r.hi, (lg::Point{12.0, 23.0}));
+}
+
+TEST(Rect, ContainsIsInclusive) {
+  const lg::Rect r{{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({1.0, 1.0}));
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_FALSE(r.contains({1.0001, 0.5}));
+}
+
+TEST(Rect, IntersectionAndUnion) {
+  const lg::Rect a{{0.0, 0.0}, {2.0, 2.0}};
+  const lg::Rect b{{1.0, 1.0}, {3.0, 3.0}};
+  EXPECT_TRUE(a.intersects(b));
+  const auto i = a.intersection(b);
+  EXPECT_EQ(i.lo, (lg::Point{1.0, 1.0}));
+  EXPECT_EQ(i.hi, (lg::Point{2.0, 2.0}));
+  const auto u = a.unite(b);
+  EXPECT_EQ(u.lo, (lg::Point{0.0, 0.0}));
+  EXPECT_EQ(u.hi, (lg::Point{3.0, 3.0}));
+}
+
+TEST(Rect, DisjointRectsDoNotIntersect) {
+  const lg::Rect a{{0.0, 0.0}, {1.0, 1.0}};
+  const lg::Rect b{{2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(a.intersection(b).is_empty());
+}
+
+TEST(Rect, EmptyIsUnionIdentity) {
+  const auto e = lg::Rect::empty();
+  const lg::Rect a{{1.0, 1.0}, {2.0, 2.0}};
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e.unite(a), a);
+  EXPECT_EQ(a.unite(e), a);
+  EXPECT_DOUBLE_EQ(e.area(), 0.0);
+}
+
+TEST(Rect, InflateAndTranslate) {
+  const lg::Rect r{{1.0, 1.0}, {2.0, 2.0}};
+  const auto g = r.inflated(0.5);
+  EXPECT_EQ(g.lo, (lg::Point{0.5, 0.5}));
+  EXPECT_EQ(g.hi, (lg::Point{2.5, 2.5}));
+  const auto t = r.translated({1.0, -1.0});
+  EXPECT_EQ(t.lo, (lg::Point{2.0, 0.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Polygon
+// ---------------------------------------------------------------------------
+
+TEST(Polygon, RectangleAreaAndCentroid) {
+  const auto p = lg::Polygon::from_rect({{0.0, 0.0}, {4.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.area(), 8.0);
+  EXPECT_GT(p.signed_area(), 0.0);  // CCW construction
+  const auto c = p.centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.perimeter(), 12.0);
+}
+
+TEST(Polygon, ReversedFlipsOrientation) {
+  const auto p = lg::Polygon::from_rect({{0.0, 0.0}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(p.signed_area(), -p.reversed().signed_area());
+  EXPECT_DOUBLE_EQ(p.area(), p.reversed().area());
+}
+
+TEST(Polygon, TriangleArea) {
+  const lg::Polygon t({{0.0, 0.0}, {4.0, 0.0}, {0.0, 3.0}});
+  EXPECT_DOUBLE_EQ(t.area(), 6.0);
+  EXPECT_DOUBLE_EQ(t.perimeter(), 12.0);
+}
+
+TEST(Polygon, ContainsConvex) {
+  const auto p = lg::Polygon::from_rect({{0.0, 0.0}, {2.0, 2.0}});
+  EXPECT_TRUE(p.contains({1.0, 1.0}));
+  EXPECT_FALSE(p.contains({3.0, 1.0}));
+  EXPECT_FALSE(p.contains({-0.1, 1.0}));
+}
+
+TEST(Polygon, ContainsConcave) {
+  // L-shape: the notch at top-right is outside.
+  const lg::Polygon l(
+      {{0.0, 0.0}, {4.0, 0.0}, {4.0, 2.0}, {2.0, 2.0}, {2.0, 4.0}, {0.0, 4.0}});
+  EXPECT_TRUE(l.contains({1.0, 3.0}));
+  EXPECT_TRUE(l.contains({3.0, 1.0}));
+  EXPECT_FALSE(l.contains({3.0, 3.0}));
+}
+
+TEST(Polygon, TransformsPreserveArea) {
+  const auto p = lg::Polygon::from_rect({{0.0, 0.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(p.translated({10.0, -5.0}).area(), 6.0);
+  EXPECT_DOUBLE_EQ(p.scaled(2.0, 0.5).area(), 6.0);
+  const auto c = p.translated({10.0, -5.0}).centroid();
+  EXPECT_NEAR(c.x, 11.5, 1e-12);
+  EXPECT_NEAR(c.y, -4.0, 1e-12);
+}
+
+TEST(Polygon, DegenerateCentroidFallsBackToVertexMean) {
+  const lg::Polygon line({{0.0, 0.0}, {2.0, 0.0}});
+  const auto c = line.centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(line.area(), 0.0);
+}
+
+TEST(Polygon, BoundingBox) {
+  const lg::Polygon t({{1.0, 5.0}, {4.0, 2.0}, {-2.0, 3.0}});
+  const auto b = t.bounding_box();
+  EXPECT_EQ(b.lo, (lg::Point{-2.0, 2.0}));
+  EXPECT_EQ(b.hi, (lg::Point{4.0, 5.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Marching squares
+// ---------------------------------------------------------------------------
+
+namespace {
+// Radially symmetric bump grid: value = R - distance from center.
+std::vector<double> disc_grid(std::size_t n, double cx, double cy, double radius) {
+  std::vector<double> g(n * n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double dx = static_cast<double>(x) - cx;
+      const double dy = static_cast<double>(y) - cy;
+      g[y * n + x] = radius - std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  return g;
+}
+}  // namespace
+
+TEST(MarchingSquares, EmptyGridYieldsNoContours) {
+  const std::vector<double> g(16 * 16, 0.0);
+  EXPECT_TRUE(lg::extract_contours(g, 16, 16, 0.5).empty());
+}
+
+TEST(MarchingSquares, FullGridYieldsNoContours) {
+  const std::vector<double> g(16 * 16, 1.0);
+  EXPECT_TRUE(lg::extract_contours(g, 16, 16, 0.5).empty());
+}
+
+TEST(MarchingSquares, DiscProducesSingleClosedContour) {
+  const std::size_t n = 32;
+  const auto g = disc_grid(n, 15.5, 15.5, 8.0);
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  ASSERT_EQ(contours.size(), 1u);
+  const auto& c = contours.front();
+  // Area of iso-0 contour approximates a radius-8 circle.
+  EXPECT_NEAR(c.area(), M_PI * 64.0, M_PI * 64.0 * 0.05);
+  const auto centroid = c.centroid();
+  EXPECT_NEAR(centroid.x, 15.5, 0.1);
+  EXPECT_NEAR(centroid.y, 15.5, 0.1);
+}
+
+TEST(MarchingSquares, ContourRadiusIsSubPixelAccurate) {
+  const std::size_t n = 64;
+  const double radius = 13.3;
+  const auto g = disc_grid(n, 31.5, 31.5, radius);
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  ASSERT_EQ(contours.size(), 1u);
+  for (const auto& v : contours.front().vertices()) {
+    const double r = lg::distance(v, {31.5, 31.5});
+    EXPECT_NEAR(r, radius, 0.05);  // linear interpolation error only
+  }
+}
+
+TEST(MarchingSquares, TwoBlobsGiveTwoContours) {
+  const std::size_t n = 48;
+  auto g = disc_grid(n, 12.0, 24.0, 6.0);
+  const auto g2 = disc_grid(n, 36.0, 24.0, 6.0);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = std::max(g[i], g2[i]);
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  EXPECT_EQ(contours.size(), 2u);
+}
+
+TEST(MarchingSquares, BlobTouchingBoundaryGivesOpenChain) {
+  const std::size_t n = 16;
+  const auto g = disc_grid(n, 0.0, 8.0, 5.0);  // center on the left edge
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_GE(contours.front().size(), 3u);
+}
+
+TEST(MarchingSquares, LargestAndAtSelectors) {
+  const std::size_t n = 48;
+  auto g = disc_grid(n, 12.0, 24.0, 4.0);
+  const auto g2 = disc_grid(n, 36.0, 24.0, 8.0);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = std::max(g[i], g2[i]);
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  ASSERT_EQ(contours.size(), 2u);
+  const auto big = lg::largest_contour(contours);
+  EXPECT_NEAR(big.centroid().x, 36.0, 0.5);
+  const auto at = lg::contour_at(contours, {12.0, 24.0});
+  EXPECT_NEAR(at.centroid().x, 12.0, 0.5);
+  EXPECT_TRUE(lg::contour_at(contours, {0.0, 0.0}).empty());
+}
+
+TEST(MarchingSquares, ThresholdShiftShrinksContour) {
+  const std::size_t n = 32;
+  const auto g = disc_grid(n, 15.5, 15.5, 10.0);
+  const auto outer = lg::extract_contours(g, n, n, 0.0);
+  const auto inner = lg::extract_contours(g, n, n, 5.0);
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_GT(outer.front().area(), inner.front().area());
+}
+
+// ---------------------------------------------------------------------------
+// Rasterize
+// ---------------------------------------------------------------------------
+
+TEST(Rasterize, AxisAlignedRectFillsExactPixels) {
+  const auto p = lg::Polygon::from_rect({{2.0, 3.0}, {6.0, 5.0}});
+  const auto mask = lg::rasterize({p}, 10, 10);
+  std::size_t set = 0;
+  for (std::size_t y = 0; y < 10; ++y) {
+    for (std::size_t x = 0; x < 10; ++x) {
+      const bool inside = x >= 2 && x < 6 && y >= 3 && y < 5;
+      EXPECT_EQ(mask[y * 10 + x] != 0, inside) << "x=" << x << " y=" << y;
+      if (mask[y * 10 + x]) ++set;
+    }
+  }
+  EXPECT_EQ(set, 8u);
+}
+
+TEST(Rasterize, PolygonOutsideGridIsClipped) {
+  const auto p = lg::Polygon::from_rect({{-5.0, -5.0}, {2.0, 2.0}});
+  const auto mask = lg::rasterize({p}, 4, 4);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1 * 4 + 1], 1);
+  EXPECT_EQ(mask[2 * 4 + 2], 0);
+}
+
+TEST(Rasterize, MultiplePolygonsAccumulate) {
+  const auto a = lg::Polygon::from_rect({{0.0, 0.0}, {2.0, 2.0}});
+  const auto b = lg::Polygon::from_rect({{3.0, 3.0}, {5.0, 5.0}});
+  const auto mask = lg::rasterize({a, b}, 6, 6);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[4 * 6 + 4], 1);
+  EXPECT_EQ(mask[2 * 6 + 2], 0);
+}
+
+TEST(Rasterize, CoverageFraction) {
+  const auto p = lg::Polygon::from_rect({{0.0, 0.0}, {5.0, 10.0}});
+  const auto mask = lg::rasterize({p}, 10, 10);
+  EXPECT_DOUBLE_EQ(lg::coverage(mask), 0.5);
+}
+
+TEST(Rasterize, RoundTripThroughMarchingSquares) {
+  // Rasterize a disc contour, then re-extract it: centroid and area survive.
+  const std::size_t n = 64;
+  std::vector<double> g(n * n);
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      const double dx = static_cast<double>(x) - 32.0;
+      const double dy = static_cast<double>(y) - 30.0;
+      g[y * n + x] = 12.0 - std::sqrt(dx * dx + dy * dy);
+    }
+  }
+  const auto contours = lg::extract_contours(g, n, n, 0.0);
+  ASSERT_EQ(contours.size(), 1u);
+  const auto mask = lg::rasterize(contours, n, n);
+  double set = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t y = 0; y < n; ++y) {
+    for (std::size_t x = 0; x < n; ++x) {
+      if (mask[y * n + x]) {
+        set += 1.0;
+        sx += static_cast<double>(x) + 0.5;
+        sy += static_cast<double>(y) + 0.5;
+      }
+    }
+  }
+  EXPECT_NEAR(set, M_PI * 144.0, M_PI * 144.0 * 0.05);
+  // Pixel centers (x+0.5) of the filled set are symmetric about the disc
+  // center expressed in polygon coordinates.
+  EXPECT_NEAR(sx / set, 32.0, 0.2);
+  EXPECT_NEAR(sy / set, 30.0, 0.2);
+}
+
+TEST(Rasterize, TriangleHalfPlane) {
+  const lg::Polygon t({{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}});
+  const auto mask = lg::rasterize({t}, 8, 8);
+  // Pixels clearly inside / outside the hypotenuse.
+  EXPECT_EQ(mask[1 * 8 + 1], 1);
+  EXPECT_EQ(mask[7 * 8 + 7], 0);
+  const double cov = lg::coverage(mask);
+  EXPECT_NEAR(cov, 0.5, 0.08);
+}
