@@ -2,19 +2,43 @@
 // (google-benchmark): GEMM, conv forward/backward, generator inference.
 // These are not paper experiments; they document the throughput on which
 // the Table 4 runtime results stand.
+//
+// Each benchmark carries a trailing thread-count argument: 0 runs the seed
+// serial path (no execution context), N >= 1 runs on an N-thread
+// ExecContext. Results are bit-identical across the sweep by construction
+// (see tests/determinism_test.cpp); only the wall time should move.
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 #include "core/config.hpp"
 #include "core/networks.hpp"
 #include "math/gemm.hpp"
 #include "nn/conv.hpp"
 #include "nn/tensor.hpp"
+#include "util/exec_context.hpp"
 #include "util/rng.hpp"
 
 using namespace lithogan;
 
+namespace {
+
+/// Thread-count operand -> context. 0 means "no context" (serial seed path).
+std::unique_ptr<util::ExecContext> make_exec(std::int64_t threads) {
+  if (threads <= 0) return nullptr;
+  return std::make_unique<util::ExecContext>(static_cast<std::size_t>(threads));
+}
+
+void set_thread_counters(benchmark::State& state) {
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(std::max<std::int64_t>(1, state.range(1))));
+}
+
+}  // namespace
+
 static void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
+  const auto exec = make_exec(state.range(1));
   util::Rng rng(1);
   std::vector<float> a(n * n);
   std::vector<float> b(n * n);
@@ -22,50 +46,62 @@ static void BM_Gemm(benchmark::State& state) {
   for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
   for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
   for (auto _ : state) {
-    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec.get());
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
+  set_thread_counters(state);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->ArgsProduct({{64, 128, 256}, {0, 1, 2, 4, 8}});
 
 static void BM_Conv2dForward(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
+  const auto exec = make_exec(state.range(1));
   util::Rng rng(2);
   nn::Conv2d conv(16, 32, 5, 2, 2, rng);
-  const auto x = nn::Tensor::randn({1, 16, size, size}, rng);
+  conv.set_exec_context(exec.get());
+  // Batch of 4 so the batch-parallel path (one sample per task, per-thread
+  // im2col workspaces) is what the sweep exercises.
+  const auto x = nn::Tensor::randn({4, 16, size, size}, rng);
   for (auto _ : state) {
     auto y = conv.forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
+  set_thread_counters(state);
 }
-BENCHMARK(BM_Conv2dForward)->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv2dForward)->ArgsProduct({{32, 64}, {0, 1, 2, 4, 8}});
 
 static void BM_Conv2dBackward(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
+  const auto exec = make_exec(state.range(1));
   util::Rng rng(3);
   nn::Conv2d conv(16, 32, 5, 2, 2, rng);
-  const auto x = nn::Tensor::randn({1, 16, size, size}, rng);
+  conv.set_exec_context(exec.get());
+  const auto x = nn::Tensor::randn({4, 16, size, size}, rng);
   const auto y = conv.forward(x);
   const auto g = nn::Tensor::randn(y.shape(), rng);
   for (auto _ : state) {
     auto gx = conv.backward(g);
     benchmark::DoNotOptimize(gx.raw());
   }
+  set_thread_counters(state);
 }
-BENCHMARK(BM_Conv2dBackward)->Arg(32)->Arg(64);
+BENCHMARK(BM_Conv2dBackward)->ArgsProduct({{32, 64}, {0, 1, 2, 4, 8}});
 
 static void BM_DeconvForward(benchmark::State& state) {
   const auto size = static_cast<std::size_t>(state.range(0));
+  const auto exec = make_exec(state.range(1));
   util::Rng rng(4);
   nn::ConvTranspose2d deconv(32, 16, 5, 2, 2, 1, rng);
-  const auto x = nn::Tensor::randn({1, 32, size, size}, rng);
+  deconv.set_exec_context(exec.get());
+  const auto x = nn::Tensor::randn({4, 32, size, size}, rng);
   for (auto _ : state) {
     auto y = deconv.forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
+  set_thread_counters(state);
 }
-BENCHMARK(BM_DeconvForward)->Arg(16)->Arg(32);
+BENCHMARK(BM_DeconvForward)->ArgsProduct({{16, 32}, {0, 1, 2, 4, 8}});
 
 static void BM_GeneratorInference(benchmark::State& state) {
   // The lite-scale generator used by the experiment harnesses.
@@ -73,28 +109,32 @@ static void BM_GeneratorInference(benchmark::State& state) {
   cfg.image_size = 32;
   cfg.base_channels = 12;
   cfg.max_channels = 48;
+  const auto exec = make_exec(state.range(0));
   util::Rng rng(5);
   auto gen = core::build_generator(cfg, rng);
   gen->set_training(false);
+  gen->set_exec_context(exec.get());
   const auto x = nn::Tensor::randn({1, 3, 32, 32}, rng);
   for (auto _ : state) {
     auto y = gen->forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
 }
-BENCHMARK(BM_GeneratorInference);
+BENCHMARK(BM_GeneratorInference)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 static void BM_PaperScaleGeneratorLayer(benchmark::State& state) {
   // One paper-scale encoder layer (the 256x256 -> 128x128, 3 -> 64 conv):
   // documents what full-scale inference would cost on this machine.
+  const auto exec = make_exec(state.range(0));
   util::Rng rng(6);
   nn::Conv2d conv(3, 64, 5, 2, 2, rng);
+  conv.set_exec_context(exec.get());
   const auto x = nn::Tensor::randn({1, 3, 256, 256}, rng);
   for (auto _ : state) {
     auto y = conv.forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
 }
-BENCHMARK(BM_PaperScaleGeneratorLayer);
+BENCHMARK(BM_PaperScaleGeneratorLayer)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 BENCHMARK_MAIN();

@@ -12,6 +12,7 @@
 #include "common.hpp"
 #include "data/batch.hpp"
 #include "geometry/marching_squares.hpp"
+#include "util/exec_context.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -121,6 +122,29 @@ int main() {
 
   std::printf("\npaper Table 4: rigorous >15 h (~1800x) | Ref.[12] 80 m + 8 s + 15 m "
               "(~190x) | GAN 30 s (1x)\n");
+
+  // Thread-count sweep over the dominant cost, rigorous simulation. Every
+  // row produces bit-identical fields (tests/determinism_test.cpp pins
+  // this); only wall time moves. Thresholds are copied from the calibrated
+  // serial simulator so no row pays for recalibration.
+  const std::size_t sweep_clips = std::min<std::size_t>(clips.size(), 4);
+  std::printf("\nthread sweep — rigorous simulation (%zu clips):\n", sweep_clips);
+  std::printf("  %8s %12s %9s\n", "threads", "s/clip", "speedup");
+  double sweep_base_s = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    util::ExecContext exec(threads);
+    litho::ProcessConfig swept = rigorous_process;
+    swept.resist.threshold = rigorous.process().resist.threshold;
+    swept.exec = &exec;
+    litho::Simulator sim(swept);
+    util::Timer t_sweep;
+    for (std::size_t i = 0; i < sweep_clips; ++i) sim.run(clips[i].all_openings());
+    const double per_clip = t_sweep.elapsed_seconds() / static_cast<double>(sweep_clips);
+    if (threads == 1) sweep_base_s = per_clip;
+    std::printf("  %8zu %12.4f %8.2fx\n", threads, per_clip,
+                sweep_base_s / std::max(per_clip, 1e-12));
+  }
   std::printf("\nshape checks:\n");
   std::printf("  rigorous > Ref.[12] flow:   %s (%.1fx vs %.1fx)\n",
               rigorous_s > ref12_s ? "OK" : "MISS", rigorous_s / gan_s, ref12_s / gan_s);

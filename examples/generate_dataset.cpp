@@ -13,6 +13,7 @@
 #include "geometry/marching_squares.hpp"
 #include "image/io.hpp"
 #include "util/cli.hpp"
+#include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 #include "util/logging.hpp"
 
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
       .add_flag("image-size", "64", "mask/resist image resolution")
       .add_flag("grid", "128", "simulation grid resolution (power of two)")
       .add_flag("out", "dataset", "output prefix: <out>.ds plus stage images")
-      .add_flag("visualize", "3", "clips to dump stage images for");
+      .add_flag("visualize", "3", "clips to dump stage images for")
+      .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
   litho::ProcessConfig process = cli.get("node") == "N7" ? litho::ProcessConfig::n7()
                                                          : litho::ProcessConfig::n10();
   process.grid.pixels = static_cast<std::size_t>(cli.get_int("grid"));
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+  process.exec = &exec;
 
   data::BuildConfig build;
   build.clip_count = static_cast<std::size_t>(cli.get_int("clips"));

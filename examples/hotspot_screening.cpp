@@ -12,6 +12,7 @@
 #include "core/screening.hpp"
 #include "data/dataset.hpp"
 #include "util/cli.hpp"
+#include "util/exec_context.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -22,17 +23,20 @@ int main(int argc, char** argv) {
   cli.add_flag("train-clips", "90", "clips for model training")
       .add_flag("screen-clips", "40", "fresh clips to screen")
       .add_flag("epochs", "25", "GAN training epochs")
-      .add_flag("budget-frac", "0.12", "CD error budget as fraction of target");
+      .add_flag("budget-frac", "0.12", "CD error budget as fraction of target")
+      .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
   util::set_log_level(util::LogLevel::kWarn);
 
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
   litho::ProcessConfig process = litho::ProcessConfig::n10();
   process.grid.pixels = 128;
   process.optical.source_rings = 1;
   process.optical.source_points_per_ring = 8;
+  process.exec = &exec;
 
   // --- Train once on synthesized data. ---------------------------------
   data::BuildConfig build;
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
   config.max_channels = 48;
   config.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   config.center_epochs = 40;
+  config.exec = &exec;
 
   std::vector<std::size_t> all(dataset.size());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;

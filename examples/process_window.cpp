@@ -9,6 +9,7 @@
 
 #include "litho/process_window.hpp"
 #include "util/cli.hpp"
+#include "util/exec_context.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -20,7 +21,8 @@ int main(int argc, char** argv) {
       .add_flag("dose-steps", "5", "matrix dose points")
       .add_flag("focus-steps", "5", "matrix focus points")
       .add_flag("focus-range", "60", "max |focus| offset (nm)")
-      .add_flag("tolerance", "0.1", "CD spec as fraction of target");
+      .add_flag("tolerance", "0.1", "CD spec as fraction of target")
+      .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
   litho::ProcessConfig process = cli.get("node") == "N7" ? litho::ProcessConfig::n7()
                                                          : litho::ProcessConfig::n10();
   process.grid.pixels = 128;
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+  process.exec = &exec;
   {
     litho::Simulator calib(process);
     process.resist.threshold = calib.calibrate_dose();

@@ -15,6 +15,7 @@
 #include "eval/report.hpp"
 #include "image/io.hpp"
 #include "util/cli.hpp"
+#include "util/exec_context.hpp"
 #include "util/logging.hpp"
 
 using namespace lithogan;
@@ -24,14 +25,18 @@ int main(int argc, char** argv) {
   cli.add_flag("clips", "48", "number of mask clips to synthesize")
       .add_flag("epochs", "10", "GAN training epochs")
       .add_flag("image-size", "32", "image resolution (power of two)")
-      .add_flag("out", "quickstart_prediction", "output image prefix");
+      .add_flag("out", "quickstart_prediction", "output image prefix")
+      .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
 
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+
   // 1. Data: an N10-like process on a lite simulation grid.
   litho::ProcessConfig process = litho::ProcessConfig::n10();
+  process.exec = &exec;
   process.grid.pixels = 128;
   process.optical.source_rings = 1;
   process.optical.source_points_per_ring = 8;
@@ -56,6 +61,7 @@ int main(int argc, char** argv) {
   config.max_channels = 48;
   config.epochs = static_cast<std::size_t>(cli.get_int("epochs"));
   config.center_epochs = 30;
+  config.exec = &exec;
 
   std::printf("training LithoGAN (%zu epochs, %zu train clips)...\n", config.epochs,
               split.train.size());

@@ -10,6 +10,7 @@
 #include "data/dataset.hpp"
 #include "eval/report.hpp"
 #include "util/cli.hpp"
+#include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 #include "util/logging.hpp"
 
@@ -31,7 +32,8 @@ int main(int argc, char** argv) {
       .add_flag("l2", "false", "use l2 reconstruction instead of l1")
       .add_flag("seed", "1", "RNG seed")
       .add_flag("train-fraction", "0.75", "train split fraction (paper: 0.75)")
-      .add_flag("save", "", "checkpoint prefix (empty = do not save)");
+      .add_flag("save", "", "checkpoint prefix (empty = do not save)")
+      .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
   config.adam_beta1 = static_cast<float>(cli.get_double("beta1"));
   config.use_l2_reconstruction = cli.get_bool("l2");
   config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+  config.exec = &exec;
 
   const core::Mode mode =
       cli.get("mode") == "cgan" ? core::Mode::kPlainCgan : core::Mode::kDualLearning;

@@ -58,6 +58,7 @@ nn::Tensor aerial_to_tensor(const image::Image& aerial) {
 ThresholdFlow::ThresholdFlow(const core::LithoGanConfig& config, util::Rng rng)
     : config_(config), rng_(rng), net_(build_threshold_cnn(config_, rng_)) {
   config_.validate();
+  net_->set_exec_context(config_.exec);
 }
 
 double ThresholdFlow::train(const data::Dataset& dataset,
@@ -101,7 +102,7 @@ double ThresholdFlow::train(const data::Dataset& dataset,
         }
       }
       const nn::Tensor pred = net_->forward(x);
-      const auto loss = nn::mse_loss(pred, y);
+      const auto loss = nn::mse_loss(pred, y, config_.exec);
       opt.zero_grad();
       net_->backward(loss.grad);
       opt.step();

@@ -20,6 +20,7 @@ CenterPredictor::CenterPredictor(const LithoGanConfig& config, util::Rng& rng)
   nn::Parameter* head_bias = params.back();
   LITHOGAN_REQUIRE(head_bias->value.size() == 2, "unexpected center CNN head");
   head_bias->value.fill(0.5f);
+  net_->set_exec_context(config_.exec);
 }
 
 double CenterPredictor::train(const data::Dataset& dataset,
@@ -42,7 +43,7 @@ double CenterPredictor::train(const data::Dataset& dataset,
       const nn::Tensor x = data::batch_masks(dataset, batch);
       const nn::Tensor target = data::batch_centers(dataset, batch);
       const nn::Tensor pred = net_->forward(x);
-      const auto loss = nn::mse_loss(pred, target);
+      const auto loss = nn::mse_loss(pred, target, config_.exec);
       opt.zero_grad();
       net_->backward(loss.grad);
       opt.step();

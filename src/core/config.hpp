@@ -11,6 +11,10 @@
 #include <cstddef>
 #include <string>
 
+namespace lithogan::util {
+class ExecContext;
+}
+
 namespace lithogan::core {
 
 struct LithoGanConfig {
@@ -46,6 +50,11 @@ struct LithoGanConfig {
   float center_dropout = 0.5f;
 
   std::uint64_t seed = 1;
+
+  /// Execution context for training and inference hot loops (batch-parallel
+  /// conv, GEMM row blocks, elementwise layers). Not owned; must outlive
+  /// every model built from this config. nullptr = serial execution.
+  util::ExecContext* exec = nullptr;
 
   static LithoGanConfig paper();
 

@@ -36,11 +36,11 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
   d_opt_->zero_grad();
   {
     const nn::Tensor real_logits = discriminator_->forward(concat_channels(masks, resists));
-    const auto real_loss = nn::bce_with_logits_loss(real_logits, 1.0f);
+    const auto real_loss = nn::bce_with_logits_loss(real_logits, 1.0f, config_.exec);
     discriminator_->backward(real_loss.grad);
 
     const nn::Tensor fake_logits = discriminator_->forward(concat_channels(masks, fake));
-    const auto fake_loss = nn::bce_with_logits_loss(fake_logits, 0.0f);
+    const auto fake_loss = nn::bce_with_logits_loss(fake_logits, 0.0f, config_.exec);
     discriminator_->backward(fake_loss.grad);
 
     losses.d_loss = real_loss.value + fake_loss.value;
@@ -53,14 +53,14 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
     const nn::Tensor fake_pair = concat_channels(masks, fake);
     const nn::Tensor logits = discriminator_->forward(fake_pair);
     // Non-saturating objective: maximize log D(x, G(x,z)).
-    const auto adv = nn::bce_with_logits_loss(logits, 1.0f);
+    const auto adv = nn::bce_with_logits_loss(logits, 1.0f, config_.exec);
     // d(adv)/d(fake): back through D (its parameter grads are discarded by
     // the next zero_grad), keeping only the resist-channel slice.
     const nn::Tensor grad_pair = discriminator_->backward(adv.grad);
     nn::Tensor grad_fake = slice_channels(grad_pair, masks.dim(1), grad_pair.dim(1));
 
-    const auto rec = config_.use_l2_reconstruction ? nn::mse_loss(fake, resists)
-                                                   : nn::l1_loss(fake, resists);
+    const auto rec = config_.use_l2_reconstruction ? nn::mse_loss(fake, resists, config_.exec)
+                                                   : nn::l1_loss(fake, resists, config_.exec);
     grad_fake.add_scaled(rec.grad, config_.lambda_l1);
 
     generator_->backward(grad_fake);

@@ -24,6 +24,8 @@ LithoGan::LithoGan(const LithoGanConfig& config, Mode mode, GeneratorArch arch,
   std::unique_ptr<nn::Module> discriminator =
       disc == DiscriminatorArch::kGlobalFc ? build_discriminator(config_, rng_)
                                            : build_patch_discriminator(config_, rng_);
+  generator->set_exec_context(config_.exec);
+  discriminator->set_exec_context(config_.exec);
   cgan_ = std::make_unique<CganTrainer>(config_, std::move(generator),
                                         std::move(discriminator));
   if (mode_ == Mode::kDualLearning) {

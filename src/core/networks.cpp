@@ -253,6 +253,12 @@ void UNetGenerator::set_training(bool training) {
   for (auto& block : decoder_) block->set_training(training);
 }
 
+void UNetGenerator::set_exec_context(util::ExecContext* exec) {
+  nn::Module::set_exec_context(exec);
+  for (auto& block : encoder_) block->set_exec_context(exec);
+  for (auto& block : decoder_) block->set_exec_context(exec);
+}
+
 void UNetGenerator::save_state(std::ostream& os) const {
   for (const auto& block : encoder_) block->save_state(os);
   for (const auto& block : decoder_) block->save_state(os);

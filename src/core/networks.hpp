@@ -57,6 +57,7 @@ class UNetGenerator : public nn::Module {
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::Parameter*> parameters() override;
   void set_training(bool training) override;
+  void set_exec_context(util::ExecContext* exec) override;
   std::string kind() const override { return "UNetGenerator"; }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;

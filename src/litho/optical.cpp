@@ -6,6 +6,7 @@
 
 #include "math/fft.hpp"
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::litho {
 
@@ -46,8 +47,9 @@ FieldGrid rasterize_mask(const std::vector<geometry::Rect>& openings,
   return out;
 }
 
-OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid)
-    : grid_(grid) {
+OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
+                           util::ExecContext* exec)
+    : grid_(grid), exec_(exec) {
   LITHOGAN_REQUIRE(math::is_power_of_two(grid.pixels), "grid must be power of two");
   const std::size_t n = grid.pixels;
   const double dx = grid.pixel_nm();
@@ -64,16 +66,26 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid)
   };
 
   const std::size_t planes = std::max<std::size_t>(1, optical.focus_planes);
-  transfer_.reserve(source.size() * planes);
-  kernel_weights_.reserve(source.size() * planes);
+  const std::size_t kernels = source.size() * planes;
+  transfer_.assign(kernels, {});
+  kernel_weights_.assign(kernels, 0.0);
 
-  for (std::size_t zi = 0; zi < planes; ++zi) {
-    // Focus offsets symmetric around the (possibly shifted) focus center:
-    // offset + {0, ±step, ±2*step, ...}.
-    const double z = optical.focus_offset_nm +
-                     (static_cast<double>(zi) - static_cast<double>(planes - 1) / 2.0) *
-                         optical.focus_step_nm;
-    for (const SourcePoint& s : source) {
+  // Kernel k = (focus plane zi, source point si); every kernel's pupil is
+  // computed independently, so the precompute parallelizes with no ordering
+  // concerns.
+  util::Workspace serial_ws;
+  util::parallel_for(exec_, serial_ws, 0, kernels, 1, [&](std::size_t k0,
+                                                          std::size_t k1,
+                                                          util::Workspace&) {
+    for (std::size_t k = k0; k < k1; ++k) {
+      const std::size_t zi = k / source.size();
+      const SourcePoint& s = source[k % source.size()];
+      // Focus offsets symmetric around the (possibly shifted) focus center:
+      // offset + {0, ±step, ±2*step, ...}.
+      const double z =
+          optical.focus_offset_nm +
+          (static_cast<double>(zi) - static_cast<double>(planes - 1) / 2.0) *
+              optical.focus_step_nm;
       std::vector<std::complex<double>> t(n * n, {0.0, 0.0});
       // Source offset converted to absolute frequency (1/nm).
       const double sfx = s.fx * cutoff;
@@ -101,10 +113,10 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid)
           t[iy * n + ix] = std::complex<double>(std::cos(phase), std::sin(phase));
         }
       }
-      transfer_.push_back(std::move(t));
-      kernel_weights_.push_back(s.weight / static_cast<double>(planes));
+      transfer_[k] = std::move(t);
+      kernel_weights_[k] = s.weight / static_cast<double>(planes);
     }
-  }
+  });
 
   // Normalize so a fully open mask images at intensity 1: its spectrum is a
   // DC delta, so the open-field intensity is sum_k w_k |T_k(0)|^2.
@@ -119,23 +131,59 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid)
 FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
   LITHOGAN_REQUIRE(mask.pixels == grid_.pixels, "mask grid resolution mismatch");
   const std::size_t n = grid_.pixels;
+  const std::size_t n2 = n * n;
 
   std::vector<math::Complex> spectrum(mask.values.begin(), mask.values.end());
-  math::fft2d(spectrum, n, n, /*inverse=*/false);
+  math::fft2d(spectrum, n, n, /*inverse=*/false, exec_);
 
   FieldGrid out;
   out.pixels = n;
   out.extent_nm = grid_.extent_nm;
-  out.values.assign(n * n, 0.0);
+  out.values.assign(n2, 0.0);
 
-  std::vector<math::Complex> field(n * n);
-  for (std::size_t k = 0; k < transfer_.size(); ++k) {
-    const auto& t = transfer_[k];
-    for (std::size_t i = 0; i < field.size(); ++i) field[i] = spectrum[i] * t[i];
-    math::fft2d(field, n, n, /*inverse=*/true);
-    const double w = kernel_weights_[k] * normalization_;
-    for (std::size_t i = 0; i < field.size(); ++i) {
-      out.values[i] += w * std::norm(field[i]);
+  if (exec_ == nullptr) {
+    std::vector<math::Complex> field(n2);
+    for (std::size_t k = 0; k < transfer_.size(); ++k) {
+      const auto& t = transfer_[k];
+      for (std::size_t i = 0; i < n2; ++i) field[i] = spectrum[i] * t[i];
+      math::fft2d(field, n, n, /*inverse=*/true);
+      const double w = kernel_weights_[k] * normalization_;
+      for (std::size_t i = 0; i < n2; ++i) {
+        out.values[i] += w * std::norm(field[i]);
+      }
+    }
+    return out;
+  }
+
+  // SOCS fan-out: kernels are processed in windows. Within a window each
+  // kernel's intensity w_k * |IFT[P_k * spectrum]|^2 lands in its own slot
+  // (parallel, disjoint writes); the slots are then accumulated serially in
+  // kernel order, reproducing the serial sum ((0 + I_0) + I_1) + ... bit
+  // for bit at any thread count. The window bounds slot memory at
+  // O(threads * grid^2) instead of O(kernels * grid^2).
+  const std::size_t kernels = transfer_.size();
+  const std::size_t window = std::min(kernels, std::max<std::size_t>(exec_->threads(), 1) * 2);
+  std::vector<double> slots(window * n2);
+  for (std::size_t w0 = 0; w0 < kernels; w0 += window) {
+    const std::size_t w1 = std::min(w0 + window, kernels);
+    exec_->parallel_for(w0, w1, 1, [&](std::size_t k0, std::size_t k1,
+                                       util::Workspace& ws) {
+      auto& field = ws.complexes(0);
+      field.resize(n2);
+      for (std::size_t k = k0; k < k1; ++k) {
+        const auto& t = transfer_[k];
+        for (std::size_t i = 0; i < n2; ++i) field[i] = spectrum[i] * t[i];
+        // Nested parallel_for serializes inline, so the inner FFT runs
+        // serially here regardless of the context.
+        math::fft2d(field, n, n, /*inverse=*/true);
+        const double w = kernel_weights_[k] * normalization_;
+        double* slot = slots.data() + (k - w0) * n2;
+        for (std::size_t i = 0; i < n2; ++i) slot[i] = w * std::norm(field[i]);
+      }
+    });
+    for (std::size_t k = w0; k < w1; ++k) {
+      const double* slot = slots.data() + (k - w0) * n2;
+      for (std::size_t i = 0; i < n2; ++i) out.values[i] += slot[i];
     }
   }
   return out;

@@ -44,10 +44,15 @@ FieldGrid rasterize_mask(const std::vector<geometry::Rect>& openings,
 class OpticalModel {
  public:
   /// Precomputes the shifted-pupil transfer functions for every source
-  /// point x focus plane combination.
-  OpticalModel(const OpticalConfig& optical, const GridConfig& grid);
+  /// point x focus plane combination. The optional execution context
+  /// parallelizes both the precompute and aerial_image; it is not owned
+  /// and must outlive the model.
+  OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
+               util::ExecContext* exec = nullptr);
 
   /// Aerial image of a rasterized mask. Output grid matches the input.
+  /// Bit-identical at every thread count: kernel intensities are computed
+  /// in parallel but accumulated in kernel order.
   FieldGrid aerial_image(const FieldGrid& mask) const;
 
   /// Number of coherent kernels (source points x focus planes): the main
@@ -59,6 +64,7 @@ class OpticalModel {
 
  private:
   GridConfig grid_;
+  util::ExecContext* exec_ = nullptr;
   double normalization_ = 1.0;
   /// Frequency-domain transfer functions, one per (source point, focus).
   std::vector<std::vector<std::complex<double>>> transfer_;

@@ -10,6 +10,10 @@
 #include <cstddef>
 #include <string>
 
+namespace lithogan::util {
+class ExecContext;
+}
+
 namespace lithogan::litho {
 
 /// Illumination shape. The paper's contact layers would use annular or
@@ -72,6 +76,11 @@ struct ProcessConfig {
   double contact_size_nm = 60.0;   ///< drawn target contact edge (60 nm, Sec. 3.1)
   double min_pitch_nm = 120.0;     ///< densest contact pitch in generated layouts
   double crop_window_nm = 128.0;   ///< golden resist crop around the target (Sec. 3.1)
+
+  /// Execution context for the simulator's hot loops (SOCS kernel fan-out,
+  /// FFTs, resist passes). Not owned; must outlive every Simulator built
+  /// from this config. nullptr (the default) means serial execution.
+  util::ExecContext* exec = nullptr;
 
   /// 10 nm-node process: the paper's primary dataset (982 clips).
   static ProcessConfig n10();

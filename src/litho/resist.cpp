@@ -6,17 +6,18 @@
 
 #include "math/fft.hpp"
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::litho {
 
-FieldGrid diffuse(const FieldGrid& field, double sigma_nm) {
+FieldGrid diffuse(const FieldGrid& field, double sigma_nm, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(sigma_nm >= 0.0, "diffusion sigma negative");
   if (sigma_nm == 0.0) return field;
   const std::size_t n = field.pixels;
   const double dx = field.pixel_nm();
 
   std::vector<math::Complex> spectrum(field.values.begin(), field.values.end());
-  math::fft2d(spectrum, n, n, /*inverse=*/false);
+  math::fft2d(spectrum, n, n, /*inverse=*/false, exec);
 
   // FT of a unit-mass Gaussian: exp(-2 pi^2 sigma^2 |f|^2).
   const auto bin_freq = [&](std::size_t i) {
@@ -26,14 +27,18 @@ FieldGrid diffuse(const FieldGrid& field, double sigma_nm) {
     return static_cast<double>(signed_i) / (static_cast<double>(n) * dx);
   };
   const double c = 2.0 * std::numbers::pi * std::numbers::pi * sigma_nm * sigma_nm;
-  for (std::size_t iy = 0; iy < n; ++iy) {
-    const double fy = bin_freq(iy);
-    for (std::size_t ix = 0; ix < n; ++ix) {
-      const double fx = bin_freq(ix);
-      spectrum[iy * n + ix] *= std::exp(-c * (fx * fx + fy * fy));
-    }
-  }
-  math::fft2d(spectrum, n, n, /*inverse=*/true);
+  util::Workspace serial_ws;
+  util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+                     [&](std::size_t y0, std::size_t y1, util::Workspace&) {
+                       for (std::size_t iy = y0; iy < y1; ++iy) {
+                         const double fy = bin_freq(iy);
+                         for (std::size_t ix = 0; ix < n; ++ix) {
+                           const double fx = bin_freq(ix);
+                           spectrum[iy * n + ix] *= std::exp(-c * (fx * fx + fy * fy));
+                         }
+                       }
+                     });
+  math::fft2d(spectrum, n, n, /*inverse=*/true, exec);
 
   FieldGrid out = field;
   for (std::size_t i = 0; i < out.values.size(); ++i) out.values[i] = spectrum[i].real();
@@ -51,7 +56,7 @@ FieldGrid ResistModel::develop(const FieldGrid& aerial) const {
 }
 
 FieldGrid ConstantThresholdResist::latent_image(const FieldGrid& aerial) const {
-  return diffuse(aerial, config_.diffusion_length_nm);
+  return diffuse(aerial, config_.diffusion_length_nm, exec_);
 }
 
 FieldGrid ConstantThresholdResist::threshold_field(const FieldGrid& latent) const {
@@ -61,7 +66,7 @@ FieldGrid ConstantThresholdResist::threshold_field(const FieldGrid& latent) cons
 }
 
 FieldGrid VariableThresholdResist::latent_image(const FieldGrid& aerial) const {
-  return diffuse(aerial, config_.diffusion_length_nm);
+  return diffuse(aerial, config_.diffusion_length_nm, exec_);
 }
 
 namespace {
@@ -70,32 +75,41 @@ namespace {
 // the FFT's periodic boundary). Brute-force per row/column: radius is small
 // (tens of pixels) and this runs once per simulation.
 std::vector<double> window_max(const std::vector<double>& src, std::size_t n,
-                               std::size_t radius) {
+                               std::size_t radius, util::ExecContext* exec) {
+  // Both passes write disjoint rows, so they parallelize row-wise without
+  // any numerical consequence (max is order-independent anyway).
+  util::Workspace serial_ws;
   std::vector<double> tmp(n * n);
-  // Horizontal pass.
-  for (std::size_t y = 0; y < n; ++y) {
-    const double* row = src.data() + y * n;
-    for (std::size_t x = 0; x < n; ++x) {
-      double best = row[x];
-      for (std::size_t d = 1; d <= radius; ++d) {
-        best = std::max(best, row[(x + d) % n]);
-        best = std::max(best, row[(x + n - d % n) % n]);
-      }
-      tmp[y * n + x] = best;
-    }
-  }
-  // Vertical pass.
+  util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+                     [&](std::size_t y0, std::size_t y1, util::Workspace&) {
+                       // Horizontal pass.
+                       for (std::size_t y = y0; y < y1; ++y) {
+                         const double* row = src.data() + y * n;
+                         for (std::size_t x = 0; x < n; ++x) {
+                           double best = row[x];
+                           for (std::size_t d = 1; d <= radius; ++d) {
+                             best = std::max(best, row[(x + d) % n]);
+                             best = std::max(best, row[(x + n - d % n) % n]);
+                           }
+                           tmp[y * n + x] = best;
+                         }
+                       }
+                     });
   std::vector<double> out(n * n);
-  for (std::size_t y = 0; y < n; ++y) {
-    for (std::size_t x = 0; x < n; ++x) {
-      double best = tmp[y * n + x];
-      for (std::size_t d = 1; d <= radius; ++d) {
-        best = std::max(best, tmp[((y + d) % n) * n + x]);
-        best = std::max(best, tmp[((y + n - d % n) % n) * n + x]);
-      }
-      out[y * n + x] = best;
-    }
-  }
+  util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+                     [&](std::size_t y0, std::size_t y1, util::Workspace&) {
+                       // Vertical pass.
+                       for (std::size_t y = y0; y < y1; ++y) {
+                         for (std::size_t x = 0; x < n; ++x) {
+                           double best = tmp[y * n + x];
+                           for (std::size_t d = 1; d <= radius; ++d) {
+                             best = std::max(best, tmp[((y + d) % n) * n + x]);
+                             best = std::max(best, tmp[((y + n - d % n) % n) * n + x]);
+                           }
+                           out[y * n + x] = best;
+                         }
+                       }
+                     });
   return out;
 }
 
@@ -107,23 +121,31 @@ FieldGrid VariableThresholdResist::threshold_field(const FieldGrid& latent) cons
   const auto radius = static_cast<std::size_t>(
       std::max(1.0, std::round(config_.vtr_window_nm / (2.0 * dx))));
 
-  const std::vector<double> local_max = window_max(latent.values, n, radius);
+  const std::vector<double> local_max = window_max(latent.values, n, radius, exec_);
 
   FieldGrid out = latent;
-  for (std::size_t y = 0; y < n; ++y) {
-    for (std::size_t x = 0; x < n; ++x) {
-      // Central-difference gradient magnitude (per nm), circular boundary.
-      const double gx = (latent.at((x + 1) % n, y) - latent.at((x + n - 1) % n, y)) /
-                        (2.0 * dx);
-      const double gy = (latent.at(x, (y + 1) % n) - latent.at(x, (y + n - 1) % n)) /
-                        (2.0 * dx);
-      const double grad = std::sqrt(gx * gx + gy * gy);
-      out.values[y * n + x] =
-          config_.threshold +
-          config_.vtr_max_coeff * (local_max[y * n + x] - config_.vtr_reference_imax) +
-          config_.vtr_slope_coeff * grad;
-    }
-  }
+  util::Workspace serial_ws;
+  util::parallel_for(
+      exec_, serial_ws, 0, n, exec_ ? exec_->grain_for(n) : n,
+      [&](std::size_t y0, std::size_t y1, util::Workspace&) {
+        for (std::size_t y = y0; y < y1; ++y) {
+          for (std::size_t x = 0; x < n; ++x) {
+            // Central-difference gradient magnitude (per nm), circular boundary.
+            const double gx =
+                (latent.at((x + 1) % n, y) - latent.at((x + n - 1) % n, y)) /
+                (2.0 * dx);
+            const double gy =
+                (latent.at(x, (y + 1) % n) - latent.at(x, (y + n - 1) % n)) /
+                (2.0 * dx);
+            const double grad = std::sqrt(gx * gx + gy * gy);
+            out.values[y * n + x] =
+                config_.threshold +
+                config_.vtr_max_coeff *
+                    (local_max[y * n + x] - config_.vtr_reference_imax) +
+                config_.vtr_slope_coeff * grad;
+          }
+        }
+      });
   return out;
 }
 

@@ -19,7 +19,8 @@ namespace lithogan::litho {
 
 /// Gaussian blur of `field` with standard deviation `sigma_nm` (circular
 /// boundary, FFT-based — consistent with the optical model's conventions).
-FieldGrid diffuse(const FieldGrid& field, double sigma_nm);
+FieldGrid diffuse(const FieldGrid& field, double sigma_nm,
+                  util::ExecContext* exec = nullptr);
 
 class ResistModel {
  public:
@@ -34,6 +35,14 @@ class ResistModel {
   /// develop = latent - threshold; the printed pattern is develop >= 0 and
   /// printed contours are the zero iso-lines of this field.
   FieldGrid develop(const FieldGrid& aerial) const;
+
+  /// Attaches the execution context used by the model's grid passes (not
+  /// owned; nullptr = serial). All passes are bit-identical at any thread
+  /// count — only disjoint per-row/per-pixel writes are parallelized.
+  void set_exec_context(util::ExecContext* exec) { exec_ = exec; }
+
+ protected:
+  util::ExecContext* exec_ = nullptr;
 };
 
 class ConstantThresholdResist : public ResistModel {

@@ -9,7 +9,9 @@
 namespace lithogan::litho {
 
 Simulator::Simulator(const ProcessConfig& process, ResistKind resist_kind)
-    : process_(process), resist_kind_(resist_kind), optical_(process.optical, process.grid) {
+    : process_(process),
+      resist_kind_(resist_kind),
+      optical_(process.optical, process.grid, process.exec) {
   process_.validate();
   rebuild_resist();
 }
@@ -20,6 +22,7 @@ void Simulator::rebuild_resist() {
   } else {
     resist_ = std::make_unique<VariableThresholdResist>(process_.resist);
   }
+  resist_->set_exec_context(process_.exec);
 }
 
 FieldGrid Simulator::aerial_image(const std::vector<geometry::Rect>& mask_openings) {

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::math {
 
@@ -15,8 +16,7 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void fft(std::vector<Complex>& data, bool inverse) {
-  const std::size_t n = data.size();
+void fft(Complex* data, std::size_t n, bool inverse) {
   LITHOGAN_REQUIRE(is_power_of_two(n), "fft size must be a power of two");
   if (n == 1) return;
 
@@ -46,42 +46,58 @@ void fft(std::vector<Complex>& data, bool inverse) {
 
   if (inverse) {
     const double scale = 1.0 / static_cast<double>(n);
-    for (auto& value : data) value *= scale;
+    for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
   }
 }
 
-void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool inverse) {
+void fft(std::vector<Complex>& data, bool inverse) {
+  fft(data.data(), data.size(), inverse);
+}
+
+void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool inverse,
+           util::ExecContext* exec) {
   LITHOGAN_REQUIRE(data.size() == rows * cols, "fft2d size mismatch");
   LITHOGAN_REQUIRE(is_power_of_two(rows) && is_power_of_two(cols),
                    "fft2d dimensions must be powers of two");
 
-  std::vector<Complex> line(cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    line.assign(data.begin() + static_cast<std::ptrdiff_t>(r * cols),
-                data.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
-    fft(line, inverse);
-    std::copy(line.begin(), line.end(), data.begin() + static_cast<std::ptrdiff_t>(r * cols));
-  }
+  // Rows are contiguous: transform them in place, no staging buffer.
+  util::Workspace serial_ws;
+  util::parallel_for(exec, serial_ws, 0, rows, exec ? exec->grain_for(rows) : rows,
+                     [&](std::size_t r0, std::size_t r1, util::Workspace&) {
+                       for (std::size_t r = r0; r < r1; ++r) {
+                         fft(data.data() + r * cols, cols, inverse);
+                       }
+                     });
 
-  std::vector<Complex> column(rows);
-  for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) column[r] = data[r * cols + c];
-    fft(column, inverse);
-    for (std::size_t r = 0; r < rows; ++r) data[r * cols + c] = column[r];
-  }
+  // Columns gather/scatter through one scratch line per task, sized once.
+  util::parallel_for(exec, serial_ws, 0, cols, exec ? exec->grain_for(cols) : cols,
+                     [&](std::size_t c0, std::size_t c1, util::Workspace& ws) {
+                       auto& column = ws.complexes(0);
+                       column.resize(rows);
+                       for (std::size_t c = c0; c < c1; ++c) {
+                         for (std::size_t r = 0; r < rows; ++r) {
+                           column[r] = data[r * cols + c];
+                         }
+                         fft(column.data(), rows, inverse);
+                         for (std::size_t r = 0; r < rows; ++r) {
+                           data[r * cols + c] = column[r];
+                         }
+                       }
+                     });
 }
 
 std::vector<double> convolve2d_circular(const std::vector<double>& a,
                                         const std::vector<double>& b,
-                                        std::size_t rows, std::size_t cols) {
+                                        std::size_t rows, std::size_t cols,
+                                        util::ExecContext* exec) {
   LITHOGAN_REQUIRE(a.size() == rows * cols && b.size() == rows * cols,
                    "convolve2d size mismatch");
   std::vector<Complex> fa(a.begin(), a.end());
   std::vector<Complex> fb(b.begin(), b.end());
-  fft2d(fa, rows, cols, /*inverse=*/false);
-  fft2d(fb, rows, cols, /*inverse=*/false);
+  fft2d(fa, rows, cols, /*inverse=*/false, exec);
+  fft2d(fb, rows, cols, /*inverse=*/false, exec);
   for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
-  fft2d(fa, rows, cols, /*inverse=*/true);
+  fft2d(fa, rows, cols, /*inverse=*/true, exec);
   std::vector<double> out(rows * cols);
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = fa[i].real();
   return out;
@@ -89,15 +105,16 @@ std::vector<double> convolve2d_circular(const std::vector<double>& a,
 
 std::vector<Complex> convolve2d_circular_complex(const std::vector<double>& field,
                                                  const std::vector<Complex>& kernel,
-                                                 std::size_t rows, std::size_t cols) {
+                                                 std::size_t rows, std::size_t cols,
+                                                 util::ExecContext* exec) {
   LITHOGAN_REQUIRE(field.size() == rows * cols && kernel.size() == rows * cols,
                    "convolve2d size mismatch");
   std::vector<Complex> ff(field.begin(), field.end());
   std::vector<Complex> fk = kernel;
-  fft2d(ff, rows, cols, /*inverse=*/false);
-  fft2d(fk, rows, cols, /*inverse=*/false);
+  fft2d(ff, rows, cols, /*inverse=*/false, exec);
+  fft2d(fk, rows, cols, /*inverse=*/false, exec);
   for (std::size_t i = 0; i < ff.size(); ++i) ff[i] *= fk[i];
-  fft2d(ff, rows, cols, /*inverse=*/true);
+  fft2d(ff, rows, cols, /*inverse=*/true, exec);
   return ff;
 }
 

@@ -3,11 +3,19 @@
 // The optical simulator computes aerial images as sums of |h_k * m|^2 over
 // SOCS kernels; each convolution is done in the frequency domain. Grids are
 // zero-padded to powers of two, so only the radix-2 case is implemented.
+//
+// fft2d optionally runs row- and column-parallel over an ExecContext. Every
+// 1-D transform touches a disjoint line of the grid, so results are
+// bit-identical at any thread count.
 #pragma once
 
 #include <complex>
 #include <cstddef>
 #include <vector>
+
+namespace lithogan::util {
+class ExecContext;
+}
 
 namespace lithogan::math {
 
@@ -19,26 +27,34 @@ bool is_power_of_two(std::size_t n);
 /// Smallest power of two >= n.
 std::size_t next_power_of_two(std::size_t n);
 
-/// In-place radix-2 complex FFT. `data.size()` must be a power of two.
-/// `inverse` applies the conjugate transform and divides by N, so
+/// In-place radix-2 complex FFT over `data[0..n)`. `n` must be a power of
+/// two. `inverse` applies the conjugate transform and divides by N, so
 /// ifft(fft(x)) == x.
+void fft(Complex* data, std::size_t n, bool inverse);
+
+/// Vector convenience wrapper over the pointer form.
 void fft(std::vector<Complex>& data, bool inverse);
 
 /// Row-major 2-D FFT over a rows x cols grid (both powers of two).
-/// Transforms rows then columns; `inverse` as in fft().
-void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool inverse);
+/// Transforms rows then columns; `inverse` as in fft(). Rows are
+/// transformed in place (no staging copies); columns gather through a
+/// per-task scratch line.
+void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool inverse,
+           util::ExecContext* exec = nullptr);
 
 /// Circular 2-D convolution of two real grids of identical power-of-two
 /// size, returning the real part of the product-spectrum inverse transform.
 std::vector<double> convolve2d_circular(const std::vector<double>& a,
                                         const std::vector<double>& b,
-                                        std::size_t rows, std::size_t cols);
+                                        std::size_t rows, std::size_t cols,
+                                        util::ExecContext* exec = nullptr);
 
 /// Circular 2-D convolution where the kernel is complex (optical kernels
 /// carry phase under defocus). Returns a complex field.
 std::vector<Complex> convolve2d_circular_complex(const std::vector<double>& field,
                                                  const std::vector<Complex>& kernel,
-                                                 std::size_t rows, std::size_t cols);
+                                                 std::size_t rows, std::size_t cols,
+                                                 util::ExecContext* exec = nullptr);
 
 /// Reference O(N^2) DFT used by tests to validate the FFT.
 std::vector<Complex> naive_dft(const std::vector<Complex>& data, bool inverse);

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/exec_context.hpp"
+
 namespace lithogan::math {
 
 namespace {
 constexpr std::size_t kBlockK = 256;
 constexpr std::size_t kBlockM = 64;
+// Minimum multiply-adds per task; splitting finer than this loses more to
+// scheduling than the extra threads recover.
+constexpr std::size_t kMinFlopsPerTask = 16 * 1024;
 
 void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   if (beta == 1.0f) return;
@@ -17,13 +22,24 @@ void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   }
   for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
 }
-}  // namespace
 
-void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-          const float* b, float beta, float* c) {
-  scale_c(m, n, beta, c);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, m);
+/// Rows of C per task such that each task does at least kMinFlopsPerTask
+/// multiply-adds (`row_cost` = n * k of the variant).
+std::size_t row_grain(const util::ExecContext* exec, std::size_t m,
+                      std::size_t row_cost) {
+  const std::size_t min_rows =
+      std::max<std::size_t>(1, kMinFlopsPerTask / std::max<std::size_t>(1, row_cost));
+  return std::max(min_rows, exec ? exec->grain_for(m) : m);
+}
+
+/// The seed's cache-blocked ikj kernel over the row range [i0r, i1r). The
+/// per-row accumulation order (p ascending within k-blocks) is unchanged,
+/// so splitting the row range across tasks cannot change results.
+void gemm_rows(std::size_t i0r, std::size_t i1r, std::size_t n, std::size_t k,
+               float alpha, const float* a, const float* b, float beta, float* c) {
+  scale_c(i1r - i0r, n, beta, c + i0r * n);
+  for (std::size_t i0 = i0r; i0 < i1r; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, i1r);
     for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
       const std::size_t p1 = std::min(p0 + kBlockK, k);
       for (std::size_t i = i0; i < i1; ++i) {
@@ -38,38 +54,69 @@ void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float*
     }
   }
 }
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+          const float* b, float beta, float* c, util::ExecContext* exec) {
+  if (exec == nullptr) {
+    gemm_rows(0, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  exec->parallel_for(0, m, row_grain(exec, m, n * k),
+                     [&](std::size_t r0, std::size_t r1, util::Workspace&) {
+                       gemm_rows(r0, r1, n, k, alpha, a, b, beta, c);
+                     });
+}
 
 void gemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             const float* b, float beta, float* c) {
-  // A is k x m row-major; we compute C[i][j] += A[p][i] * B[p][j].
-  scale_c(m, n, beta, c);
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aval = alpha * arow[i];
-      if (aval == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+             const float* b, float beta, float* c, util::ExecContext* exec) {
+  // A is k x m row-major; we compute C[i][j] += A[p][i] * B[p][j]. Each task
+  // owns a row range of C; per row the p-accumulation order matches the
+  // seed's p-outer loop, so results are independent of the split.
+  auto rows = [&](std::size_t r0, std::size_t r1, util::Workspace&) {
+    scale_c(r1 - r0, n, beta, c + r0 * n);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float aval = alpha * arow[i];
+        if (aval == 0.0f) continue;
+        float* crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+      }
     }
+  };
+  if (exec == nullptr) {
+    util::Workspace unused;
+    rows(0, m, unused);
+    return;
   }
+  exec->parallel_for(0, m, row_grain(exec, m, n * k), rows);
 }
 
 void gemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             const float* b, float beta, float* c) {
+             const float* b, float beta, float* c, util::ExecContext* exec) {
   // B is n x k row-major; C[i][j] += A[i][p] * B[j][p] — a dot product, which
-  // keeps both streams sequential.
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      // beta == 0 must not read C: it may be uninitialized (NaN propagation).
-      crow[j] = (beta == 0.0f) ? alpha * acc : alpha * acc + beta * crow[j];
+  // keeps both streams sequential. Rows of C are independent.
+  auto rows = [&](std::size_t r0, std::size_t r1, util::Workspace&) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        // beta == 0 must not read C: it may be uninitialized (NaN propagation).
+        crow[j] = (beta == 0.0f) ? alpha * acc : alpha * acc + beta * crow[j];
+      }
     }
+  };
+  if (exec == nullptr) {
+    util::Workspace unused;
+    rows(0, m, unused);
+    return;
   }
+  exec->parallel_for(0, m, row_grain(exec, m, n * k), rows);
 }
 
 }  // namespace lithogan::math

@@ -2,27 +2,33 @@
 // convolution in the neural-network library (via im2col lowering).
 //
 // The kernel is a cache-blocked triple loop in ikj order with the innermost
-// loop vectorizable by the compiler. It is deliberately dependency-free; on
-// the single-core reproduction machine it reaches a few GFLOP/s, enough for
-// the lite-scale experiments.
+// loop vectorizable by the compiler. Each variant optionally runs row-block
+// parallel over an ExecContext; every row of C is written by exactly one
+// task and its k-accumulation order never changes, so results are
+// bit-identical at any thread count (including the serial exec == nullptr
+// path).
 #pragma once
 
 #include <cstddef>
+
+namespace lithogan::util {
+class ExecContext;
+}
 
 namespace lithogan::math {
 
 /// C = alpha * A(m x k) * B(k x n) + beta * C(m x n), all row-major, dense.
 void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-          const float* b, float beta, float* c);
+          const float* b, float beta, float* c, util::ExecContext* exec = nullptr);
 
 /// C = alpha * A^T(k x m stored as m rows of k? no: A is k x m row-major,
 /// used as its transpose) * B(k x n) + beta * C(m x n).
 /// Convenient for weight-gradient computation without materializing A^T.
 void gemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             const float* b, float beta, float* c);
+             const float* b, float beta, float* c, util::ExecContext* exec = nullptr);
 
 /// C = alpha * A(m x k) * B^T (B is n x k row-major) + beta * C(m x n).
 void gemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-             const float* b, float beta, float* c);
+             const float* b, float beta, float* c, util::ExecContext* exec = nullptr);
 
 }  // namespace lithogan::math

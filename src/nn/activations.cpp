@@ -3,52 +3,80 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::nn {
+
+namespace {
+// Runs fn over [0, n) either inline or chunked across the pool. Every
+// element is written exactly once, so parallelization cannot change results.
+template <typename Fn>
+void elementwise(util::ExecContext* exec, std::size_t n, Fn&& fn) {
+  if (exec == nullptr) {
+    fn(0, n);
+    return;
+  }
+  exec->parallel_for(0, n, exec->grain_for(n, 1024),
+                     [&](std::size_t b, std::size_t e, util::Workspace&) { fn(b, e); });
+}
+}  // namespace
 
 Tensor ReLU::forward(const Tensor& input) {
   input_ = input;
   Tensor out = input;
-  for (float& v : out.data()) {
-    if (v < 0.0f) v = 0.0f;
-  }
+  float* v = out.raw();
+  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (v[i] < 0.0f) v[i] = 0.0f;
+    }
+  });
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(grad_output.same_shape(input_), "ReLU grad shape mismatch");
   Tensor grad = grad_output;
-  const auto x = input_.data();
-  auto g = grad.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (x[i] <= 0.0f) g[i] = 0.0f;
-  }
+  const float* x = input_.raw();
+  float* g = grad.raw();
+  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (x[i] <= 0.0f) g[i] = 0.0f;
+    }
+  });
   return grad;
 }
 
 Tensor LeakyReLU::forward(const Tensor& input) {
   input_ = input;
   Tensor out = input;
-  for (float& v : out.data()) {
-    if (v < 0.0f) v *= slope_;
-  }
+  float* v = out.raw();
+  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (v[i] < 0.0f) v[i] *= slope_;
+    }
+  });
   return out;
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(grad_output.same_shape(input_), "LeakyReLU grad shape mismatch");
   Tensor grad = grad_output;
-  const auto x = input_.data();
-  auto g = grad.data();
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (x[i] <= 0.0f) g[i] *= slope_;
-  }
+  const float* x = input_.raw();
+  float* g = grad.raw();
+  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (x[i] <= 0.0f) g[i] *= slope_;
+    }
+  });
   return grad;
 }
 
 Tensor Tanh::forward(const Tensor& input) {
   Tensor out = input;
-  for (float& v : out.data()) v = std::tanh(v);
+  float* v = out.raw();
+  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) v[i] = std::tanh(v[i]);
+  });
   output_ = out;
   return out;
 }
@@ -56,15 +84,20 @@ Tensor Tanh::forward(const Tensor& input) {
 Tensor Tanh::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(grad_output.same_shape(output_), "Tanh grad shape mismatch");
   Tensor grad = grad_output;
-  const auto y = output_.data();
-  auto g = grad.data();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  const float* y = output_.raw();
+  float* g = grad.raw();
+  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) g[i] *= 1.0f - y[i] * y[i];
+  });
   return grad;
 }
 
 Tensor Sigmoid::forward(const Tensor& input) {
   Tensor out = input;
-  for (float& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  float* v = out.raw();
+  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) v[i] = 1.0f / (1.0f + std::exp(-v[i]));
+  });
   output_ = out;
   return out;
 }
@@ -72,9 +105,11 @@ Tensor Sigmoid::forward(const Tensor& input) {
 Tensor Sigmoid::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(grad_output.same_shape(output_), "Sigmoid grad shape mismatch");
   Tensor grad = grad_output;
-  const auto y = output_.data();
-  auto g = grad.data();
-  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  const float* y = output_.raw();
+  float* g = grad.raw();
+  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) g[i] *= y[i] * (1.0f - y[i]);
+  });
   return grad;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 
 namespace lithogan::nn {
@@ -29,7 +30,14 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   xhat_ = Tensor(input.shape());
   inv_std_.assign(channels_, 0.0f);
 
-  for (std::size_t c = 0; c < channels_; ++c) {
+  // All per-channel state (batch statistics, running estimates, xhat) is
+  // disjoint across channels, and each channel keeps its sequential
+  // accumulation order — parallelizing over c changes nothing numerically.
+  util::Workspace serial_ws;
+  util::parallel_for(exec_, serial_ws, 0, channels_, 1, [&](std::size_t c0,
+                                                            std::size_t c1,
+                                                            util::Workspace&) {
+  for (std::size_t c = c0; c < c1; ++c) {
     float mean = 0.0f;
     float var = 0.0f;
     if (training_) {
@@ -74,6 +82,7 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
       }
     }
   }
+  });
   return output;
 }
 
@@ -87,7 +96,13 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   const auto m = static_cast<float>(per_channel);
 
   Tensor grad_input(cached_shape_);
-  for (std::size_t c = 0; c < channels_; ++c) {
+  // As in forward: per-channel work is fully disjoint, including the
+  // gamma/beta gradient accumulation (one slot per channel).
+  util::Workspace serial_ws;
+  util::parallel_for(exec_, serial_ws, 0, channels_, 1, [&](std::size_t c0,
+                                                            std::size_t c1,
+                                                            util::Workspace&) {
+  for (std::size_t c = c0; c < c1; ++c) {
     // dgamma = sum(dy * xhat), dbeta = sum(dy).
     double dg = 0.0;
     double db = 0.0;
@@ -125,6 +140,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
       }
     }
   }
+  });
   return grad_input;
 }
 

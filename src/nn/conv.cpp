@@ -3,13 +3,34 @@
 #include "math/gemm.hpp"
 #include "nn/im2col.hpp"
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 #include "util/rng.hpp"
 
 namespace lithogan::nn {
 
 namespace {
 constexpr float kInitStddev = 0.02f;  // DCGAN / pix2pix weight initialization
+
+// Workspace float-slot layout shared by conv and deconv. Per-thread slots
+// hold im2col/gradient columns; per-sample gradient partials live in the
+// module's own arena so they survive until the fixed-order reduction after
+// the parallel section.
+constexpr std::size_t kColSlot = 0;
+constexpr std::size_t kGradColSlot = 1;
+// Module-arena slots for per-sample gradient partials. Distinct from the
+// per-thread slots above: on the serial path the module arena doubles as the
+// lambda's workspace, so the slot ranges must not overlap.
+constexpr std::size_t kWgradSlot = 2;
+constexpr std::size_t kBgradSlot = 3;
+
+// Adds `contribution` into `acc` elementwise. Each per-sample partial was
+// produced exactly like the seed's beta=1 GEMM term, and float addition is
+// commutative, so acc[i] + t and the seed's t + acc[i] round identically —
+// the reduction is bit-identical to the seed's sequential accumulation.
+void accumulate(float* acc, const float* contribution, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) acc[i] += contribution[i];
 }
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Conv2d
@@ -40,18 +61,27 @@ Tensor Conv2d::forward(const Tensor& input) {
   const std::size_t rows = in_channels_ * kernel_ * kernel_;
 
   Tensor output({batch, out_channels_, out_h, out_w});
-  std::vector<float> col(rows * cols);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* x = input.raw() + n * in_channels_ * h * w;
-    float* y = output.raw() + n * out_channels_ * cols;
-    im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
-    math::gemm(out_channels_, cols, rows, 1.0f, weight_.value.raw(), col.data(), 0.0f, y);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = bias_.value[oc];
-      float* plane = y + oc * cols;
-      for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+  // Per-sample work is fully independent; with a single sample the inner
+  // GEMM is parallelized instead so inference also scales.
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
+    auto& col = ws.floats(kColSlot);
+    col.resize(rows * cols);
+    for (std::size_t n = n0; n < n1; ++n) {
+      const float* x = input.raw() + n * in_channels_ * h * w;
+      float* y = output.raw() + n * out_channels_ * cols;
+      im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
+      math::gemm(out_channels_, cols, rows, 1.0f, weight_.value.raw(), col.data(), 0.0f,
+                 y, inner);
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value[oc];
+        float* plane = y + oc * cols;
+        for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
+      }
     }
-  }
+  };
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
   return output;
 }
 
@@ -70,31 +100,52 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                    "Conv2d grad shape " + grad_output.shape_string());
 
   Tensor grad_input(input_.shape());
-  std::vector<float> col(rows * cols);
-  std::vector<float> grad_col(rows * cols);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* x = input_.raw() + n * in_channels_ * h * w;
-    const float* gy = grad_output.raw() + n * out_channels_ * cols;
-    float* gx = grad_input.raw() + n * in_channels_ * h * w;
+  const std::size_t wgrad_size = out_channels_ * rows;
+  // Per-sample weight/bias gradient partials, reduced in sample order below
+  // so the result is independent of how samples were scheduled.
+  auto& wgrad_partials = arena_.floats(kWgradSlot);
+  auto& bgrad_partials = arena_.floats(kBgradSlot);
+  wgrad_partials.resize(batch * wgrad_size);
+  bgrad_partials.resize(batch * out_channels_);
 
-    // Weight gradient: dW += dY * Col^T (Col is recomputed, trading FLOPs
-    // for not caching one col matrix per sample).
-    im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
-    math::gemm_bt(out_channels_, rows, cols, 1.0f, gy, col.data(), 1.0f,
-                  weight_.grad.raw());
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
+    auto& col = ws.floats(kColSlot);
+    auto& grad_col = ws.floats(kGradColSlot);
+    col.resize(rows * cols);
+    grad_col.resize(rows * cols);
+    for (std::size_t n = n0; n < n1; ++n) {
+      const float* x = input_.raw() + n * in_channels_ * h * w;
+      const float* gy = grad_output.raw() + n * out_channels_ * cols;
+      float* gx = grad_input.raw() + n * in_channels_ * h * w;
 
-    // Bias gradient: channel-wise sums of dY.
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* plane = gy + oc * cols;
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < cols; ++i) acc += plane[i];
-      bias_.grad[oc] += acc;
+      // Weight gradient partial: dW_n = dY_n * Col_n^T (Col is recomputed,
+      // trading FLOPs for not caching one col matrix per sample).
+      im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
+      math::gemm_bt(out_channels_, rows, cols, 1.0f, gy, col.data(), 0.0f,
+                    wgrad_partials.data() + n * wgrad_size, inner);
+
+      // Bias gradient partial: channel-wise sums of dY_n.
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* plane = gy + oc * cols;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < cols; ++i) acc += plane[i];
+        bgrad_partials[n * out_channels_ + oc] = acc;
+      }
+
+      // Data gradient: dCol = W^T * dY, then scatter back.
+      math::gemm_at(rows, cols, out_channels_, 1.0f, weight_.value.raw(), gy, 0.0f,
+                    grad_col.data(), inner);
+      col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, pad_, gx);
     }
+  };
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
 
-    // Data gradient: dCol = W^T * dY, then scatter back.
-    math::gemm_at(rows, cols, out_channels_, 1.0f, weight_.value.raw(), gy, 0.0f,
-                  grad_col.data());
-    col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, pad_, gx);
+  for (std::size_t n = 0; n < batch; ++n) {
+    accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);
+    accumulate(bias_.grad.raw(), bgrad_partials.data() + n * out_channels_,
+               out_channels_);
   }
   return grad_input;
 }
@@ -137,20 +188,26 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
   const std::size_t out_plane = out_h_ * out_w_;
 
   Tensor output({batch, out_channels_, out_h_, out_w_});
-  std::vector<float> col(rows * cols);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* x = input.raw() + n * in_channels_ * cols;
-    float* y = output.raw() + n * out_channels_ * out_plane;
-    // Col = W^T * X, then scatter-add into the enlarged output grid.
-    math::gemm_at(rows, cols, in_channels_, 1.0f, weight_.value.raw(), x, 0.0f,
-                  col.data());
-    col2im(col.data(), out_channels_, out_h_, out_w_, kernel_, stride_, pad_, y);
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float b = bias_.value[oc];
-      float* plane = y + oc * out_plane;
-      for (std::size_t i = 0; i < out_plane; ++i) plane[i] += b;
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
+    auto& col = ws.floats(kColSlot);
+    col.resize(rows * cols);
+    for (std::size_t n = n0; n < n1; ++n) {
+      const float* x = input.raw() + n * in_channels_ * cols;
+      float* y = output.raw() + n * out_channels_ * out_plane;
+      // Col = W^T * X, then scatter-add into the enlarged output grid.
+      math::gemm_at(rows, cols, in_channels_, 1.0f, weight_.value.raw(), x, 0.0f,
+                    col.data(), inner);
+      col2im(col.data(), out_channels_, out_h_, out_w_, kernel_, stride_, pad_, y);
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value[oc];
+        float* plane = y + oc * out_plane;
+        for (std::size_t i = 0; i < out_plane; ++i) plane[i] += b;
+      }
     }
-  }
+  };
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
   return output;
 }
 
@@ -168,26 +225,45 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
                    "ConvTranspose2d grad shape " + grad_output.shape_string());
 
   Tensor grad_input(input_.shape());
-  std::vector<float> grad_col(rows * cols);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const float* x = input_.raw() + n * in_channels_ * cols;
-    const float* gy = grad_output.raw() + n * out_channels_ * out_plane;
-    float* gx = grad_input.raw() + n * in_channels_ * cols;
+  const std::size_t wgrad_size = in_channels_ * rows;
+  auto& wgrad_partials = arena_.floats(kWgradSlot);
+  auto& bgrad_partials = arena_.floats(kBgradSlot);
+  wgrad_partials.resize(batch * wgrad_size);
+  bgrad_partials.resize(batch * out_channels_);
 
-    // Gather the output gradient into column form (the adjoint of the
-    // forward col2im), then one GEMM each for data and weight gradients.
-    im2col(gy, out_channels_, out_h_, out_w_, kernel_, stride_, pad_, grad_col.data());
-    math::gemm(in_channels_, cols, rows, 1.0f, weight_.value.raw(), grad_col.data(),
-               0.0f, gx);
-    math::gemm_bt(in_channels_, rows, cols, 1.0f, x, grad_col.data(), 1.0f,
-                  weight_.grad.raw());
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
+    auto& grad_col = ws.floats(kGradColSlot);
+    grad_col.resize(rows * cols);
+    for (std::size_t n = n0; n < n1; ++n) {
+      const float* x = input_.raw() + n * in_channels_ * cols;
+      const float* gy = grad_output.raw() + n * out_channels_ * out_plane;
+      float* gx = grad_input.raw() + n * in_channels_ * cols;
 
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float* plane = gy + oc * out_plane;
-      float acc = 0.0f;
-      for (std::size_t i = 0; i < out_plane; ++i) acc += plane[i];
-      bias_.grad[oc] += acc;
+      // Gather the output gradient into column form (the adjoint of the
+      // forward col2im), then one GEMM each for data and weight gradients.
+      im2col(gy, out_channels_, out_h_, out_w_, kernel_, stride_, pad_,
+             grad_col.data());
+      math::gemm(in_channels_, cols, rows, 1.0f, weight_.value.raw(), grad_col.data(),
+                 0.0f, gx, inner);
+      math::gemm_bt(in_channels_, rows, cols, 1.0f, x, grad_col.data(), 0.0f,
+                    wgrad_partials.data() + n * wgrad_size, inner);
+
+      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+        const float* plane = gy + oc * out_plane;
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < out_plane; ++i) acc += plane[i];
+        bgrad_partials[n * out_channels_ + oc] = acc;
+      }
     }
+  };
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);
+    accumulate(bias_.grad.raw(), bgrad_partials.data() + n * out_channels_,
+               out_channels_);
   }
   return grad_input;
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "nn/module.hpp"
+#include "util/workspace.hpp"
 
 namespace lithogan::util {
 class Rng;
@@ -36,6 +37,7 @@ class Conv2d : public Module {
   Parameter weight_;  ///< (out, in*k*k)
   Parameter bias_;    ///< (out)
   Tensor input_;      ///< cached forward input
+  util::Workspace arena_;  ///< serial-path scratch + per-sample grad partials
 };
 
 /// Transposed convolution ("Deconv" in the paper's Table 1); exactly the
@@ -65,6 +67,7 @@ class ConvTranspose2d : public Module {
   Tensor input_;
   std::size_t out_h_ = 0;  ///< cached forward output extent
   std::size_t out_w_ = 0;
+  util::Workspace arena_;  ///< serial-path scratch + per-sample grad partials
 };
 
 }  // namespace lithogan::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::nn {
 
@@ -30,31 +31,38 @@ Tensor InstanceNorm2d::forward(const Tensor& input) {
   xhat_ = Tensor(input.shape());
   inv_std_.assign(batch * channels_, 0.0f);
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < channels_; ++c) {
-      const float* x = input.raw() + (n * channels_ + c) * plane;
-      double sum = 0.0;
-      for (std::size_t i = 0; i < plane; ++i) sum += x[i];
-      const float mean = static_cast<float>(sum / static_cast<double>(plane));
-      double ss = 0.0;
-      for (std::size_t i = 0; i < plane; ++i) {
-        const double d = x[i] - mean;
-        ss += d * d;
-      }
-      const float var = static_cast<float>(ss / static_cast<double>(plane));
-      const float inv_std = 1.0f / std::sqrt(var + eps_);
-      inv_std_[n * channels_ + c] = inv_std;
+  // Every (sample, channel) cell is normalized independently with its own
+  // sequential statistics pass, so cells parallelize without changing any
+  // accumulation order.
+  const std::size_t cells = batch * channels_;
+  util::parallel_for(
+      exec_, arena_, 0, cells, 1,
+      [&](std::size_t cell0, std::size_t cell1, util::Workspace&) {
+        for (std::size_t cell = cell0; cell < cell1; ++cell) {
+          const std::size_t c = cell % channels_;
+          const float* x = input.raw() + cell * plane;
+          double sum = 0.0;
+          for (std::size_t i = 0; i < plane; ++i) sum += x[i];
+          const float mean = static_cast<float>(sum / static_cast<double>(plane));
+          double ss = 0.0;
+          for (std::size_t i = 0; i < plane; ++i) {
+            const double d = x[i] - mean;
+            ss += d * d;
+          }
+          const float var = static_cast<float>(ss / static_cast<double>(plane));
+          const float inv_std = 1.0f / std::sqrt(var + eps_);
+          inv_std_[cell] = inv_std;
 
-      const float g = affine_ ? gamma_.value[c] : 1.0f;
-      const float b = affine_ ? beta_.value[c] : 0.0f;
-      float* xh = xhat_.raw() + (n * channels_ + c) * plane;
-      float* y = output.raw() + (n * channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        xh[i] = (x[i] - mean) * inv_std;
-        y[i] = g * xh[i] + b;
-      }
-    }
-  }
+          const float g = affine_ ? gamma_.value[c] : 1.0f;
+          const float b = affine_ ? beta_.value[c] : 0.0f;
+          float* xh = xhat_.raw() + cell * plane;
+          float* y = output.raw() + cell * plane;
+          for (std::size_t i = 0; i < plane; ++i) {
+            xh[i] = (x[i] - mean) * inv_std;
+            y[i] = g * xh[i] + b;
+          }
+        }
+      });
   return output;
 }
 
@@ -65,29 +73,48 @@ Tensor InstanceNorm2d::backward(const Tensor& grad_output) {
   const std::size_t batch = cached_shape_[0];
   const std::size_t plane = cached_shape_[2] * cached_shape_[3];
   const auto m = static_cast<float>(plane);
+  const std::size_t cells = batch * channels_;
 
   Tensor grad_input(cached_shape_);
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < channels_; ++c) {
-      const float* gy = grad_output.raw() + (n * channels_ + c) * plane;
-      const float* xh = xhat_.raw() + (n * channels_ + c) * plane;
-      double dg = 0.0;
-      double db = 0.0;
-      for (std::size_t i = 0; i < plane; ++i) {
-        dg += static_cast<double>(gy[i]) * xh[i];
-        db += gy[i];
-      }
-      if (affine_) {
-        gamma_.grad[c] += static_cast<float>(dg);
-        beta_.grad[c] += static_cast<float>(db);
-      }
-      const float g = affine_ ? gamma_.value[c] : 1.0f;
-      const float inv_std = inv_std_[n * channels_ + c];
-      const float mean_dy = static_cast<float>(db) / m;
-      const float mean_dy_xhat = static_cast<float>(dg) / m;
-      float* gx = grad_input.raw() + (n * channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        gx[i] = g * inv_std * (gy[i] - mean_dy - xh[i] * mean_dy_xhat);
+  // Per-cell dgamma/dbeta partials; the affine-parameter reduction over the
+  // batch happens afterwards in sample order so it is schedule-independent.
+  auto& dg_cells = arena_.doubles(0);
+  auto& db_cells = arena_.doubles(1);
+  dg_cells.resize(cells);
+  db_cells.resize(cells);
+
+  util::parallel_for(
+      exec_, arena_, 0, cells, 1,
+      [&](std::size_t cell0, std::size_t cell1, util::Workspace&) {
+        for (std::size_t cell = cell0; cell < cell1; ++cell) {
+          const std::size_t c = cell % channels_;
+          const float* gy = grad_output.raw() + cell * plane;
+          const float* xh = xhat_.raw() + cell * plane;
+          double dg = 0.0;
+          double db = 0.0;
+          for (std::size_t i = 0; i < plane; ++i) {
+            dg += static_cast<double>(gy[i]) * xh[i];
+            db += gy[i];
+          }
+          dg_cells[cell] = dg;
+          db_cells[cell] = db;
+
+          const float g = affine_ ? gamma_.value[c] : 1.0f;
+          const float inv_std = inv_std_[cell];
+          const float mean_dy = static_cast<float>(db) / m;
+          const float mean_dy_xhat = static_cast<float>(dg) / m;
+          float* gx = grad_input.raw() + cell * plane;
+          for (std::size_t i = 0; i < plane; ++i) {
+            gx[i] = g * inv_std * (gy[i] - mean_dy - xh[i] * mean_dy_xhat);
+          }
+        }
+      });
+
+  if (affine_) {
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        gamma_.grad[c] += static_cast<float>(dg_cells[n * channels_ + c]);
+        beta_.grad[c] += static_cast<float>(db_cells[n * channels_ + c]);
       }
     }
   }

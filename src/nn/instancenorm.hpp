@@ -6,6 +6,7 @@
 #pragma once
 
 #include "nn/module.hpp"
+#include "util/workspace.hpp"
 
 namespace lithogan::nn {
 
@@ -28,6 +29,7 @@ class InstanceNorm2d : public Module {
   Tensor xhat_;
   std::vector<float> inv_std_;  ///< one per (sample, channel)
   std::vector<std::size_t> cached_shape_;
+  util::Workspace arena_;  ///< per-cell dgamma/dbeta partials
 };
 
 }  // namespace lithogan::nn

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "math/gemm.hpp"
+#include "util/exec_context.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -23,7 +24,7 @@ Tensor Linear::forward(const Tensor& input) {
   Tensor output({batch, out_features_});
   // y = x W^T : (N, in) x (out, in)^T
   math::gemm_bt(batch, out_features_, in_features_, 1.0f, input.raw(),
-                weight_.value.raw(), 0.0f, output.raw());
+                weight_.value.raw(), 0.0f, output.raw(), exec_);
   for (std::size_t n = 0; n < batch; ++n) {
     float* row = output.raw() + n * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
@@ -40,7 +41,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
 
   // dW += dY^T X : (out, N)^T-form via gemm_at with A = dY (N x out).
   math::gemm_at(out_features_, in_features_, batch, 1.0f, grad_output.raw(),
-                input_.raw(), 1.0f, weight_.grad.raw());
+                input_.raw(), 1.0f, weight_.grad.raw(), exec_);
   for (std::size_t n = 0; n < batch; ++n) {
     const float* row = grad_output.raw() + n * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
@@ -49,7 +50,7 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // dX = dY W : (N, out) x (out, in)
   Tensor grad_input({batch, in_features_});
   math::gemm(batch, in_features_, out_features_, 1.0f, grad_output.raw(),
-             weight_.value.raw(), 0.0f, grad_input.raw());
+             weight_.value.raw(), 0.0f, grad_input.raw(), exec_);
   return grad_input;
 }
 

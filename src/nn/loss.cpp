@@ -3,10 +3,30 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::nn {
 
-LossResult l1_loss(const Tensor& pred, const Tensor& target) {
+// Parallelization strategy shared by all three losses: the per-element
+// gradients are disjoint writes and carry the expensive math (exp/log for
+// BCE), so they fan out across the pool. The scalar value stays a single
+// sequential left-to-right accumulation on the calling thread — the same
+// order at every thread count, so the reported loss is bit-identical to the
+// serial implementation.
+
+namespace {
+template <typename Fn>
+void elementwise(util::ExecContext* exec, std::size_t n, Fn&& fn) {
+  if (exec == nullptr) {
+    fn(0, n);
+    return;
+  }
+  exec->parallel_for(0, n, exec->grain_for(n, 1024),
+                     [&](std::size_t b, std::size_t e, util::Workspace&) { fn(b, e); });
+}
+}  // namespace
+
+LossResult l1_loss(const Tensor& pred, const Tensor& target, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(pred.same_shape(target), "l1_loss shape mismatch");
   LossResult r;
   r.grad = Tensor(pred.shape());
@@ -14,16 +34,20 @@ LossResult l1_loss(const Tensor& pred, const Tensor& target) {
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(p.size());
+  elementwise(exec, p.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const float d = p[i] - t[i];
+      g[i] = static_cast<float>((d > 0.0f ? 1.0 : (d < 0.0f ? -1.0 : 0.0)) * inv_n);
+    }
+  });
   for (std::size_t i = 0; i < p.size(); ++i) {
-    const float d = p[i] - t[i];
-    r.value += std::abs(static_cast<double>(d));
-    g[i] = static_cast<float>((d > 0.0f ? 1.0 : (d < 0.0f ? -1.0 : 0.0)) * inv_n);
+    r.value += std::abs(static_cast<double>(p[i]) - t[i]);
   }
   r.value *= inv_n;
   return r;
 }
 
-LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+LossResult mse_loss(const Tensor& pred, const Tensor& target, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(pred.same_shape(target), "mse_loss shape mismatch");
   LossResult r;
   r.grad = Tensor(pred.shape());
@@ -31,16 +55,22 @@ LossResult mse_loss(const Tensor& pred, const Tensor& target) {
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(p.size());
+  elementwise(exec, p.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double d = static_cast<double>(p[i]) - t[i];
+      g[i] = static_cast<float>(2.0 * d * inv_n);
+    }
+  });
   for (std::size_t i = 0; i < p.size(); ++i) {
     const double d = static_cast<double>(p[i]) - t[i];
     r.value += d * d;
-    g[i] = static_cast<float>(2.0 * d * inv_n);
   }
   r.value *= inv_n;
   return r;
 }
 
-LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target) {
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target,
+                                util::ExecContext* exec) {
   LITHOGAN_REQUIRE(logits.same_shape(target), "bce shape mismatch");
   LossResult r;
   r.grad = Tensor(logits.shape());
@@ -48,21 +78,25 @@ LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target) {
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(x.size());
+  elementwise(exec, x.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double sigmoid = 1.0 / (1.0 + std::exp(-static_cast<double>(x[i])));
+      g[i] = static_cast<float>((sigmoid - t[i]) * inv_n);
+    }
+  });
   for (std::size_t i = 0; i < x.size(); ++i) {
     // loss = max(x,0) - x*t + log(1 + exp(-|x|)) — the standard stable form.
     const double xv = x[i];
-    const double tv = t[i];
-    r.value += std::max(xv, 0.0) - xv * tv + std::log1p(std::exp(-std::abs(xv)));
-    const double sigmoid = 1.0 / (1.0 + std::exp(-xv));
-    g[i] = static_cast<float>((sigmoid - tv) * inv_n);
+    r.value += std::max(xv, 0.0) - xv * t[i] + std::log1p(std::exp(-std::abs(xv)));
   }
   r.value *= inv_n;
   return r;
 }
 
-LossResult bce_with_logits_loss(const Tensor& logits, float label) {
+LossResult bce_with_logits_loss(const Tensor& logits, float label,
+                                util::ExecContext* exec) {
   Tensor target(logits.shape(), label);
-  return bce_with_logits_loss(logits, target);
+  return bce_with_logits_loss(logits, target, exec);
 }
 
 }  // namespace lithogan::nn

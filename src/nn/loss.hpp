@@ -6,6 +6,10 @@
 
 #include "nn/tensor.hpp"
 
+namespace lithogan::util {
+class ExecContext;
+}
+
 namespace lithogan::nn {
 
 /// Scalar loss value plus its gradient with respect to the prediction.
@@ -14,17 +18,25 @@ struct LossResult {
   Tensor grad;
 };
 
+// All losses accept an optional execution context: gradients are computed in
+// parallel (disjoint writes), while the scalar value is always a sequential
+// left-to-right sum so it is bit-identical at every thread count.
+
 /// Mean |pred - target|. Subgradient 0 at exact ties.
-LossResult l1_loss(const Tensor& pred, const Tensor& target);
+LossResult l1_loss(const Tensor& pred, const Tensor& target,
+                   util::ExecContext* exec = nullptr);
 
 /// Mean (pred - target)^2.
-LossResult mse_loss(const Tensor& pred, const Tensor& target);
+LossResult mse_loss(const Tensor& pred, const Tensor& target,
+                    util::ExecContext* exec = nullptr);
 
 /// Mean binary cross-entropy on raw logits (numerically stable log-sum-exp
 /// form). `target` entries are labels in [0, 1]; typically all-0 or all-1.
-LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target);
+LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target,
+                                util::ExecContext* exec = nullptr);
 
 /// Convenience: BCE against a constant label.
-LossResult bce_with_logits_loss(const Tensor& logits, float label);
+LossResult bce_with_logits_loss(const Tensor& logits, float label,
+                                util::ExecContext* exec = nullptr);
 
 }  // namespace lithogan::nn

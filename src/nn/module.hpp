@@ -14,6 +14,10 @@
 
 #include "nn/tensor.hpp"
 
+namespace lithogan::util {
+class ExecContext;
+}
+
 namespace lithogan::nn {
 
 /// A learnable tensor with its gradient accumulator.
@@ -47,6 +51,13 @@ class Module {
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Attaches the execution context (thread pool + workspace arenas) used
+  /// by this layer's hot loops. Containers propagate it to their children.
+  /// nullptr (the default) means serial execution with local scratch — the
+  /// pre-threading behavior. The context must outlive the module's use.
+  virtual void set_exec_context(util::ExecContext* exec) { exec_ = exec; }
+  util::ExecContext* exec_context() const { return exec_; }
+
   /// Stable type tag used by serialization, e.g. "Conv2d".
   virtual std::string kind() const = 0;
 
@@ -57,6 +68,7 @@ class Module {
 
  protected:
   bool training_ = true;
+  util::ExecContext* exec_ = nullptr;
 };
 
 /// Zeroes the gradients of every parameter in `params`.

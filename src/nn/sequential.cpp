@@ -6,6 +6,7 @@ namespace lithogan::nn {
 
 Sequential& Sequential::add(std::unique_ptr<Module> layer) {
   LITHOGAN_REQUIRE(layer != nullptr, "null layer");
+  if (exec_ != nullptr) layer->set_exec_context(exec_);
   layers_.push_back(std::move(layer));
   return *this;
 }
@@ -34,6 +35,11 @@ std::vector<Parameter*> Sequential::parameters() {
 void Sequential::set_training(bool training) {
   Module::set_training(training);
   for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Sequential::set_exec_context(util::ExecContext* exec) {
+  Module::set_exec_context(exec);
+  for (auto& layer : layers_) layer->set_exec_context(exec);
 }
 
 void Sequential::save_state(std::ostream& os) const {

@@ -26,6 +26,7 @@ class Sequential : public Module {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void set_training(bool training) override;
+  void set_exec_context(util::ExecContext* exec) override;
   std::string kind() const override { return "Sequential"; }
 
   void save_state(std::ostream& os) const override;

@@ -1,0 +1,82 @@
+// ExecContext: the execution substrate handed to the math, nn and litho
+// layers — a ThreadPool plus one Workspace arena per worker. Constructed
+// once near main() and plumbed explicitly (via LithoGanConfig::exec /
+// ProcessConfig::exec); there is no global context. A null ExecContext*
+// everywhere means "serial, allocate locally", which reproduces the
+// pre-threading behavior exactly.
+//
+// Determinism contract: every routine built on parallel_for must produce
+// bit-identical results at any thread count, including the null-context
+// serial path. Disjoint-output loops get this for free; reductions are
+// restructured as independently computed partials combined in a fixed
+// order on the calling thread (see docs/nn_library.md).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/workspace.hpp"
+
+namespace lithogan::util {
+
+class ExecContext {
+ public:
+  /// fn(begin, end, ws): [begin, end) is one chunk; `ws` is the scratch
+  /// arena of the worker running it (stable for the chunk's duration).
+  using ChunkFn = std::function<void(std::size_t, std::size_t, Workspace&)>;
+
+  /// `threads` = total parallelism; 0 = hardware_concurrency. threads == 1
+  /// never spawns a worker and runs everything inline.
+  explicit ExecContext(std::size_t threads = 0)
+      : pool_(threads), workspaces_(pool_.threads()) {}
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  std::size_t threads() const { return pool_.threads(); }
+  ThreadPool& pool() { return pool_; }
+
+  /// Workspace of a specific worker (0 = the driving thread).
+  Workspace& workspace(std::size_t worker) { return workspaces_[worker]; }
+
+  /// Workspace owned by the calling thread: its worker's arena inside a
+  /// chunk, worker 0's otherwise.
+  Workspace& workspace() { return workspaces_[ThreadPool::current_worker()]; }
+
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const ChunkFn& fn) {
+    pool_.parallel_for(begin, end, grain,
+                       [&](std::size_t b, std::size_t e, std::size_t worker) {
+                         fn(b, e, workspaces_[worker]);
+                       });
+  }
+
+  /// Chunk size that yields a few chunks per worker over `count` items so
+  /// dynamic scheduling can balance, floored at `min_grain` items.
+  std::size_t grain_for(std::size_t count, std::size_t min_grain = 1) const {
+    const std::size_t target = threads() * 4;
+    const std::size_t grain = (count + target - 1) / target;
+    return grain < min_grain ? min_grain : grain;
+  }
+
+ private:
+  ThreadPool pool_;
+  std::vector<Workspace> workspaces_;
+};
+
+/// Serial-or-parallel dispatch for nullable contexts: with a context the
+/// range fans out across the pool; without one, `fn` runs once over the
+/// whole range with `serial_ws` as its scratch arena.
+inline void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
+                         std::size_t end, std::size_t grain,
+                         const ExecContext::ChunkFn& fn) {
+  if (exec != nullptr) {
+    exec->parallel_for(begin, end, grain, fn);
+  } else if (end > begin) {
+    fn(begin, end, serial_ws);
+  }
+}
+
+}  // namespace lithogan::util

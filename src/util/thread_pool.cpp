@@ -1,0 +1,143 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace lithogan::util {
+
+namespace {
+// Worker identity of the calling thread. Pool workers set these on startup;
+// the driving thread keeps the defaults (worker 0, not inside a chunk).
+thread_local std::size_t tls_worker = 0;
+thread_local bool tls_in_chunk = false;
+}  // namespace
+
+std::size_t ThreadPool::current_worker() { return tls_worker; }
+bool ThreadPool::in_parallel_region() { return tls_in_chunk; }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // A wrapped negative (e.g. a CLI "--threads -3" cast to size_t) would
+  // otherwise surface as an opaque allocation failure deep in reserve().
+  if (threads > kMaxThreads) {
+    throw std::invalid_argument("ThreadPool: unreasonable thread count " +
+                                std::to_string(threads) + " (max " +
+                                std::to_string(kMaxThreads) + ")");
+  }
+  threads_ = threads;
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(Job& job, std::size_t worker) {
+  const std::size_t saved_worker = tls_worker;
+  const bool saved_in_chunk = tls_in_chunk;
+  tls_worker = worker;
+  for (;;) {
+    const std::size_t chunk = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.chunk_count) break;
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t b = job.begin + chunk * job.grain;
+      tls_in_chunk = true;
+      try {
+        (*job.fn)(b, std::min(b + job.grain, job.end), worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+      tls_in_chunk = false;
+    }
+    const std::size_t done = job.done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == job.chunk_count) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+  tls_worker = saved_worker;
+  tls_in_chunk = saved_in_chunk;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || job_serial_ != seen; });
+      if (stop_) return;
+      seen = job_serial_;
+      job = job_;
+    }
+    if (job) run_chunks(*job, worker);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                              const ChunkFn& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+
+  // Serial paths: a single-thread pool, a nested call from inside a chunk
+  // (running it inline keeps the pool deadlock-free), or a range that does
+  // not split. Chunk boundaries match the parallel path so per-chunk
+  // computations are identical either way.
+  if (threads_ == 1 || tls_in_chunk || chunks == 1) {
+    const std::size_t worker = tls_worker;
+    const bool saved = tls_in_chunk;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t b = begin + c * grain;
+      tls_in_chunk = true;
+      try {
+        fn(b, std::min(b + grain, end), worker);
+      } catch (...) {
+        tls_in_chunk = saved;
+        throw;
+      }
+      tls_in_chunk = saved;
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->chunk_count = chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++job_serial_;
+  }
+  work_cv_.notify_all();
+
+  // The caller drains chunks as worker 0, then waits for stragglers.
+  run_chunks(*job, 0);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job->done_chunks.load(std::memory_order_acquire) == job->chunk_count;
+    });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace lithogan::util

@@ -1,0 +1,58 @@
+// Reusable scratch-buffer arena. One Workspace belongs to one worker thread
+// of an ExecContext (or to a single-threaded owner); buffers keep their
+// capacity across calls, so steady-state hot loops (im2col columns, FFT
+// gather lines, per-sample gradient slots) stop allocating entirely.
+//
+// Ownership rule: a Workspace reference obtained from ExecContext's
+// parallel_for is valid only inside that chunk, and slot contents do not
+// survive into the next parallel_for — treat every acquisition as
+// uninitialized storage sized by you.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace lithogan::util {
+
+class Workspace {
+ public:
+  /// Scratch vector of the given element type. `slot` distinguishes buffers
+  /// that must be live simultaneously inside one algorithm (e.g. im2col
+  /// columns in slot 0, a gradient column in slot 1). Capacity is retained
+  /// across acquisitions; contents are unspecified. Returned references
+  /// stay valid when later calls create higher slots (deque-backed — the
+  /// slot objects never move).
+  std::vector<float>& floats(std::size_t slot = 0) { return grow(float_slots_, slot); }
+  std::vector<double>& doubles(std::size_t slot = 0) {
+    return grow(double_slots_, slot);
+  }
+  std::vector<std::complex<double>>& complexes(std::size_t slot = 0) {
+    return grow(complex_slots_, slot);
+  }
+
+  /// Drops every buffer (capacity included). Mainly for tests and for
+  /// callers that want to bound peak memory after a large transient.
+  void clear() {
+    float_slots_.clear();
+    double_slots_.clear();
+    complex_slots_.clear();
+  }
+
+ private:
+  // std::deque keeps references to existing slots valid while growing at
+  // the end; a vector-of-vectors would move the slot objects on resize and
+  // dangle any reference bound before a later slot's first acquisition.
+  template <typename V>
+  static V& grow(std::deque<V>& slots, std::size_t slot) {
+    if (slot >= slots.size()) slots.resize(slot + 1);
+    return slots[slot];
+  }
+
+  std::deque<std::vector<float>> float_slots_;
+  std::deque<std::vector<double>> double_slots_;
+  std::deque<std::vector<std::complex<double>>> complex_slots_;
+};
+
+}  // namespace lithogan::util

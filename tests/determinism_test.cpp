@@ -1,0 +1,229 @@
+// Bit-identity of parallelized compute across thread counts.
+//
+// The execution-context refactor promises that every routine produces
+// bitwise-identical results whether run serially (exec == nullptr), on a
+// single-thread pool, or on any wider pool. These tests pin that contract
+// for the representative routines of each layer: gemm (math), fft2d
+// (math), Conv2d / ConvTranspose2d forward+backward (nn), the loss
+// functions (nn), and Simulator::run (litho). A failure here means a
+// reduction order leaked through the thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "litho/process.hpp"
+#include "litho/simulator.hpp"
+#include "math/fft.hpp"
+#include "math/gemm.hpp"
+#include "nn/conv.hpp"
+#include "nn/loss.hpp"
+#include "util/exec_context.hpp"
+#include "util/rng.hpp"
+
+namespace lu = lithogan::util;
+namespace lm = lithogan::math;
+namespace ln = lithogan::nn;
+namespace ll = lithogan::litho;
+
+namespace {
+
+// Thread counts exercised by every test: serial reference plus pools of
+// 1, 2 and 8 threads (8 oversubscribes small machines on purpose — the
+// schedule must not matter).
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+// Deterministic pseudo-data without touching the Rng stream: a cheap
+// hash-to-float covering positives, negatives, and magnitudes around 1.
+float synth(std::size_t i) {
+  const std::uint32_t h = static_cast<std::uint32_t>(i) * 2654435761u + 12345u;
+  return static_cast<float>(static_cast<std::int32_t>(h % 2000) - 1000) / 250.0f;
+}
+
+template <typename T>
+bool bit_equal(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+bool bit_equal(const ln::Tensor& a, const ln::Tensor& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 ||
+          std::memcmp(a.raw(), b.raw(), a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
+
+TEST(Determinism, GemmFamilyMatchesSerialAtAnyThreadCount) {
+  const std::size_t m = 37, n = 53, k = 41;
+  std::vector<float> a(m * k), b(k * n), bt(n * k);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = synth(i);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = synth(i + 7777);
+  for (std::size_t i = 0; i < bt.size(); ++i) bt[i] = synth(i + 31337);
+
+  std::vector<float> c_ref(m * n), cat_ref(m * n), cbt_ref(m * n);
+  for (std::size_t i = 0; i < m * n; ++i) c_ref[i] = cat_ref[i] = cbt_ref[i] = synth(i + 5);
+  lm::gemm(m, n, k, 1.25f, a.data(), b.data(), 0.5f, c_ref.data(), nullptr);
+  // gemm_at treats its first operand as k x m row-major.
+  lm::gemm_at(m, n, k, 1.25f, a.data(), b.data(), 0.5f, cat_ref.data(), nullptr);
+  lm::gemm_bt(m, n, k, 1.25f, a.data(), bt.data(), 0.5f, cbt_ref.data(), nullptr);
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    std::vector<float> c(m * n), cat(m * n), cbt(m * n);
+    for (std::size_t i = 0; i < m * n; ++i) c[i] = cat[i] = cbt[i] = synth(i + 5);
+    lm::gemm(m, n, k, 1.25f, a.data(), b.data(), 0.5f, c.data(), &exec);
+    lm::gemm_at(m, n, k, 1.25f, a.data(), b.data(), 0.5f, cat.data(), &exec);
+    lm::gemm_bt(m, n, k, 1.25f, a.data(), bt.data(), 0.5f, cbt.data(), &exec);
+    EXPECT_TRUE(bit_equal(c, c_ref)) << "gemm, threads=" << threads;
+    EXPECT_TRUE(bit_equal(cat, cat_ref)) << "gemm_at, threads=" << threads;
+    EXPECT_TRUE(bit_equal(cbt, cbt_ref)) << "gemm_bt, threads=" << threads;
+  }
+}
+
+TEST(Determinism, Fft2dMatchesSerialAtAnyThreadCount) {
+  const std::size_t rows = 32, cols = 64;
+  std::vector<lm::Complex> ref(rows * cols);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = {static_cast<double>(synth(i)), static_cast<double>(synth(i + 999))};
+  }
+  const std::vector<lm::Complex> original = ref;
+  lm::fft2d(ref, rows, cols, /*inverse=*/false, nullptr);
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    std::vector<lm::Complex> data = original;
+    lm::fft2d(data, rows, cols, /*inverse=*/false, &exec);
+    EXPECT_TRUE(bit_equal(data, ref)) << "fft2d forward, threads=" << threads;
+    lm::fft2d(data, rows, cols, /*inverse=*/true, &exec);
+    std::vector<lm::Complex> ref_roundtrip = ref;
+    lm::fft2d(ref_roundtrip, rows, cols, /*inverse=*/true, nullptr);
+    EXPECT_TRUE(bit_equal(data, ref_roundtrip)) << "fft2d inverse, threads=" << threads;
+  }
+}
+
+namespace {
+
+// Runs one forward + backward through a freshly seeded conv layer and
+// returns (output, grad_input, weight.grad, bias.grad).
+struct ConvRun {
+  ln::Tensor out, grad_in, wgrad, bgrad;
+};
+
+template <typename MakeLayer>
+ConvRun run_conv(MakeLayer make, lu::ExecContext* exec) {
+  lu::Rng rng(42);
+  auto layer = make(rng);
+  layer.set_exec_context(exec);
+
+  const std::size_t batch = 3, cin = 4, h = 9, w = 9;
+  ln::Tensor x({batch, cin, h, w});
+  for (std::size_t i = 0; i < x.size(); ++i) x.raw()[i] = synth(i);
+  ConvRun r;
+  r.out = layer.forward(x);
+  ln::Tensor gy(r.out.shape());
+  for (std::size_t i = 0; i < gy.size(); ++i) gy.raw()[i] = synth(i + 4242);
+  r.grad_in = layer.backward(gy);
+  auto params = layer.parameters();
+  r.wgrad = params[0]->grad;
+  r.bgrad = params[1]->grad;
+  return r;
+}
+
+void expect_same_run(const ConvRun& got, const ConvRun& ref, std::size_t threads,
+                     const char* what) {
+  EXPECT_TRUE(bit_equal(got.out, ref.out)) << what << " forward, threads=" << threads;
+  EXPECT_TRUE(bit_equal(got.grad_in, ref.grad_in))
+      << what << " grad_input, threads=" << threads;
+  EXPECT_TRUE(bit_equal(got.wgrad, ref.wgrad))
+      << what << " weight.grad, threads=" << threads;
+  EXPECT_TRUE(bit_equal(got.bgrad, ref.bgrad))
+      << what << " bias.grad, threads=" << threads;
+}
+
+}  // namespace
+
+TEST(Determinism, Conv2dForwardBackwardMatchesSerialAtAnyThreadCount) {
+  auto make = [](lu::Rng& rng) { return ln::Conv2d(4, 6, 3, 2, 1, rng); };
+  const ConvRun ref = run_conv(make, nullptr);
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    expect_same_run(run_conv(make, &exec), ref, threads, "Conv2d");
+  }
+}
+
+TEST(Determinism, ConvTranspose2dForwardBackwardMatchesSerialAtAnyThreadCount) {
+  auto make = [](lu::Rng& rng) { return ln::ConvTranspose2d(4, 6, 3, 2, 1, 1, rng); };
+  const ConvRun ref = run_conv(make, nullptr);
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    expect_same_run(run_conv(make, &exec), ref, threads, "ConvTranspose2d");
+  }
+}
+
+TEST(Determinism, LossValuesAndGradsMatchSerialAtAnyThreadCount) {
+  ln::Tensor pred({2, 3, 8, 8}), target({2, 3, 8, 8});
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    pred.raw()[i] = synth(i);
+    target.raw()[i] = synth(i + 100);
+  }
+  const auto l1_ref = ln::l1_loss(pred, target, nullptr);
+  const auto mse_ref = ln::mse_loss(pred, target, nullptr);
+  const auto bce_ref = ln::bce_with_logits_loss(pred, target, nullptr);
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    const auto l1 = ln::l1_loss(pred, target, &exec);
+    const auto mse = ln::mse_loss(pred, target, &exec);
+    const auto bce = ln::bce_with_logits_loss(pred, target, &exec);
+    // Loss scalars are accumulated serially in index order by contract, so
+    // they too must match to the last bit.
+    EXPECT_EQ(l1.value, l1_ref.value) << "threads=" << threads;
+    EXPECT_EQ(mse.value, mse_ref.value) << "threads=" << threads;
+    EXPECT_EQ(bce.value, bce_ref.value) << "threads=" << threads;
+    EXPECT_TRUE(bit_equal(l1.grad, l1_ref.grad)) << "l1 grad, threads=" << threads;
+    EXPECT_TRUE(bit_equal(mse.grad, mse_ref.grad)) << "mse grad, threads=" << threads;
+    EXPECT_TRUE(bit_equal(bce.grad, bce_ref.grad)) << "bce grad, threads=" << threads;
+  }
+}
+
+TEST(Determinism, SimulatorRunMatchesSerialAtAnyThreadCount) {
+  ll::ProcessConfig process = ll::ProcessConfig::n10();
+  process.grid.pixels = 64;  // keep the rigorous stack fast in CI
+
+  const double c = process.grid.extent_nm / 2.0;
+  const double size = process.contact_size_nm;
+  const std::vector<lithogan::geometry::Rect> mask = {
+      lithogan::geometry::Rect::from_center({c, c}, size, size),
+      lithogan::geometry::Rect::from_center({c + process.min_pitch_nm, c}, size, size),
+  };
+
+  process.exec = nullptr;
+  ll::Simulator serial(process);
+  const auto ref = serial.run(mask);
+  ASSERT_FALSE(ref.aerial.values.empty());
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    process.exec = &exec;
+    ll::Simulator sim(process);
+    const auto got = sim.run(mask);
+    EXPECT_TRUE(bit_equal(got.aerial.values, ref.aerial.values))
+        << "aerial, threads=" << threads;
+    EXPECT_TRUE(bit_equal(got.latent.values, ref.latent.values))
+        << "latent, threads=" << threads;
+    EXPECT_TRUE(bit_equal(got.develop.values, ref.develop.values))
+        << "develop, threads=" << threads;
+    ASSERT_EQ(got.contours.size(), ref.contours.size()) << "threads=" << threads;
+    for (std::size_t p = 0; p < ref.contours.size(); ++p) {
+      const auto& gv = got.contours[p].vertices();
+      const auto& rv = ref.contours[p].vertices();
+      ASSERT_EQ(gv.size(), rv.size()) << "contour " << p << ", threads=" << threads;
+      for (std::size_t v = 0; v < rv.size(); ++v) {
+        EXPECT_EQ(gv[v].x, rv[v].x);
+        EXPECT_EQ(gv[v].y, rv[v].y);
+      }
+    }
+  }
+}
