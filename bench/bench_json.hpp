@@ -1,0 +1,46 @@
+// Machine-readable benchmark output shared by the engineering benches.
+//
+// Each bench binary appends BenchRecords as it runs and dumps them to a
+// BENCH_<name>.json file next to the working directory on exit, so perf
+// regressions can be tracked by diffing two JSON files instead of scraping
+// console tables. The schema is one flat array of
+//   {op, shape, threads, ns_per_iter, gflops_per_s}
+// objects; gflops_per_s is 0 where no meaningful FLOP count exists (e.g.
+// end-to-end flows).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lithogan::bench {
+
+struct BenchRecord {
+  std::string op;     ///< operation name, e.g. "gemm" or "rigorous_sim"
+  std::string shape;  ///< problem shape, e.g. "256" or "4x16x64x64"
+  std::size_t threads = 1;
+  double ns_per_iter = 0.0;
+  double gflops_per_s = 0.0;
+};
+
+/// Writes `records` to `path` as a JSON array. op/shape must not contain
+/// characters needing JSON escaping (they are controlled identifiers).
+/// Returns false if the file could not be written.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
+                 "\"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f}%s\n",
+                 r.op.c_str(), r.shape.c_str(), r.threads, r.ns_per_iter,
+                 r.gflops_per_s, i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  return std::fclose(f) == 0;
+}
+
+}  // namespace lithogan::bench

@@ -7,14 +7,21 @@
 // serial path (no execution context), N >= 1 runs on an N-thread
 // ExecContext. Results are bit-identical across the sweep by construction
 // (see tests/determinism_test.cpp); only the wall time should move.
+//
+// Besides the console table, every run is appended to BENCH_micro_nn.json
+// (override the path with LITHOGAN_BENCH_JSON) in the flat
+// {op, shape, threads, ns_per_iter, gflops_per_s} schema of bench_json.hpp.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
+#include "bench_json.hpp"
 #include "core/config.hpp"
 #include "core/networks.hpp"
 #include "math/gemm.hpp"
 #include "nn/conv.hpp"
+#include "nn/im2col.hpp"
 #include "nn/tensor.hpp"
 #include "util/exec_context.hpp"
 #include "util/rng.hpp"
@@ -34,6 +41,13 @@ void set_thread_counters(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(std::max<std::int64_t>(1, state.range(1))));
 }
 
+/// Per-iteration FLOP count, read back by the JSON reporter to derive GF/s.
+/// Counts GEMM multiply-adds only (im2col/bias traffic excluded), so the
+/// number is comparable across kernel generations.
+void set_flops_counter(benchmark::State& state, double flops_per_iter) {
+  state.counters["flops"] = benchmark::Counter(flops_per_iter);
+}
+
 }  // namespace
 
 static void BM_Gemm(benchmark::State& state) {
@@ -51,6 +65,8 @@ static void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 * n * n * n);
   set_thread_counters(state);
+  set_flops_counter(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                               static_cast<double>(n));
 }
 BENCHMARK(BM_Gemm)->ArgsProduct({{64, 128, 256}, {0, 1, 2, 4, 8}});
 
@@ -68,6 +84,9 @@ static void BM_Conv2dForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.raw());
   }
   set_thread_counters(state);
+  // 4 samples x (out_ch x out_plane x in_ch*k*k) multiply-adds.
+  const double cols = static_cast<double>(nn::conv_out_size(size, 5, 2, 2));
+  set_flops_counter(state, 4.0 * 2.0 * 32.0 * cols * cols * (16.0 * 25.0));
 }
 BENCHMARK(BM_Conv2dForward)->ArgsProduct({{32, 64}, {0, 1, 2, 4, 8}});
 
@@ -85,6 +104,10 @@ static void BM_Conv2dBackward(benchmark::State& state) {
     benchmark::DoNotOptimize(gx.raw());
   }
   set_thread_counters(state);
+  // Weight-gradient and data-gradient GEMMs each match the forward GEMM's
+  // FLOP count.
+  const double cols = static_cast<double>(nn::conv_out_size(size, 5, 2, 2));
+  set_flops_counter(state, 2.0 * 4.0 * 2.0 * 32.0 * cols * cols * (16.0 * 25.0));
 }
 BENCHMARK(BM_Conv2dBackward)->ArgsProduct({{32, 64}, {0, 1, 2, 4, 8}});
 
@@ -100,6 +123,9 @@ static void BM_DeconvForward(benchmark::State& state) {
     benchmark::DoNotOptimize(y.raw());
   }
   set_thread_counters(state);
+  // Col = W^T X per sample: (out_ch*k*k) x (in_h*in_w) x in_ch.
+  const double cols = static_cast<double>(size) * static_cast<double>(size);
+  set_flops_counter(state, 4.0 * 2.0 * (16.0 * 25.0) * cols * 32.0);
 }
 BENCHMARK(BM_DeconvForward)->ArgsProduct({{16, 32}, {0, 1, 2, 4, 8}});
 
@@ -119,6 +145,8 @@ static void BM_GeneratorInference(benchmark::State& state) {
     auto y = gen->forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(std::max<std::int64_t>(1, state.range(0))));
 }
 BENCHMARK(BM_GeneratorInference)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -134,7 +162,64 @@ static void BM_PaperScaleGeneratorLayer(benchmark::State& state) {
     auto y = conv.forward(x);
     benchmark::DoNotOptimize(y.raw());
   }
+  state.counters["threads"] =
+      benchmark::Counter(static_cast<double>(std::max<std::int64_t>(1, state.range(0))));
+  const double cols = static_cast<double>(nn::conv_out_size(256, 5, 2, 2));
+  set_flops_counter(state, 2.0 * 64.0 * cols * cols * (3.0 * 25.0));
 }
 BENCHMARK(BM_PaperScaleGeneratorLayer)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console output as usual, plus a BenchRecord per run for the JSON dump.
+/// The run name "BM_Op/shape.../threads" is split so `shape` holds the
+/// middle operands and `threads` comes from the explicit counter.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      bench::BenchRecord rec;
+      std::string name = run.benchmark_name();
+      const std::size_t slash = name.find('/');
+      rec.op = name.substr(0, slash);
+      if (rec.op.rfind("BM_", 0) == 0) rec.op = rec.op.substr(3);
+      if (slash != std::string::npos) {
+        std::string operands = name.substr(slash + 1);
+        // The trailing operand is the thread count, reported separately.
+        const std::size_t last = operands.rfind('/');
+        rec.shape = last == std::string::npos ? "" : operands.substr(0, last);
+      }
+      if (rec.shape.empty()) rec.shape = "-";
+      const auto threads_it = run.counters.find("threads");
+      rec.threads = threads_it == run.counters.end()
+                        ? 1
+                        : static_cast<std::size_t>(threads_it->second.value);
+      const double sec_per_iter =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      rec.ns_per_iter = sec_per_iter * 1e9;
+      const auto flops_it = run.counters.find("flops");
+      if (flops_it != run.counters.end() && sec_per_iter > 0.0) {
+        rec.gflops_per_s = flops_it->second.value / sec_per_iter / 1e9;
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+
+  std::vector<bench::BenchRecord> records;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollector reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("LITHOGAN_BENCH_JSON");
+  bench::write_bench_json(path != nullptr ? path : "BENCH_micro_nn.json",
+                          reporter.records);
+  benchmark::Shutdown();
+  return 0;
+}

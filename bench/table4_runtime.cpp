@@ -7,8 +7,10 @@
 // Absolute numbers here differ (different machine, lite scale); the claim
 // under test is the ORDERING and the rough magnitude of the ratios.
 #include <cstdio>
+#include <cstdlib>
 
 #include "baseline/flow.hpp"
+#include "bench_json.hpp"
 #include "common.hpp"
 #include "data/batch.hpp"
 #include "geometry/marching_squares.hpp"
@@ -123,6 +125,18 @@ int main() {
   std::printf("\npaper Table 4: rigorous >15 h (~1800x) | Ref.[12] 80 m + 8 s + 15 m "
               "(~190x) | GAN 30 s (1x)\n");
 
+  // Machine-readable mirror of the table: one record per flow (and per
+  // sweep row below), ns_per_iter = per-clip nanoseconds.
+  std::vector<bench::BenchRecord> records;
+  const std::string grid_shape = "grid" + std::to_string(rigorous_process.grid.pixels);
+  const double clips_d = static_cast<double>(n_clips);
+  records.push_back({"rigorous_sim", grid_shape, 1, rigorous_s / clips_d * 1e9, 0.0});
+  records.push_back({"ref12_flow", grid_shape, 1, ref12_s / clips_d * 1e9, 0.0});
+  records.push_back({"ref12_optical", grid_shape, 1, optical_s / clips_d * 1e9, 0.0});
+  records.push_back({"ref12_ml", grid_shape, 1, ml_s / clips_d * 1e9, 0.0});
+  records.push_back({"ref12_contour", grid_shape, 1, contour_s / clips_d * 1e9, 0.0});
+  records.push_back({"lithogan_inference", grid_shape, 1, gan_s / clips_d * 1e9, 0.0});
+
   // Thread-count sweep over the dominant cost, rigorous simulation. Every
   // row produces bit-identical fields (tests/determinism_test.cpp pins
   // this); only wall time moves. Thresholds are copied from the calibrated
@@ -144,7 +158,13 @@ int main() {
     if (threads == 1) sweep_base_s = per_clip;
     std::printf("  %8zu %12.4f %8.2fx\n", threads, per_clip,
                 sweep_base_s / std::max(per_clip, 1e-12));
+    records.push_back({"rigorous_sim_sweep", grid_shape, threads, per_clip * 1e9, 0.0});
   }
+
+  const char* json_path = std::getenv("LITHOGAN_BENCH_JSON");
+  bench::write_bench_json(json_path != nullptr ? json_path : "BENCH_table4.json",
+                          records);
+
   std::printf("\nshape checks:\n");
   std::printf("  rigorous > Ref.[12] flow:   %s (%.1fx vs %.1fx)\n",
               rigorous_s > ref12_s ? "OK" : "MISS", rigorous_s / gan_s, ref12_s / gan_s);

@@ -47,6 +47,17 @@ FieldGrid rasterize_mask(const std::vector<geometry::Rect>& openings,
   return out;
 }
 
+namespace {
+
+/// Signed frequency bin index -> grid index (the disk straddles DC, which
+/// wraps around the FFT grid edges).
+std::size_t wrap_bin(std::ptrdiff_t s, std::size_t n) {
+  const auto sn = static_cast<std::ptrdiff_t>(n);
+  return static_cast<std::size_t>(((s % sn) + sn) % sn);
+}
+
+}  // namespace
+
 OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
                            util::ExecContext* exec)
     : grid_(grid), exec_(exec) {
@@ -57,22 +68,24 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
 
   const auto source = sample_source(optical);
 
-  // Frequency of FFT bin i (signed, cycles/nm).
-  const auto bin_freq = [&](std::size_t i) {
-    const auto si = static_cast<std::ptrdiff_t>(i);
-    const auto half = static_cast<std::ptrdiff_t>(n / 2);
-    const std::ptrdiff_t signed_i = si < half ? si : si - static_cast<std::ptrdiff_t>(n);
-    return static_cast<double>(signed_i) / (static_cast<double>(n) * dx);
-  };
+  // Frequency table, hoisted out of the per-pixel loops: sfreq[s + n/2] is
+  // the frequency (cycles/nm) of SIGNED bin index s in [-n/2, n/2).
+  const auto half = static_cast<std::ptrdiff_t>(n / 2);
+  std::vector<double> sfreq(n);
+  for (std::ptrdiff_t s = -half; s < half; ++s) {
+    sfreq[static_cast<std::size_t>(s + half)] =
+        static_cast<double>(s) / (static_cast<double>(n) * dx);
+  }
 
   const std::size_t planes = std::max<std::size_t>(1, optical.focus_planes);
   const std::size_t kernels = source.size() * planes;
-  transfer_.assign(kernels, {});
+  windows_.assign(kernels, {});
   kernel_weights_.assign(kernels, 0.0);
 
   // Kernel k = (focus plane zi, source point si); every kernel's pupil is
   // computed independently, so the precompute parallelizes with no ordering
-  // concerns.
+  // concerns. Each kernel stores only the bounding box of its pupil
+  // support, so no dense n^2 scratch is ever allocated.
   util::Workspace serial_ws;
   util::parallel_for(exec_, serial_ws, 0, kernels, 1, [&](std::size_t k0,
                                                           std::size_t k1,
@@ -86,34 +99,72 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
           optical.focus_offset_nm +
           (static_cast<double>(zi) - static_cast<double>(planes - 1) / 2.0) *
               optical.focus_step_nm;
-      std::vector<std::complex<double>> t(n * n, {0.0, 0.0});
       // Source offset converted to absolute frequency (1/nm).
       const double sfx = s.fx * cutoff;
       const double sfy = s.fy * cutoff;
-      for (std::size_t iy = 0; iy < n; ++iy) {
-        const double fy = bin_freq(iy) + sfy;
-        for (std::size_t ix = 0; ix < n; ++ix) {
-          const double fx = bin_freq(ix) + sfx;
-          const double rho2 = (fx * fx + fy * fy) / (cutoff * cutoff);
-          if (rho2 > 1.0) continue;  // outside the pupil
-          // Paraxial defocus phase: -pi * lambda * z * |f|^2.
-          double phase = -std::numbers::pi * optical.wavelength_nm * z *
-                         (fx * fx + fy * fy);
-          // Residual coma (Zernike Z8/Z7): radial (3 rho^3 - 2 rho) times
-          // cos/sin of the pupil azimuth, in waves.
-          if (optical.coma_x_waves != 0.0 || optical.coma_y_waves != 0.0) {
-            const double rho = std::sqrt(rho2);
-            const double radial = 3.0 * rho * rho2 - 2.0 * rho;
-            const double inv = rho > 1e-12 ? 1.0 / (rho * cutoff) : 0.0;
-            const double cos_t = fx * inv;
-            const double sin_t = fy * inv;
-            phase += 2.0 * std::numbers::pi * radial *
-                     (optical.coma_x_waves * cos_t + optical.coma_y_waves * sin_t);
-          }
-          t[iy * n + ix] = std::complex<double>(std::cos(phase), std::sin(phase));
+
+      // Pass 1: bounding box (in signed bin indices) of the pupil disk
+      // (fx + sfx)^2 + (fy + sfy)^2 <= cutoff^2 on the bin lattice.
+      std::ptrdiff_t x0 = half, x1 = -half - 1, y0 = half, y1 = -half - 1;
+      for (std::ptrdiff_t sy = -half; sy < half; ++sy) {
+        const double fy = sfreq[static_cast<std::size_t>(sy + half)] + sfy;
+        if (fy * fy > cutoff * cutoff) continue;
+        const double fx_max2 = cutoff * cutoff - fy * fy;
+        bool row_hit = false;
+        for (std::ptrdiff_t sx = -half; sx < half; ++sx) {
+          const double fx = sfreq[static_cast<std::size_t>(sx + half)] + sfx;
+          if (fx * fx > fx_max2) continue;
+          x0 = std::min(x0, sx);
+          x1 = std::max(x1, sx);
+          row_hit = true;
+        }
+        if (row_hit) {
+          y0 = std::min(y0, sy);
+          y1 = std::max(y1, sy);
         }
       }
-      transfer_[k] = std::move(t);
+
+      TransferWindow win;
+      if (y1 >= y0 && x1 >= x0) {
+        win.sx0 = x0;
+        win.sy0 = y0;
+        win.w = static_cast<std::size_t>(x1 - x0 + 1);
+        win.h = static_cast<std::size_t>(y1 - y0 + 1);
+        win.values.assign(win.w * win.h, {0.0, 0.0});
+        // Pass 2: fill the cropped window (bins inside the box but outside
+        // the disk stay zero).
+        for (std::size_t wy = 0; wy < win.h; ++wy) {
+          const double fy =
+              sfreq[static_cast<std::size_t>(win.sy0 + static_cast<std::ptrdiff_t>(wy) +
+                                             half)] +
+              sfy;
+          for (std::size_t wx = 0; wx < win.w; ++wx) {
+            const double fx =
+                sfreq[static_cast<std::size_t>(win.sx0 +
+                                               static_cast<std::ptrdiff_t>(wx) + half)] +
+                sfx;
+            const double rho2 = (fx * fx + fy * fy) / (cutoff * cutoff);
+            if (rho2 > 1.0) continue;  // outside the pupil
+            // Paraxial defocus phase: -pi * lambda * z * |f|^2.
+            double phase = -std::numbers::pi * optical.wavelength_nm * z *
+                           (fx * fx + fy * fy);
+            // Residual coma (Zernike Z8/Z7): radial (3 rho^3 - 2 rho) times
+            // cos/sin of the pupil azimuth, in waves.
+            if (optical.coma_x_waves != 0.0 || optical.coma_y_waves != 0.0) {
+              const double rho = std::sqrt(rho2);
+              const double radial = 3.0 * rho * rho2 - 2.0 * rho;
+              const double inv = rho > 1e-12 ? 1.0 / (rho * cutoff) : 0.0;
+              const double cos_t = fx * inv;
+              const double sin_t = fy * inv;
+              phase += 2.0 * std::numbers::pi * radial *
+                       (optical.coma_x_waves * cos_t + optical.coma_y_waves * sin_t);
+            }
+            win.values[wy * win.w + wx] =
+                std::complex<double>(std::cos(phase), std::sin(phase));
+          }
+        }
+      }
+      windows_[k] = std::move(win);
       kernel_weights_[k] = s.weight / static_cast<double>(planes);
     }
   });
@@ -121,8 +172,16 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
   // Normalize so a fully open mask images at intensity 1: its spectrum is a
   // DC delta, so the open-field intensity is sum_k w_k |T_k(0)|^2.
   double open_field = 0.0;
-  for (std::size_t k = 0; k < transfer_.size(); ++k) {
-    open_field += kernel_weights_[k] * std::norm(transfer_[k][0]);
+  for (std::size_t k = 0; k < windows_.size(); ++k) {
+    const TransferWindow& win = windows_[k];
+    // T_k(0, 0) in window coordinates, zero when DC is outside the box.
+    std::complex<double> t0{0.0, 0.0};
+    if (win.w > 0 && -win.sx0 >= 0 && -win.sx0 < static_cast<std::ptrdiff_t>(win.w) &&
+        -win.sy0 >= 0 && -win.sy0 < static_cast<std::ptrdiff_t>(win.h)) {
+      t0 = win.values[static_cast<std::size_t>(-win.sy0) * win.w +
+                      static_cast<std::size_t>(-win.sx0)];
+    }
+    open_field += kernel_weights_[k] * std::norm(t0);
   }
   LITHOGAN_REQUIRE(open_field > 0.0, "no source point falls inside the pupil");
   normalization_ = 1.0 / open_field;
@@ -133,20 +192,55 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
   const std::size_t n = grid_.pixels;
   const std::size_t n2 = n * n;
 
-  std::vector<math::Complex> spectrum(mask.values.begin(), mask.values.end());
-  math::fft2d(spectrum, n, n, /*inverse=*/false, exec_);
+  // The mask is real, so its spectrum comes from the half-work
+  // real-to-complex path.
+  const std::vector<math::Complex> spectrum =
+      math::fft2d_real_forward(mask.values, n, n, exec_);
 
   FieldGrid out;
   out.pixels = n;
   out.extent_nm = grid_.extent_nm;
   out.values.assign(n2, 0.0);
 
+  // Renders kernel k's coherent field IFT[T_k * spectrum] into ws scratch
+  // and returns it. Only the pupil-support window of the spectrum is
+  // multiplied, and the inverse FFT's row stage visits only the <= h
+  // support rows: every other row is identically zero and transforms to
+  // zero, so skipping it is bit-exact. The column stage then runs over the
+  // full grid. Nested parallel_for serializes inline, so all FFT calls
+  // here are the serial single-line form.
+  const auto render = [&](std::size_t k,
+                          util::Workspace& ws) -> const math::Complex* {
+    const TransferWindow& t = windows_[k];
+    auto& field = ws.complexes(0);
+    field.assign(n2, math::Complex(0.0, 0.0));
+    if (t.h == 0 || t.w == 0) return field.data();
+    const math::FftPlan& plan = math::fft_plan(ws, n, /*inverse=*/true);
+    for (std::size_t wy = 0; wy < t.h; ++wy) {
+      const std::size_t r = wrap_bin(t.sy0 + static_cast<std::ptrdiff_t>(wy), n);
+      math::Complex* row = field.data() + r * n;
+      const math::Complex* srow = spectrum.data() + r * n;
+      const std::complex<double>* trow = t.values.data() + wy * t.w;
+      for (std::size_t wx = 0; wx < t.w; ++wx) {
+        const std::size_t c = wrap_bin(t.sx0 + static_cast<std::ptrdiff_t>(wx), n);
+        row[c] = srow[c] * trow[wx];
+      }
+      math::fft(row, plan);
+    }
+    auto& column = ws.complexes(1);
+    column.resize(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t r = 0; r < n; ++r) column[r] = field[r * n + c];
+      math::fft(column.data(), plan);
+      for (std::size_t r = 0; r < n; ++r) field[r * n + c] = column[r];
+    }
+    return field.data();
+  };
+
   if (exec_ == nullptr) {
-    std::vector<math::Complex> field(n2);
-    for (std::size_t k = 0; k < transfer_.size(); ++k) {
-      const auto& t = transfer_[k];
-      for (std::size_t i = 0; i < n2; ++i) field[i] = spectrum[i] * t[i];
-      math::fft2d(field, n, n, /*inverse=*/true);
+    util::Workspace ws;
+    for (std::size_t k = 0; k < windows_.size(); ++k) {
+      const math::Complex* field = render(k, ws);
       const double w = kernel_weights_[k] * normalization_;
       for (std::size_t i = 0; i < n2; ++i) {
         out.values[i] += w * std::norm(field[i]);
@@ -156,26 +250,20 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
   }
 
   // SOCS fan-out: kernels are processed in windows. Within a window each
-  // kernel's intensity w_k * |IFT[P_k * spectrum]|^2 lands in its own slot
+  // kernel's intensity w_k * |IFT[T_k * spectrum]|^2 lands in its own slot
   // (parallel, disjoint writes); the slots are then accumulated serially in
   // kernel order, reproducing the serial sum ((0 + I_0) + I_1) + ... bit
   // for bit at any thread count. The window bounds slot memory at
   // O(threads * grid^2) instead of O(kernels * grid^2).
-  const std::size_t kernels = transfer_.size();
+  const std::size_t kernels = windows_.size();
   const std::size_t window = std::min(kernels, std::max<std::size_t>(exec_->threads(), 1) * 2);
   std::vector<double> slots(window * n2);
   for (std::size_t w0 = 0; w0 < kernels; w0 += window) {
     const std::size_t w1 = std::min(w0 + window, kernels);
     exec_->parallel_for(w0, w1, 1, [&](std::size_t k0, std::size_t k1,
                                        util::Workspace& ws) {
-      auto& field = ws.complexes(0);
-      field.resize(n2);
       for (std::size_t k = k0; k < k1; ++k) {
-        const auto& t = transfer_[k];
-        for (std::size_t i = 0; i < n2; ++i) field[i] = spectrum[i] * t[i];
-        // Nested parallel_for serializes inline, so the inner FFT runs
-        // serially here regardless of the context.
-        math::fft2d(field, n, n, /*inverse=*/true);
+        const math::Complex* field = render(k, ws);
         const double w = kernel_weights_[k] * normalization_;
         double* slot = slots.data() + (k - w0) * n2;
         for (std::size_t i = 0; i < n2; ++i) slot[i] = w * std::norm(field[i]);

@@ -57,17 +57,35 @@ class OpticalModel {
 
   /// Number of coherent kernels (source points x focus planes): the main
   /// accuracy/runtime knob (Table 4's "rigorous" uses many, compact few).
-  std::size_t kernel_count() const { return transfer_.size(); }
+  std::size_t kernel_count() const { return windows_.size(); }
 
   double pixel_nm() const { return grid_.pixel_nm(); }
   const GridConfig& grid() const { return grid_; }
 
  private:
+  /// One SOCS transfer function, stored as the bounding box of the
+  /// frequency bins inside its shifted pupil (rho^2 <= 1) rather than a
+  /// dense pixels^2 array. Coordinates are SIGNED bin indices (the pupil
+  /// disk straddles DC, which wraps around the FFT grid edges); a bin
+  /// (sy0 + wy, sx0 + wx) lives at grid index ((s % n) + n) % n. For
+  /// typical configs the window covers a few percent of the grid, so both
+  /// the storage and the per-kernel spectrum multiply shrink by ~n^2/(w*h),
+  /// and the all-zero rows outside the window let the inverse FFT skip its
+  /// entire first stage outside the support.
+  struct TransferWindow {
+    std::ptrdiff_t sx0 = 0;
+    std::ptrdiff_t sy0 = 0;
+    std::size_t w = 0;
+    std::size_t h = 0;
+    std::vector<std::complex<double>> values;  ///< h * w, zero outside the disk
+  };
+
   GridConfig grid_;
   util::ExecContext* exec_ = nullptr;
   double normalization_ = 1.0;
-  /// Frequency-domain transfer functions, one per (source point, focus).
-  std::vector<std::vector<std::complex<double>>> transfer_;
+  /// Pupil-support windows of the transfer functions, one per
+  /// (source point, focus plane).
+  std::vector<TransferWindow> windows_;
   std::vector<double> kernel_weights_;
 };
 

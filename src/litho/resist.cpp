@@ -16,8 +16,10 @@ FieldGrid diffuse(const FieldGrid& field, double sigma_nm, util::ExecContext* ex
   const std::size_t n = field.pixels;
   const double dx = field.pixel_nm();
 
-  std::vector<math::Complex> spectrum(field.values.begin(), field.values.end());
-  math::fft2d(spectrum, n, n, /*inverse=*/false, exec);
+  // The latent field is real, so the forward transform goes through the
+  // Hermitian-symmetric real-to-complex path (half the 1-D FFT work).
+  std::vector<math::Complex> spectrum =
+      math::fft2d_real_forward(field.values, n, n, exec);
 
   // FT of a unit-mass Gaussian: exp(-2 pi^2 sigma^2 |f|^2).
   const auto bin_freq = [&](std::size_t i) {

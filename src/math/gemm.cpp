@@ -5,14 +5,45 @@
 
 #include "util/exec_context.hpp"
 
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
+
 namespace lithogan::math {
 
 namespace {
+// Micro-kernel register tile: MR rows of C by NR columns, chosen per ISA so
+// the accumulators fill the register file without spilling. AVX-512 builds
+// use an 8 x 32 tile (16 zmm accumulators of the 32 available, FMA-bound at
+// 16 FMAs per K step against 10 loads); AVX2 and portable builds use 6 x 16
+// (12 ymm accumulators plus two B loads and one A broadcast fit the 16 ymm
+// registers).
+#if defined(__AVX512F__)
+constexpr std::size_t kMr = 8;
+constexpr std::size_t kNr = 32;
+#else
+constexpr std::size_t kMr = 6;
+constexpr std::size_t kNr = 16;
+#endif
+// Cache blocking: a KC-deep slice of B streams through L1 one NR panel at a
+// time while an MC x KC block of A stays resident in L2.
 constexpr std::size_t kBlockK = 256;
-constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockM = 96;  // multiple of kMr
 // Minimum multiply-adds per task; splitting finer than this loses more to
 // scheduling than the extra threads recover.
 constexpr std::size_t kMinFlopsPerTask = 16 * 1024;
+// Workspace float slots used for panel scratch. High numbers keep clear of
+// the low slots callers (conv's im2col buffers) use in the same arenas.
+constexpr std::size_t kAPanelSlot = 7;
+constexpr std::size_t kBPanelSlot = 8;
+
+/// Scratch for the serial path and for B packing on the calling thread.
+/// Thread-local so gemm stays safe when invoked concurrently from pool
+/// workers that passed exec == nullptr (the batch-parallel conv path).
+util::Workspace& local_workspace() {
+  thread_local util::Workspace ws;
+  return ws;
+}
 
 void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
   if (beta == 1.0f) return;
@@ -24,99 +55,280 @@ void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
 }
 
 /// Rows of C per task such that each task does at least kMinFlopsPerTask
-/// multiply-adds (`row_cost` = n * k of the variant).
+/// multiply-adds (`row_cost` = n * k of the variant). Rounded up to a
+/// multiple of kMr so chunk boundaries coincide with full register tiles.
 std::size_t row_grain(const util::ExecContext* exec, std::size_t m,
                       std::size_t row_cost) {
   const std::size_t min_rows =
       std::max<std::size_t>(1, kMinFlopsPerTask / std::max<std::size_t>(1, row_cost));
-  return std::max(min_rows, exec ? exec->grain_for(m) : m);
+  const std::size_t grain = std::max(min_rows, exec ? exec->grain_for(m) : m);
+  return (grain + kMr - 1) / kMr * kMr;
 }
 
-/// The seed's cache-blocked ikj kernel over the row range [i0r, i1r). The
-/// per-row accumulation order (p ascending within k-blocks) is unchanged,
-/// so splitting the row range across tasks cannot change results.
-void gemm_rows(std::size_t i0r, std::size_t i1r, std::size_t n, std::size_t k,
-               float alpha, const float* a, const float* b, float beta, float* c) {
-  scale_c(i1r - i0r, n, beta, c + i0r * n);
-  for (std::size_t i0 = i0r; i0 < i1r; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, i1r);
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
-      const std::size_t p1 = std::min(p0 + kBlockK, k);
-      for (std::size_t i = i0; i < i1; ++i) {
-        float* crow = c + i * n;
-        for (std::size_t p = p0; p < p1; ++p) {
-          const float aval = alpha * a[i * k + p];
-          if (aval == 0.0f) continue;
-          const float* brow = b + p * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+// --- Packing ---------------------------------------------------------------
+
+/// Packs logical B(k x n) columns [jt*NR, jt*NR + NR) p-major with zero
+/// padding past n. TransB reads B stored n x k row-major (ldb = k).
+template <bool TransB>
+void pack_b_impl(std::size_t k, std::size_t n, const float* b, std::size_t ldb,
+                 float* packed) {
+  const std::size_t tiles = (n + kNr - 1) / kNr;
+  for (std::size_t jt = 0; jt < tiles; ++jt) {
+    const std::size_t j0 = jt * kNr;
+    const std::size_t jw = std::min(kNr, n - j0);
+    float* dst = packed + jt * k * kNr;
+    for (std::size_t p = 0; p < k; ++p) {
+      float* d = dst + p * kNr;
+      if constexpr (TransB) {
+        for (std::size_t j = 0; j < jw; ++j) d[j] = b[(j0 + j) * ldb + p];
+      } else {
+        const float* src = b + p * ldb + j0;
+        for (std::size_t j = 0; j < jw; ++j) d[j] = src[j];
+      }
+      for (std::size_t j = jw; j < kNr; ++j) d[j] = 0.0f;
+    }
+  }
+}
+
+/// Packs rows [i0, i0 + rows) of logical A(m x k), K range [p0, p0 + kc),
+/// into MR-row tiles laid out p-major (element (p, r) of tile t at
+/// packed[t*kc*MR + p*MR + r]); rows past the edge are zero-filled. TransA
+/// reads A stored k x m row-major (lda = m).
+template <bool TransA>
+void pack_a_block(std::size_t i0, std::size_t rows, std::size_t p0, std::size_t kc,
+                  const float* a, std::size_t lda, float* packed) {
+  const std::size_t tiles = (rows + kMr - 1) / kMr;
+  for (std::size_t t = 0; t < tiles; ++t) {
+    const std::size_t r0 = i0 + t * kMr;
+    const std::size_t rh = std::min(kMr, i0 + rows - r0);
+    float* dst = packed + t * kc * kMr;
+    for (std::size_t p = 0; p < kc; ++p) {
+      float* d = dst + p * kMr;
+      for (std::size_t r = 0; r < rh; ++r) {
+        d[r] = TransA ? a[(p0 + p) * lda + r0 + r] : a[(r0 + r) * lda + p0 + p];
+      }
+      for (std::size_t r = rh; r < kMr; ++r) d[r] = 0.0f;
+    }
+  }
+}
+
+// --- Micro-kernels ----------------------------------------------------------
+//
+// acc[MR][NR] = sum_p ap[p*MR + r] * bp[p*NR + j] over the K block. Each
+// (r, j) accumulator is one sequential chain over p, so the result is
+// independent of how the caller split rows across tasks.
+
+using MicroKernel = void (*)(std::size_t kc, const float* ap, const float* bp,
+                             float* acc);
+
+void micro_kernel_portable(std::size_t kc, const float* ap, const float* bp,
+                           float* acc) {
+  float local[kMr * kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMr;
+    const float* brow = bp + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      float* dst = local + r * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) dst[j] += av * brow[j];
+    }
+  }
+  std::memcpy(acc, local, sizeof(local));
+}
+
+#if defined(__AVX512F__)
+void micro_kernel_avx512(std::size_t kc, const float* ap, const float* bp,
+                         float* acc) {
+  __m512 c0[kMr];
+  __m512 c1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    c0[r] = _mm512_setzero_ps();
+    c1[r] = _mm512_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    const __m512 b1 = _mm512_loadu_ps(bp + p * kNr + 16);
+    const float* arow = ap + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const __m512 av = _mm512_set1_ps(arow[r]);
+      c0[r] = _mm512_fmadd_ps(av, b0, c0[r]);
+      c1[r] = _mm512_fmadd_ps(av, b1, c1[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    _mm512_storeu_ps(acc + r * kNr, c0[r]);
+    _mm512_storeu_ps(acc + r * kNr + 16, c1[r]);
+  }
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+void micro_kernel_avx2(std::size_t kc, const float* ap, const float* bp, float* acc) {
+  __m256 c0[kMr];
+  __m256 c1[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) {
+    c0[r] = _mm256_setzero_ps();
+    c1[r] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* arow = ap + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_broadcast_ss(arow + r);
+      c0[r] = _mm256_fmadd_ps(av, b0, c0[r]);
+      c1[r] = _mm256_fmadd_ps(av, b1, c1[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(acc + r * kNr, c0[r]);
+    _mm256_storeu_ps(acc + r * kNr + 8, c1[r]);
+  }
+}
+#endif
+
+/// Runtime dispatch, resolved once per process so every call sees the same
+/// kernel. The SIMD bodies are only compiled when the build targets the ISA
+/// (LITHOGAN_NATIVE on capable machines); the cpu_supports guard keeps a
+/// binary built that way from crashing on a lesser host before main().
+MicroKernel select_micro_kernel() {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return micro_kernel_avx512;
+#elif defined(__AVX2__) && defined(__FMA__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return micro_kernel_avx2;
+  }
+#endif
+  return micro_kernel_portable;
+}
+
+const MicroKernel g_micro_kernel = select_micro_kernel();
+
+/// Writes one register tile back to C over its valid extent. The first K
+/// block applies alpha/beta (beta == 0 never reads C — it may hold NaN
+/// poison); later blocks accumulate.
+void write_tile(const float* acc, std::size_t rows, std::size_t cols, float alpha,
+                float beta, bool first_block, float* c, std::size_t ldc) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * kNr;
+    if (first_block) {
+      if (beta == 0.0f) {
+        for (std::size_t j = 0; j < cols; ++j) crow[j] = alpha * arow[j];
+      } else {
+        for (std::size_t j = 0; j < cols; ++j) {
+          crow[j] = alpha * arow[j] + beta * crow[j];
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
+    }
+  }
+}
+
+/// Packed GEMM over the row range [r0, r1) of C. Per row, K blocks are
+/// visited in ascending order and each accumulator is one sequential chain,
+/// so any row split reproduces the serial result bit for bit.
+template <bool TransA>
+void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
+                      float alpha, const float* a, std::size_t lda,
+                      const float* packed_b, float beta, float* c,
+                      util::Workspace& ws) {
+  auto& apanel = ws.floats(kAPanelSlot);
+  const std::size_t jtiles = (n + kNr - 1) / kNr;
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t kc = std::min(kBlockK, k - p0);
+    const bool first_block = p0 == 0;
+    for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const std::size_t mc = std::min(kBlockM, r1 - i0);
+      const std::size_t itiles = (mc + kMr - 1) / kMr;
+      apanel.resize(itiles * kc * kMr);
+      pack_a_block<TransA>(i0, mc, p0, kc, a, lda, apanel.data());
+      for (std::size_t jt = 0; jt < jtiles; ++jt) {
+        const float* bp = packed_b + jt * k * kNr + p0 * kNr;
+        const std::size_t cols = std::min(kNr, n - jt * kNr);
+        for (std::size_t t = 0; t < itiles; ++t) {
+          float acc[kMr * kNr];
+          g_micro_kernel(kc, apanel.data() + t * kc * kMr, bp, acc);
+          const std::size_t row = i0 + t * kMr;
+          write_tile(acc, std::min(kMr, r1 - row), cols, alpha, beta, first_block,
+                     c + row * n + jt * kNr, n);
         }
       }
     }
   }
 }
-}  // namespace
 
-void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
-          const float* b, float beta, float* c, util::ExecContext* exec) {
+template <bool TransA>
+void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, std::size_t lda, const float* packed_b, float beta,
+                 float* c, util::ExecContext* exec) {
   if (exec == nullptr) {
-    gemm_rows(0, m, n, k, alpha, a, b, beta, c);
+    gemm_rows_packed<TransA>(0, m, n, k, alpha, a, lda, packed_b, beta, c,
+                             local_workspace());
     return;
   }
   exec->parallel_for(0, m, row_grain(exec, m, n * k),
-                     [&](std::size_t r0, std::size_t r1, util::Workspace&) {
-                       gemm_rows(r0, r1, n, k, alpha, a, b, beta, c);
+                     [&](std::size_t i0, std::size_t i1, util::Workspace& ws) {
+                       gemm_rows_packed<TransA>(i0, i1, n, k, alpha, a, lda, packed_b,
+                                                beta, c, ws);
                      });
+}
+
+template <bool TransA, bool TransB>
+void gemm_entry(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                const float* a, const float* b, float beta, float* c,
+                util::ExecContext* exec) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c);
+    return;
+  }
+  // B is packed once on the calling thread (O(k*n), negligible next to the
+  // O(m*n*k) compute) and read shared by every task.
+  auto& bbuf = local_workspace().floats(kBPanelSlot);
+  bbuf.resize(packed_b_size(n, k));
+  pack_b_impl<TransB>(k, n, b, TransB ? k : n, bbuf.data());
+  gemm_driver<TransA>(m, n, k, alpha, a, TransA ? m : k, bbuf.data(), beta, c, exec);
+}
+
+}  // namespace
+
+std::size_t gemm_nr() { return kNr; }
+
+std::size_t packed_b_size(std::size_t n, std::size_t k) {
+  return (n + kNr - 1) / kNr * kNr * k;
+}
+
+void pack_b(std::size_t k, std::size_t n, const float* b, float* packed) {
+  pack_b_impl<false>(k, n, b, n, packed);
+}
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
+          const float* b, float beta, float* c, util::ExecContext* exec) {
+  gemm_entry<false, false>(m, n, k, alpha, a, b, beta, c, exec);
 }
 
 void gemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
              const float* b, float beta, float* c, util::ExecContext* exec) {
-  // A is k x m row-major; we compute C[i][j] += A[p][i] * B[p][j]. Each task
-  // owns a row range of C; per row the p-accumulation order matches the
-  // seed's p-outer loop, so results are independent of the split.
-  auto rows = [&](std::size_t r0, std::size_t r1, util::Workspace&) {
-    scale_c(r1 - r0, n, beta, c + r0 * n);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float aval = alpha * arow[i];
-        if (aval == 0.0f) continue;
-        float* crow = c + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-      }
-    }
-  };
-  if (exec == nullptr) {
-    util::Workspace unused;
-    rows(0, m, unused);
-    return;
-  }
-  exec->parallel_for(0, m, row_grain(exec, m, n * k), rows);
+  // A is k x m row-major, used as its transpose; packing gathers the
+  // transposed rows directly, so no A^T is ever materialized.
+  gemm_entry<true, false>(m, n, k, alpha, a, b, beta, c, exec);
 }
 
 void gemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
              const float* b, float beta, float* c, util::ExecContext* exec) {
-  // B is n x k row-major; C[i][j] += A[i][p] * B[j][p] — a dot product, which
-  // keeps both streams sequential. Rows of C are independent.
-  auto rows = [&](std::size_t r0, std::size_t r1, util::Workspace&) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        // beta == 0 must not read C: it may be uninitialized (NaN propagation).
-        crow[j] = (beta == 0.0f) ? alpha * acc : alpha * acc + beta * crow[j];
-      }
-    }
-  };
-  if (exec == nullptr) {
-    util::Workspace unused;
-    rows(0, m, unused);
+  // B is n x k row-major; packing gathers its transpose into the panels.
+  gemm_entry<false, true>(m, n, k, alpha, a, b, beta, c, exec);
+}
+
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* packed_b, float beta, float* c,
+                 util::ExecContext* exec) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c);
     return;
   }
-  exec->parallel_for(0, m, row_grain(exec, m, n * k), rows);
+  gemm_driver<false>(m, n, k, alpha, a, k, packed_b, beta, c, exec);
 }
 
 }  // namespace lithogan::math

@@ -1,12 +1,18 @@
 // Single-precision matrix multiplication — the workhorse behind every
 // convolution in the neural-network library (via im2col lowering).
 //
-// The kernel is a cache-blocked triple loop in ikj order with the innermost
-// loop vectorizable by the compiler. Each variant optionally runs row-block
-// parallel over an ExecContext; every row of C is written by exactly one
-// task and its k-accumulation order never changes, so results are
-// bit-identical at any thread count (including the serial exec == nullptr
-// path).
+// The kernel is a packed, register-blocked micro-kernel GEMM: A and B are
+// repacked into panel layouts sized for the cache hierarchy and an MR x NR
+// register tile is accumulated over K. On machines with AVX2+FMA (compile
+// with -DLITHOGAN_NATIVE=ON) an intrinsic micro-kernel is selected at
+// runtime; otherwise a portable C++ kernel written for compiler
+// auto-vectorization runs. Each variant optionally runs row-block parallel
+// over an ExecContext; every row of C is written by exactly one task and
+// its K-accumulation order (K-blocks ascending, lanes independent) never
+// changes, so results are bit-identical at any thread count (including the
+// serial exec == nullptr path). The two micro-kernels may differ from each
+// other at rounding level, but the dispatch is fixed per process, so every
+// build is individually deterministic.
 #pragma once
 
 #include <cstddef>
@@ -30,5 +36,30 @@ void gemm_at(std::size_t m, std::size_t n, std::size_t k, float alpha, const flo
 /// C = alpha * A(m x k) * B^T (B is n x k row-major) + beta * C(m x n).
 void gemm_bt(std::size_t m, std::size_t n, std::size_t k, float alpha, const float* a,
              const float* b, float beta, float* c, util::ExecContext* exec = nullptr);
+
+// --- Pre-packed B interface -------------------------------------------------
+//
+// The packed-B layout is public so producers (nn::im2col_packed) can emit it
+// directly, skipping the row-major staging copy: B (k x n logical) is split
+// into column tiles of gemm_nr() columns; tile jt occupies the contiguous
+// range packed[jt * k * NR, (jt+1) * k * NR) laid out p-major, i.e. element
+// (p, jt*NR + j) lives at packed[jt*k*NR + p*NR + j]. Columns beyond n in
+// the last tile are zero-filled.
+
+/// Width of one packed-B column tile (NR of the micro-kernel).
+std::size_t gemm_nr();
+
+/// Number of floats a packed B of logical shape (k x n) occupies.
+std::size_t packed_b_size(std::size_t n, std::size_t k);
+
+/// Packs row-major B (k x n) into the panel layout described above.
+void pack_b(std::size_t k, std::size_t n, const float* b, float* packed);
+
+/// C = alpha * A(m x k) * B + beta * C where B is already in packed panel
+/// layout (pack_b / im2col_packed). Bit-identical to gemm() on the same
+/// operands.
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* packed_b, float beta, float* c,
+                 util::ExecContext* exec = nullptr);
 
 }  // namespace lithogan::math

@@ -66,14 +66,16 @@ Tensor Conv2d::forward(const Tensor& input) {
   const bool batch_parallel = exec_ != nullptr && batch > 1;
   util::ExecContext* inner = batch_parallel ? nullptr : exec_;
   auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
+    // im2col emits the packed-B panel layout directly, so the GEMM consumes
+    // it without a second packing copy of the column matrix.
     auto& col = ws.floats(kColSlot);
-    col.resize(rows * cols);
+    col.resize(math::packed_b_size(cols, rows));
     for (std::size_t n = n0; n < n1; ++n) {
       const float* x = input.raw() + n * in_channels_ * h * w;
       float* y = output.raw() + n * out_channels_ * cols;
-      im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
-      math::gemm(out_channels_, cols, rows, 1.0f, weight_.value.raw(), col.data(), 0.0f,
-                 y, inner);
+      im2col_packed(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
+      math::gemm_packed(out_channels_, cols, rows, 1.0f, weight_.value.raw(),
+                        col.data(), 0.0f, y, inner);
       for (std::size_t oc = 0; oc < out_channels_; ++oc) {
         const float b = bias_.value[oc];
         float* plane = y + oc * cols;

@@ -1,5 +1,8 @@
 #include "nn/im2col.hpp"
 
+#include <algorithm>
+
+#include "math/gemm.hpp"
 #include "util/error.hpp"
 
 namespace lithogan::nn {
@@ -51,6 +54,63 @@ void im2col(const float* src, std::size_t channels, std::size_t height,
                 (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width))
                     ? 0.0f
                     : src_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_packed(const float* src, std::size_t channels, std::size_t height,
+                   std::size_t width, std::size_t kernel, std::size_t stride,
+                   std::size_t pad, float* packed) {
+  const std::size_t out_h = conv_out_size(height, kernel, stride, pad);
+  const std::size_t out_w = conv_out_size(width, kernel, stride, pad);
+  const std::size_t plane = height * width;
+  const std::size_t cols = out_h * out_w;             // GEMM n
+  const std::size_t rows = channels * kernel * kernel;  // GEMM k
+  const std::size_t nr = math::gemm_nr();
+  const std::size_t tiles = (cols + nr - 1) / nr;
+
+  // Ragged last tile: zero it once up front, then the main loops overwrite
+  // the live columns and the padding columns stay zero.
+  if (tiles * nr != cols) {
+    float* tail = packed + (tiles - 1) * rows * nr;
+    std::fill(tail, tail + rows * nr, 0.0f);
+  }
+
+  // Column q of the logical matrix lands in tile q / nr at lane q % nr;
+  // logical row p sits at offset p * nr inside the tile (p-major panels).
+  // q only ever increments by one, so the tile pointer and lane are carried
+  // incrementally instead of divided out per element.
+  const std::size_t tile_stride = rows * nr;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* src_plane = src + c * plane;
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx, ++row) {
+        float* dst = packed + row * nr;  // lane 0 of tile 0 for this row
+        std::size_t lane = 0;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          const bool iy_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(height);
+          const float* src_row =
+              iy_ok ? src_plane + static_cast<std::size_t>(iy) * width : nullptr;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            float value = 0.0f;
+            if (iy_ok) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                                        static_cast<std::ptrdiff_t>(pad);
+              if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(width)) {
+                value = src_row[static_cast<std::size_t>(ix)];
+              }
+            }
+            dst[lane] = value;
+            if (++lane == nr) {
+              lane = 0;
+              dst += tile_stride;
+            }
           }
         }
       }

@@ -26,6 +26,16 @@ void im2col(const float* src, std::size_t channels, std::size_t height,
             std::size_t width, std::size_t kernel, std::size_t stride, std::size_t pad,
             float* col);
 
+/// im2col directly into the packed-B panel layout consumed by
+/// math::gemm_packed (see math/gemm.hpp for the layout): the (C*k*k, Ho*Wo)
+/// column matrix never exists in row-major form, so the GEMM's B-packing
+/// copy is skipped entirely. `packed` must hold
+/// math::packed_b_size(Ho*Wo, C*k*k) floats; ragged tile columns are
+/// zero-filled.
+void im2col_packed(const float* src, std::size_t channels, std::size_t height,
+                   std::size_t width, std::size_t kernel, std::size_t stride,
+                   std::size_t pad, float* packed);
+
 /// Adjoint of im2col: scatter-adds col back into dst (C, H, W).
 /// dst must be zero-initialized by the caller.
 void col2im(const float* col, std::size_t channels, std::size_t height,

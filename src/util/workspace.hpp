@@ -12,6 +12,7 @@
 #include <complex>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <vector>
 
 namespace lithogan::util {
@@ -32,12 +33,23 @@ class Workspace {
     return grow(complex_slots_, slot);
   }
 
-  /// Drops every buffer (capacity included). Mainly for tests and for
-  /// callers that want to bound peak memory after a large transient.
+  /// Type-erased precomputation slot ("plan"). Unlike the scratch vectors
+  /// above, plan contents DO survive across acquisitions: an algorithm
+  /// stores its lookup tables (FFT twiddles, bit-reversal permutations, …)
+  /// here once per worker and reuses them on every later call, with no lock
+  /// on the hot path. Slot numbers are a per-algorithm namespace; math/fft
+  /// owns slot 0. The holder is shared_ptr<void> so util stays ignorant of
+  /// the concrete plan types.
+  std::shared_ptr<void>& plan(std::size_t slot = 0) { return grow(plan_slots_, slot); }
+
+  /// Drops every buffer (capacity included) and every cached plan. Mainly
+  /// for tests and for callers that want to bound peak memory after a large
+  /// transient.
   void clear() {
     float_slots_.clear();
     double_slots_.clear();
     complex_slots_.clear();
+    plan_slots_.clear();
   }
 
  private:
@@ -53,6 +65,7 @@ class Workspace {
   std::deque<std::vector<float>> float_slots_;
   std::deque<std::vector<double>> double_slots_;
   std::deque<std::vector<std::complex<double>>> complex_slots_;
+  std::deque<std::shared_ptr<void>> plan_slots_;
 };
 
 }  // namespace lithogan::util
