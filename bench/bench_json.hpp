@@ -3,15 +3,24 @@
 // Each bench binary appends BenchRecords as it runs and dumps them to a
 // BENCH_<name>.json file next to the working directory on exit, so perf
 // regressions can be tracked by diffing two JSON files instead of scraping
-// console tables. The schema is one flat array of
-//   {op, shape, threads, ns_per_iter, gflops_per_s}
-// objects; gflops_per_s is 0 where no meaningful FLOP count exists (e.g.
-// end-to-end flows).
+// console tables. The schema is one object
+//   {host: {cpus, simd}, records: [...]}
+// where each record is
+//   {op, shape, threads, ns_per_iter, gflops_per_s, speedup_vs_1t}.
+// gflops_per_s is 0 where no meaningful FLOP count exists (e.g. end-to-end
+// flows). speedup_vs_1t is this record's 1-thread baseline time (first
+// record with the same op+shape at threads == 1) divided by its own time —
+// >1 means scaling helps — and 0 when no baseline was benched. The host
+// block pins what machine a trajectory was measured on, so cross-machine
+// diffs are recognizable as such.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "math/gemm.hpp"
 
 namespace lithogan::bench {
 
@@ -23,23 +32,37 @@ struct BenchRecord {
   double gflops_per_s = 0.0;
 };
 
-/// Writes `records` to `path` as a JSON array. op/shape must not contain
+/// 1-thread ns_per_iter for (op, shape), or 0 if none was benched.
+inline double baseline_1t(const std::vector<BenchRecord>& records,
+                          const BenchRecord& r) {
+  for (const BenchRecord& b : records) {
+    if (b.threads == 1 && b.op == r.op && b.shape == r.shape) return b.ns_per_iter;
+  }
+  return 0.0;
+}
+
+/// Writes `records` to `path` (schema above). op/shape must not contain
 /// characters needing JSON escaping (they are controlled identifiers).
 /// Returns false if the file could not be written.
 inline bool write_bench_json(const std::string& path,
                              const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"host\": {\"cpus\": %u, \"simd\": \"%s\"},\n  \"records\": [\n",
+               std::thread::hardware_concurrency(), math::simd_level());
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
+    const double base = baseline_1t(records, r);
+    const double speedup =
+        (base > 0.0 && r.ns_per_iter > 0.0) ? base / r.ns_per_iter : 0.0;
     std::fprintf(f,
-                 "  {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
-                 "\"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f}%s\n",
+                 "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
+                 "\"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f, "
+                 "\"speedup_vs_1t\": %.3f}%s\n",
                  r.op.c_str(), r.shape.c_str(), r.threads, r.ns_per_iter,
-                 r.gflops_per_s, i + 1 < records.size() ? "," : "");
+                 r.gflops_per_s, speedup, i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   return std::fclose(f) == 0;
 }
 

@@ -1,0 +1,132 @@
+// Scaling smoke gate: representative parallelized ops must not get SLOWER
+// when the worker count rises. Each op is timed best-of-N at 1 thread and
+// at 8 threads in the same process; the check fails (nonzero exit) if any
+// op's 8-thread time exceeds 1.15x its 1-thread time.
+//
+// Two regimes are covered deliberately:
+//   - ops above the dispatch-cost gate (GEMM, FFT, large tanh) really fan
+//     out on multicore hosts, so a thundering-herd or barrier regression
+//     shows up as 8t >> 1t;
+//   - ops below the gate (the small conv) run inline at every thread
+//     count, so a broken gate (dispatching tiny work) also trips the 1.15x
+//     bound.
+// On a single-hardware-thread host the cost gate inlines every hinted op,
+// so 8t == 1t within noise and the bound holds trivially — the gate is what
+// this binary then certifies.
+//
+// Tolerance override: LITHOGAN_SCALING_TOLERANCE (default 1.15).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "math/fft.hpp"
+#include "math/gemm.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/tensor.hpp"
+#include "util/exec_context.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace lithogan;
+
+namespace {
+
+/// Best-of-`reps` seconds per iteration of `body`.
+double best_of(std::size_t reps, std::size_t iters,
+               const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < reps; ++r) {
+    util::Timer t;
+    for (std::size_t i = 0; i < iters; ++i) body();
+    best = std::min(best, t.elapsed_seconds() / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct Op {
+  std::string name;
+  std::size_t iters;
+  std::function<void(util::ExecContext*)> run;
+};
+
+}  // namespace
+
+int main() {
+  double tolerance = 1.15;
+  if (const char* env = std::getenv("LITHOGAN_SCALING_TOLERANCE")) {
+    const double v = std::atof(env);
+    if (v > 1.0) tolerance = v;
+  }
+
+  util::Rng rng(7);
+
+  // GEMM 192^3: ~14M multiply-adds, well above the dispatch gate.
+  const std::size_t n = 192;
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+
+  // 256x256 complex FFT: each row/column stage is ~2.6M scalar ops.
+  const std::size_t fft_n = 256;
+  std::vector<math::Complex> spectrum_seed(fft_n * fft_n);
+  for (auto& v : spectrum_seed) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+
+  // Large tanh: 8*128*128 elements at ~32 ops each crosses the gate.
+  nn::Tanh tanh_op;
+  const auto tanh_x = nn::Tensor::randn({1, 8, 128, 128}, rng);
+
+  // Small conv (batch 4, 16->32, 32x32): below the gate, runs inline at
+  // every thread count — certifies the gate itself.
+  nn::Conv2d conv(16, 32, 5, 2, 2, rng);
+  const auto conv_x = nn::Tensor::randn({4, 16, 32, 32}, rng);
+
+  std::vector<Op> ops;
+  ops.push_back({"gemm_192", 16, [&](util::ExecContext* exec) {
+                   math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec);
+                 }});
+  ops.push_back({"fft2d_256", 4, [&](util::ExecContext* exec) {
+                   std::vector<math::Complex> data = spectrum_seed;
+                   math::fft2d(data, fft_n, fft_n, false, exec);
+                 }});
+  ops.push_back({"tanh_8x128x128", 8, [&](util::ExecContext* exec) {
+                   tanh_op.set_exec_context(exec);
+                   auto y = tanh_op.forward(tanh_x);
+                 }});
+  ops.push_back({"conv2d_small", 4, [&](util::ExecContext* exec) {
+                   conv.set_exec_context(exec);
+                   auto y = conv.forward(conv_x);
+                 }});
+
+  util::ExecContext exec1(1);
+  util::ExecContext exec8(8);
+
+  std::printf("scaling smoke — 8-thread time must stay within %.2fx of 1-thread:\n",
+              tolerance);
+  std::printf("  %-16s %12s %12s %8s\n", "op", "1t (us)", "8t (us)", "ratio");
+  bool ok = true;
+  for (const Op& op : ops) {
+    // Warm both contexts (pool spin-up, allocator, code paths) before timing.
+    op.run(&exec1);
+    op.run(&exec8);
+    const double t1 = best_of(7, op.iters, [&] { op.run(&exec1); });
+    const double t8 = best_of(7, op.iters, [&] { op.run(&exec8); });
+    const double ratio = t8 / std::max(t1, 1e-12);
+    const bool pass = ratio <= tolerance;
+    ok = ok && pass;
+    std::printf("  %-16s %12.1f %12.1f %7.2fx  %s\n", op.name.c_str(), t1 * 1e6,
+                t8 * 1e6, ratio, pass ? "ok" : "FAIL");
+  }
+  if (!ok) {
+    std::printf("\nFAIL: an op is slower with 8 worker threads than with 1\n");
+    return 1;
+  }
+  std::printf("\nall ops within tolerance\n");
+  return 0;
+}

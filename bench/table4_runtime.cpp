@@ -137,12 +137,19 @@ int main() {
   records.push_back({"ref12_contour", grid_shape, 1, contour_s / clips_d * 1e9, 0.0});
   records.push_back({"lithogan_inference", grid_shape, 1, gan_s / clips_d * 1e9, 0.0});
 
-  // Thread-count sweep over the dominant cost, rigorous simulation. Every
-  // row produces bit-identical fields (tests/determinism_test.cpp pins
-  // this); only wall time moves. Thresholds are copied from the calibrated
-  // serial simulator so no row pays for recalibration.
-  const std::size_t sweep_clips = std::min<std::size_t>(clips.size(), 4);
-  std::printf("\nthread sweep — rigorous simulation (%zu clips):\n", sweep_clips);
+  // Thread-count sweep over the dominant cost, rigorous simulation, through
+  // the clip-parallel batch API (the coarse outer level — one clip per
+  // worker, inner kernels serial). Every row produces bit-identical fields
+  // (tests/determinism_test.cpp pins this); only wall time moves.
+  // Thresholds are copied from the calibrated serial simulator so no row
+  // pays for recalibration.
+  const std::size_t sweep_clips = std::min<std::size_t>(clips.size(), 8);
+  std::vector<std::vector<geometry::Rect>> sweep_batch;
+  for (std::size_t i = 0; i < sweep_clips; ++i) {
+    sweep_batch.push_back(clips[i].all_openings());
+  }
+  std::printf("\nthread sweep — rigorous simulation, clip-parallel (%zu clips):\n",
+              sweep_clips);
   std::printf("  %8s %12s %9s\n", "threads", "s/clip", "speedup");
   double sweep_base_s = 0.0;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
@@ -153,7 +160,7 @@ int main() {
     swept.exec = &exec;
     litho::Simulator sim(swept);
     util::Timer t_sweep;
-    for (std::size_t i = 0; i < sweep_clips; ++i) sim.run(clips[i].all_openings());
+    (void)sim.run_batch(sweep_batch);
     const double per_clip = t_sweep.elapsed_seconds() / static_cast<double>(sweep_clips);
     if (threads == 1) sweep_base_s = per_clip;
     std::printf("  %8zu %12.4f %8.2fx\n", threads, per_clip,

@@ -51,6 +51,9 @@ int main(int argc, char** argv) {
   litho::ProcessConfig process = cli.get("node") == "N7" ? litho::ProcessConfig::n7()
                                                          : litho::ProcessConfig::n10();
   process.grid.pixels = static_cast<std::size_t>(cli.get_int("grid"));
+  // With an ExecContext on the process, DatasetBuilder::build fans whole
+  // clips out across the pool (each worker simulating through its own
+  // serial-inner clone); the dataset is byte-identical at any --threads.
   util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
   process.exec = &exec;
 

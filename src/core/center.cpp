@@ -40,8 +40,8 @@ double CenterPredictor::train(const data::Dataset& dataset,
            ++k) {
         batch.push_back(train[order[k]]);
       }
-      const nn::Tensor x = data::batch_masks(dataset, batch);
-      const nn::Tensor target = data::batch_centers(dataset, batch);
+      const nn::Tensor x = data::batch_masks(dataset, batch, config_.exec);
+      const nn::Tensor target = data::batch_centers(dataset, batch, config_.exec);
       const nn::Tensor pred = net_->forward(x);
       const auto loss = nn::mse_loss(pred, target, config_.exec);
       opt.zero_grad();

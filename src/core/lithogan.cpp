@@ -56,8 +56,8 @@ std::vector<GanEpochLosses> LithoGan::train(const data::Dataset& dataset,
            ++k) {
         batch.push_back(train[order[k]]);
       }
-      const nn::Tensor x = data::batch_masks(dataset, batch);
-      const nn::Tensor y = data::batch_resists(dataset, batch, centered);
+      const nn::Tensor x = data::batch_masks(dataset, batch, config_.exec);
+      const nn::Tensor y = data::batch_resists(dataset, batch, centered, config_.exec);
       const GanStepLosses step = cgan_->train_step(x, y);
       acc.discriminator += step.d_loss;
       acc.generator += step.g_adv_loss +

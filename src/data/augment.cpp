@@ -119,17 +119,25 @@ Sample transform_sample(const Sample& sample, Dihedral op) {
   return out;
 }
 
-Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops) {
+Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops,
+                        util::ExecContext* exec) {
   LITHOGAN_REQUIRE(!ops.empty(), "no augmentation ops given");
   Dataset out;
   out.process_name = dataset.process_name;
   out.render = dataset.render;
-  out.samples.reserve(dataset.samples.size() * ops.size());
-  for (const Sample& s : dataset.samples) {
-    for (const Dihedral op : ops) {
-      out.samples.push_back(transform_sample(s, op));
-    }
-  }
+  // Pre-sized output: flat index i maps to (sample i/ops, op i%ops), so
+  // every transform writes its own slot and scheduling cannot reorder the
+  // dataset.
+  out.samples.resize(dataset.samples.size() * ops.size());
+  util::Workspace serial_ws;
+  util::parallel_for(
+      exec, serial_ws, 0, out.samples.size(), 1,
+      [&](std::size_t i0, std::size_t i1, util::Workspace&) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          out.samples[i] =
+              transform_sample(dataset.samples[i / ops.size()], ops[i % ops.size()]);
+        }
+      });
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <span>
 
 #include "data/dataset.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::data {
 
@@ -41,7 +42,11 @@ Sample transform_sample(const Sample& sample, Dihedral op);
 
 /// Returns a dataset holding, for each input sample, one copy per listed
 /// op (pass all_dihedrals() for 8x augmentation). Identity need not be
-/// included in `ops`; pass it explicitly to keep the originals.
-Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops);
+/// included in `ops`; pass it explicitly to keep the originals. Output
+/// order is always sample-major then op-major; with an ExecContext the
+/// (sample, op) pairs fan out across the pool into their fixed slots, so
+/// the result is identical at any thread count.
+Dataset augment_dataset(const Dataset& dataset, std::span<const Dihedral> ops,
+                        util::ExecContext* exec = nullptr);
 
 }  // namespace lithogan::data

@@ -11,21 +11,28 @@ void copy_scaled(const image::Image& img, float* dst) {
 }
 }  // namespace
 
-nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                       util::ExecContext* exec) {
   LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
   const auto& first = dataset.samples.at(indices.front()).mask_rgb;
   nn::Tensor out({indices.size(), first.channels(), first.height(), first.width()});
   const std::size_t stride = first.data().size();
-  for (std::size_t n = 0; n < indices.size(); ++n) {
-    const auto& img = dataset.samples.at(indices[n]).mask_rgb;
-    LITHOGAN_REQUIRE(img.data().size() == stride, "inhomogeneous dataset images");
-    copy_scaled(img, out.raw() + n * stride);
-  }
+  util::Workspace serial_ws;
+  util::parallel_for(exec, serial_ws, 0, indices.size(), 1,
+                     indices.size() * stride * 2,
+                     [&](std::size_t n0, std::size_t n1, util::Workspace&) {
+                       for (std::size_t n = n0; n < n1; ++n) {
+                         const auto& img = dataset.samples.at(indices[n]).mask_rgb;
+                         LITHOGAN_REQUIRE(img.data().size() == stride,
+                                          "inhomogeneous dataset images");
+                         copy_scaled(img, out.raw() + n * stride);
+                       }
+                     });
   return out;
 }
 
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
-                         bool centered) {
+                         bool centered, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
   const auto& pick = [&](std::size_t i) -> const image::Image& {
     const Sample& s = dataset.samples.at(i);
@@ -34,15 +41,23 @@ nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>&
   const auto& first = pick(indices.front());
   nn::Tensor out({indices.size(), 1, first.height(), first.width()});
   const std::size_t stride = first.data().size();
-  for (std::size_t n = 0; n < indices.size(); ++n) {
-    const auto& img = pick(indices[n]);
-    LITHOGAN_REQUIRE(img.data().size() == stride, "inhomogeneous dataset images");
-    copy_scaled(img, out.raw() + n * stride);
-  }
+  util::Workspace serial_ws;
+  util::parallel_for(exec, serial_ws, 0, indices.size(), 1,
+                     indices.size() * stride * 2,
+                     [&](std::size_t n0, std::size_t n1, util::Workspace&) {
+                       for (std::size_t n = n0; n < n1; ++n) {
+                         const auto& img = pick(indices[n]);
+                         LITHOGAN_REQUIRE(img.data().size() == stride,
+                                          "inhomogeneous dataset images");
+                         copy_scaled(img, out.raw() + n * stride);
+                       }
+                     });
   return out;
 }
 
-nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices) {
+nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                         util::ExecContext*) {
+  // Two floats per sample: always cheaper serial than any dispatch.
   LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
   nn::Tensor out({indices.size(), 2});
   for (std::size_t n = 0; n < indices.size(); ++n) {

@@ -9,19 +9,26 @@
 
 #include "data/dataset.hpp"
 #include "nn/tensor.hpp"
+#include "util/exec_context.hpp"
 
 namespace lithogan::data {
 
+// Batch assembly is sample-parallel with an ExecContext (each sample's rows
+// are a disjoint slice of the output tensor, so the copy order cannot
+// change the result); null exec keeps the serial loop.
+
 /// Mask images of `indices` as an (N, 3, H, W) tensor in [-1, 1].
-nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices);
+nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                       util::ExecContext* exec = nullptr);
 
 /// Resist targets as (N, 1, H, W) in [-1, 1]. `centered` selects the
 /// re-centered variant (CGAN-shape objective) vs. the raw crop (plain CGAN).
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
-                         bool centered);
+                         bool centered, util::ExecContext* exec = nullptr);
 
 /// Golden centers as (N, 2), normalized: cx/width, cy/height in [0, 1].
-nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices);
+nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>& indices,
+                         util::ExecContext* exec = nullptr);
 
 /// Converts one generated (1, 1, H, W) or (1, H, W) tensor in [-1, 1] back
 /// to a {0..1}-valued monochrome image.

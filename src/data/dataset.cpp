@@ -1,9 +1,12 @@
 #include "data/dataset.hpp"
 
+#include <atomic>
 #include <fstream>
+#include <memory>
 
 #include "geometry/marching_squares.hpp"
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 #include "util/logging.hpp"
 
@@ -24,24 +27,33 @@ DatasetBuilder::DatasetBuilder(const litho::ProcessConfig& process, BuildConfig 
                                util::Rng rng)
     : config_(config),
       sim_(process),
-      generator_(process, config.generator, rng.split()),
       sraf_(process, config.sraf),
       opc_(config.opc) {
+  // Root of the per-clip RNG streams: clip i draws from Rng(base_seed_, i),
+  // so its geometry (and its retry sequence) never depends on which worker
+  // simulates it or on any other clip.
+  const std::uint64_t hi = rng();
+  base_seed_ = (hi << 32) | rng();
   if (config_.calibrate) sim_.calibrate_dose();
 }
 
 bool DatasetBuilder::build_sample(layout::MaskClip& clip, Sample& out) {
-  sraf_.insert(clip);
-  opc_.run_model_based(clip, sim_);
+  return build_sample(clip, out, sim_);
+}
 
-  const auto result = sim_.run(clip.all_openings());
+bool DatasetBuilder::build_sample(layout::MaskClip& clip, Sample& out,
+                                  litho::Simulator& sim) {
+  sraf_.insert(clip);
+  opc_.run_model_based(clip, sim);
+
+  const auto result = sim.run(clip.all_openings());
   const auto contour = geometry::contour_at(result.contours, clip.center());
   const auto golden = render_golden(contour, clip.center(), config_.render);
   if (!golden.printed) return false;
 
   // Sanity band on the printed CD: outside it the pattern bridged with a
   // neighbor or nearly collapsed, which is a hotspot, not a usable sample.
-  const double drawn = sim_.process().contact_size_nm;
+  const double drawn = sim.process().contact_size_nm;
   const double lo = config_.cd_band_lo * drawn;
   const double hi = config_.cd_band_hi * drawn;
   if (golden.cd_width_nm < lo || golden.cd_width_nm > hi || golden.cd_height_nm < lo ||
@@ -63,30 +75,69 @@ bool DatasetBuilder::build_sample(layout::MaskClip& clip, Sample& out) {
   return true;
 }
 
+Sample DatasetBuilder::build_clip(std::size_t index, litho::Simulator& sim) {
+  constexpr layout::ArrayType kCycle[3] = {layout::ArrayType::kIsolated,
+                                           layout::ArrayType::kRow,
+                                           layout::ArrayType::kGrid};
+  // The clip's own generator over its own RNG stream; retries advance the
+  // stream, never a shared generator. Each clip also owns a disjoint id
+  // block so ids stay unique whatever attempt eventually prints.
+  layout::ClipGenerator generator(sim.process(), config_.generator,
+                                  util::Rng(base_seed_, index));
+  generator.set_next_id(index * (config_.max_retries + 1));
+
+  Sample sample;
+  bool ok = false;
+  for (std::size_t attempt = 0; attempt <= config_.max_retries && !ok; ++attempt) {
+    layout::MaskClip clip = generator.generate(kCycle[index % 3]);
+    ok = build_sample(clip, sample, sim);
+  }
+  LITHOGAN_REQUIRE(ok, "target contact repeatedly failed to print; "
+                       "process is miscalibrated");
+  return sample;
+}
+
 Dataset DatasetBuilder::build() {
   Dataset dataset;
   dataset.process_name = sim_.process().name;
   dataset.render = config_.render;
-  dataset.samples.reserve(config_.clip_count);
+  dataset.samples.resize(config_.clip_count);
 
-  constexpr layout::ArrayType kCycle[3] = {layout::ArrayType::kIsolated,
-                                           layout::ArrayType::kRow,
-                                           layout::ArrayType::kGrid};
-  for (std::size_t i = 0; i < config_.clip_count; ++i) {
-    Sample sample;
-    bool ok = false;
-    for (std::size_t attempt = 0; attempt <= config_.max_retries && !ok; ++attempt) {
-      layout::MaskClip clip = generator_.generate(kCycle[i % 3]);
-      ok = build_sample(clip, sample);
+  util::ExecContext* exec = sim_.process().exec;
+  if (exec == nullptr || config_.clip_count <= 1) {
+    for (std::size_t i = 0; i < config_.clip_count; ++i) {
+      dataset.samples[i] = build_clip(i, sim_);
+      if ((i + 1) % 50 == 0) {
+        util::log_info() << dataset.process_name << " dataset: " << (i + 1) << "/"
+                         << config_.clip_count << " clips";
+      }
     }
-    LITHOGAN_REQUIRE(ok, "target contact repeatedly failed to print; "
-                         "process is miscalibrated");
-    dataset.samples.push_back(std::move(sample));
-    if ((i + 1) % 50 == 0) {
-      util::log_info() << dataset.process_name << " dataset: " << (i + 1) << "/"
-                       << config_.clip_count << " clips";
-    }
+    return dataset;
   }
+
+  // Coarse outer level of the two-level parallel model: whole clips fan out
+  // across the pool. Each worker lazily builds one serial-inner Simulator
+  // clone of the calibrated sim_ (SRAF/OPC engines are stateless and
+  // shared); per-clip RNG streams make every sample byte-identical to the
+  // serial loop above regardless of scheduling.
+  litho::ProcessConfig serial_process = sim_.process();
+  serial_process.exec = nullptr;
+  std::vector<std::unique_ptr<litho::Simulator>> sims(exec->threads());
+  std::atomic<std::size_t> built{0};
+  exec->pool().parallel_for(
+      0, config_.clip_count, 1,
+      [&](std::size_t b, std::size_t e, std::size_t worker) {
+        auto& sim = sims[worker];
+        if (!sim) sim = std::make_unique<litho::Simulator>(serial_process);
+        for (std::size_t i = b; i < e; ++i) {
+          dataset.samples[i] = build_clip(i, *sim);
+          const std::size_t done = built.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (done % 50 == 0) {
+            util::log_info() << dataset.process_name << " dataset: " << done << "/"
+                             << config_.clip_count << " clips";
+          }
+        }
+      });
   return dataset;
 }
 

@@ -57,7 +57,12 @@ class DatasetBuilder {
  public:
   DatasetBuilder(const litho::ProcessConfig& process, BuildConfig config, util::Rng rng);
 
-  /// Generates the full dataset. Deterministic for a fixed seed.
+  /// Generates the full dataset. Deterministic for a fixed seed: every clip
+  /// draws from its own RNG stream (seeded by clip index, never by thread),
+  /// so with a ProcessConfig::exec the clips fan out across the pool —
+  /// each worker piping them through its own serial-inner Simulator clone —
+  /// and the result is byte-identical to the serial build at any thread
+  /// count.
   Dataset build();
 
   /// Builds one sample from an externally supplied clip (used by tests and
@@ -68,11 +73,18 @@ class DatasetBuilder {
   litho::Simulator& simulator() { return sim_; }
 
  private:
+  /// build_sample against an explicit simulator (a per-worker clone in the
+  /// clip-parallel build).
+  bool build_sample(layout::MaskClip& clip, Sample& out, litho::Simulator& sim);
+  /// Synthesizes clip `index` (with retries) from its own RNG stream and
+  /// simulates it through `sim`. Scheduling-independent by construction.
+  Sample build_clip(std::size_t index, litho::Simulator& sim);
+
   BuildConfig config_;
   litho::Simulator sim_;
-  layout::ClipGenerator generator_;
   layout::SrafInserter sraf_;
   layout::OpcEngine opc_;
+  std::uint64_t base_seed_ = 0;  ///< root of the per-clip RNG streams
 };
 
 // Binary dataset persistence. Pixels are stored as bytes (images here are

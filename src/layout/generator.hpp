@@ -42,6 +42,11 @@ class ClipGenerator {
   /// all of them, like the paper's).
   std::vector<MaskClip> generate_dataset(std::size_t count);
 
+  /// Sets the counter embedded in generated clip ids. Clip-parallel dataset
+  /// builders construct one generator per clip; giving each a disjoint id
+  /// block keeps ids unique and independent of scheduling.
+  void set_next_id(std::size_t id) { next_id_ = id; }
+
  private:
   litho::ProcessConfig process_;
   GeneratorConfig config_;

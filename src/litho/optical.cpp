@@ -87,9 +87,9 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
   // concerns. Each kernel stores only the bounding box of its pupil
   // support, so no dense n^2 scratch is ever allocated.
   util::Workspace serial_ws;
-  util::parallel_for(exec_, serial_ws, 0, kernels, 1, [&](std::size_t k0,
-                                                          std::size_t k1,
-                                                          util::Workspace&) {
+  util::parallel_for(exec_, serial_ws, 0, kernels, 1,
+                     kernels * n * n * 4,
+                     [&](std::size_t k0, std::size_t k1, util::Workspace&) {
     for (std::size_t k = k0; k < k1; ++k) {
       const std::size_t zi = k / source.size();
       const SourcePoint& s = source[k % source.size()];
@@ -260,8 +260,9 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
   std::vector<double> slots(window * n2);
   for (std::size_t w0 = 0; w0 < kernels; w0 += window) {
     const std::size_t w1 = std::min(w0 + window, kernels);
-    exec_->parallel_for(w0, w1, 1, [&](std::size_t k0, std::size_t k1,
-                                       util::Workspace& ws) {
+    exec_->parallel_for(w0, w1, 1, (w1 - w0) * n2 * 64,
+                        [&](std::size_t k0, std::size_t k1,
+                            util::Workspace& ws) {
       for (std::size_t k = k0; k < k1; ++k) {
         const math::Complex* field = render(k, ws);
         const double w = kernel_weights_[k] * normalization_;

@@ -30,7 +30,7 @@ FieldGrid diffuse(const FieldGrid& field, double sigma_nm, util::ExecContext* ex
   };
   const double c = 2.0 * std::numbers::pi * std::numbers::pi * sigma_nm * sigma_nm;
   util::Workspace serial_ws;
-  util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+  util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n, n * n * 8,
                      [&](std::size_t y0, std::size_t y1, util::Workspace&) {
                        for (std::size_t iy = y0; iy < y1; ++iy) {
                          const double fy = bin_freq(iy);
@@ -83,6 +83,7 @@ std::vector<double> window_max(const std::vector<double>& src, std::size_t n,
   util::Workspace serial_ws;
   std::vector<double> tmp(n * n);
   util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+                     n * n * 2 * radius,
                      [&](std::size_t y0, std::size_t y1, util::Workspace&) {
                        // Horizontal pass.
                        for (std::size_t y = y0; y < y1; ++y) {
@@ -99,6 +100,7 @@ std::vector<double> window_max(const std::vector<double>& src, std::size_t n,
                      });
   std::vector<double> out(n * n);
   util::parallel_for(exec, serial_ws, 0, n, exec ? exec->grain_for(n) : n,
+                     n * n * 2 * radius,
                      [&](std::size_t y0, std::size_t y1, util::Workspace&) {
                        // Vertical pass.
                        for (std::size_t y = y0; y < y1; ++y) {
@@ -128,7 +130,7 @@ FieldGrid VariableThresholdResist::threshold_field(const FieldGrid& latent) cons
   FieldGrid out = latent;
   util::Workspace serial_ws;
   util::parallel_for(
-      exec_, serial_ws, 0, n, exec_ ? exec_->grain_for(n) : n,
+      exec_, serial_ws, 0, n, exec_ ? exec_->grain_for(n) : n, n * n * 12,
       [&](std::size_t y0, std::size_t y1, util::Workspace&) {
         for (std::size_t y = y0; y < y1; ++y) {
           for (std::size_t x = 0; x < n; ++x) {

@@ -4,6 +4,7 @@
 
 #include "geometry/marching_squares.hpp"
 #include "util/error.hpp"
+#include "util/exec_context.hpp"
 #include "util/logging.hpp"
 
 namespace lithogan::litho {
@@ -67,6 +68,37 @@ SimulationResult Simulator::run(const std::vector<geometry::Rect>& mask_openings
   result.contours = contours(result.develop);
   timings_.add("contour", contour_timer.elapsed_seconds());
   return result;
+}
+
+std::vector<SimulationResult> Simulator::run_batch(
+    const std::vector<std::vector<geometry::Rect>>& clips) {
+  std::vector<SimulationResult> results(clips.size());
+  util::ExecContext* exec = process_.exec;
+  if (exec == nullptr || clips.size() <= 1) {
+    for (std::size_t i = 0; i < clips.size(); ++i) results[i] = run(clips[i]);
+    return results;
+  }
+
+  // Each worker simulates through its own clone so mutable per-run state
+  // (resist model, stage timers) is never shared. Clones inherit the
+  // calibrated process but run their inner kernels serially — with clips
+  // fanned out, every core is already busy and inner fan-out would only
+  // oversubscribe. Clones are built lazily by the worker that first needs
+  // one, so a short batch does not pay threads() optical precomputes.
+  ProcessConfig serial_process = process_;
+  serial_process.exec = nullptr;
+  std::vector<std::unique_ptr<Simulator>> clones(exec->threads());
+  exec->pool().parallel_for(
+      0, clips.size(), 1,
+      [&](std::size_t b, std::size_t e, std::size_t worker) {
+        auto& sim = clones[worker];
+        if (!sim) sim = std::make_unique<Simulator>(serial_process, resist_kind_);
+        for (std::size_t i = b; i < e; ++i) results[i] = sim->run(clips[i]);
+      });
+  for (const auto& sim : clones) {
+    if (sim) timings_.merge(sim->timings());
+  }
+  return results;
 }
 
 double Simulator::calibrate_dose(double tolerance_nm) {

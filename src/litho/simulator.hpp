@@ -35,6 +35,15 @@ class Simulator {
   /// accumulated into timings() under "optical", "resist", "contour".
   SimulationResult run(const std::vector<geometry::Rect>& mask_openings);
 
+  /// Runs every clip through all stages. With a ProcessConfig::exec this is
+  /// the coarse outer level of the two-level parallel model: clips fan out
+  /// across the pool, each worker simulating through its own serial-inner
+  /// clone of this (already calibrated) simulator, and results land in clip
+  /// order. Bit-identical to calling run() per clip at any thread count.
+  /// Per-worker stage timings are merged into timings() in worker order.
+  std::vector<SimulationResult> run_batch(
+      const std::vector<std::vector<geometry::Rect>>& clips);
+
   /// Individual stages, exposed for the baseline flow and benchmarks.
   FieldGrid aerial_image(const std::vector<geometry::Rect>& mask_openings);
   FieldGrid develop(const FieldGrid& aerial) const;

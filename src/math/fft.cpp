@@ -1,5 +1,6 @@
 #include "math/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <mutex>
@@ -60,6 +61,15 @@ struct PlanCache {
 };
 
 constexpr std::size_t kFftPlanSlot = 0;
+
+/// Dispatch-cost hint for a stage of `count` length-`n` transforms:
+/// n/2 · log2(n) butterflies at ~10 scalar flops each, plus the
+/// gather/scatter traffic folded into the constant.
+std::size_t fft_stage_cost(std::size_t count, std::size_t n) {
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  return count * 5 * n * std::max<std::size_t>(1, log2n);
+}
 
 }  // namespace
 
@@ -129,6 +139,7 @@ void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool 
   // Rows are contiguous: transform them in place, no staging buffer.
   util::Workspace serial_ws;
   util::parallel_for(exec, serial_ws, 0, rows, exec ? exec->grain_for(rows) : rows,
+                     fft_stage_cost(rows, cols),
                      [&](std::size_t r0, std::size_t r1, util::Workspace& ws) {
                        const FftPlan& plan = fft_plan(ws, cols, inverse);
                        for (std::size_t r = r0; r < r1; ++r) {
@@ -138,6 +149,7 @@ void fft2d(std::vector<Complex>& data, std::size_t rows, std::size_t cols, bool 
 
   // Columns gather/scatter through one scratch line per task, sized once.
   util::parallel_for(exec, serial_ws, 0, cols, exec ? exec->grain_for(cols) : cols,
+                     fft_stage_cost(cols, rows),
                      [&](std::size_t c0, std::size_t c1, util::Workspace& ws) {
                        const FftPlan& plan = fft_plan(ws, rows, inverse);
                        auto& column = ws.complexes(0);
@@ -175,6 +187,7 @@ std::vector<Complex> fft2d_real_forward(const std::vector<double>& data,
     const std::size_t pairs = rows / 2;
     util::parallel_for(
         exec, serial_ws, 0, pairs, exec ? exec->grain_for(pairs) : pairs,
+        fft_stage_cost(pairs, cols),
         [&](std::size_t t0, std::size_t t1, util::Workspace& ws) {
           const FftPlan& plan = fft_plan(ws, cols, /*inverse=*/false);
           auto& z = ws.complexes(0);
@@ -204,6 +217,7 @@ std::vector<Complex> fft2d_real_forward(const std::vector<double>& data,
   // from F(u, v) = conj(F((rows-u) % rows, cols-v)) for real input.
   const std::size_t half = cols / 2;
   util::parallel_for(exec, serial_ws, 0, half + 1, exec ? exec->grain_for(half + 1) : half + 1,
+                     fft_stage_cost(half + 1, rows),
                      [&](std::size_t c0, std::size_t c1, util::Workspace& ws) {
                        const FftPlan& plan = fft_plan(ws, rows, /*inverse=*/false);
                        auto& column = ws.complexes(0);
@@ -222,6 +236,7 @@ std::vector<Complex> fft2d_real_forward(const std::vector<double>& data,
     util::parallel_for(
         exec, serial_ws, half + 1, cols,
         exec ? exec->grain_for(cols - half - 1) : cols - half - 1,
+        (cols - half - 1) * rows * 2,  // conjugate-copy fill, ~2 ops/element
         [&](std::size_t c0, std::size_t c1, util::Workspace&) {
           for (std::size_t c = c0; c < c1; ++c) {
             const std::size_t src_c = cols - c;

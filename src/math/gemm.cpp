@@ -32,6 +32,11 @@ constexpr std::size_t kBlockM = 96;  // multiple of kMr
 // Minimum multiply-adds per task; splitting finer than this loses more to
 // scheduling than the extra threads recover.
 constexpr std::size_t kMinFlopsPerTask = 16 * 1024;
+// Minimum C rows per task. Every task streams the whole packed B panel
+// (4*n*k bytes), so a task's arithmetic intensity is rows/2 flops per B
+// byte — chunks thinner than a few MR tiles turn the GEMM memory-bound on
+// B re-reads no matter how many cores join in.
+constexpr std::size_t kMinRowsPerTask = 32;
 // Workspace float slots used for panel scratch. High numbers keep clear of
 // the low slots callers (conv's im2col buffers) use in the same arenas.
 constexpr std::size_t kAPanelSlot = 7;
@@ -59,8 +64,9 @@ void scale_c(std::size_t m, std::size_t n, float beta, float* c) {
 /// multiple of kMr so chunk boundaries coincide with full register tiles.
 std::size_t row_grain(const util::ExecContext* exec, std::size_t m,
                       std::size_t row_cost) {
-  const std::size_t min_rows =
-      std::max<std::size_t>(1, kMinFlopsPerTask / std::max<std::size_t>(1, row_cost));
+  const std::size_t min_rows = std::max(
+      kMinRowsPerTask,
+      kMinFlopsPerTask / std::max<std::size_t>(1, row_cost));
   const std::size_t grain = std::max(min_rows, exec ? exec->grain_for(m) : m);
   return (grain + kMr - 1) / kMr * kMr;
 }
@@ -202,6 +208,19 @@ MicroKernel select_micro_kernel() {
 
 const MicroKernel g_micro_kernel = select_micro_kernel();
 
+/// Mirrors select_micro_kernel()'s decision as a stable string for bench
+/// metadata (see math::simd_level()).
+const char* select_simd_level() {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return "avx512f";
+#elif defined(__AVX2__) && defined(__FMA__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return "avx2-fma";
+  }
+#endif
+  return "portable";
+}
+
 /// Writes one register tile back to C over its valid extent. The first K
 /// block applies alpha/beta (beta == 0 never reads C — it may hold NaN
 /// poison); later blocks accumulate.
@@ -266,7 +285,7 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
                              local_workspace());
     return;
   }
-  exec->parallel_for(0, m, row_grain(exec, m, n * k),
+  exec->parallel_for(0, m, row_grain(exec, m, n * k), 2 * m * n * k,
                      [&](std::size_t i0, std::size_t i1, util::Workspace& ws) {
                        gemm_rows_packed<TransA>(i0, i1, n, k, alpha, a, lda, packed_b,
                                                 beta, c, ws);
@@ -293,6 +312,11 @@ void gemm_entry(std::size_t m, std::size_t n, std::size_t k, float alpha,
 }  // namespace
 
 std::size_t gemm_nr() { return kNr; }
+
+const char* simd_level() {
+  static const char* level = select_simd_level();
+  return level;
+}
 
 std::size_t packed_b_size(std::size_t n, std::size_t k) {
   return (n + kNr - 1) / kNr * kNr * k;

@@ -62,4 +62,9 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
                  const float* a, const float* packed_b, float beta, float* c,
                  util::ExecContext* exec = nullptr);
 
+/// Name of the micro-kernel the runtime dispatch selected for this process:
+/// "avx512f", "avx2-fma" or "portable". Recorded in bench JSON host
+/// metadata so BENCH_*.json trajectories are comparable across machines.
+const char* simd_level();
+
 }  // namespace lithogan::math

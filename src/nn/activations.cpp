@@ -10,13 +10,16 @@ namespace lithogan::nn {
 namespace {
 // Runs fn over [0, n) either inline or chunked across the pool. Every
 // element is written exactly once, so parallelization cannot change results.
+// `ops_per_elem` weights the dispatch-cost hint: ~2 for compare/multiply
+// bodies, ~32 when the body evaluates a transcendental.
 template <typename Fn>
-void elementwise(util::ExecContext* exec, std::size_t n, Fn&& fn) {
+void elementwise(util::ExecContext* exec, std::size_t n, std::size_t ops_per_elem,
+                 Fn&& fn) {
   if (exec == nullptr) {
     fn(0, n);
     return;
   }
-  exec->parallel_for(0, n, exec->grain_for(n, 1024),
+  exec->parallel_for(0, n, exec->grain_for(n, 1024), n * ops_per_elem,
                      [&](std::size_t b, std::size_t e, util::Workspace&) { fn(b, e); });
 }
 }  // namespace
@@ -25,7 +28,7 @@ Tensor ReLU::forward(const Tensor& input) {
   input_ = input;
   Tensor out = input;
   float* v = out.raw();
-  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, out.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       if (v[i] < 0.0f) v[i] = 0.0f;
     }
@@ -38,7 +41,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   const float* x = input_.raw();
   float* g = grad.raw();
-  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, grad.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       if (x[i] <= 0.0f) g[i] = 0.0f;
     }
@@ -50,7 +53,7 @@ Tensor LeakyReLU::forward(const Tensor& input) {
   input_ = input;
   Tensor out = input;
   float* v = out.raw();
-  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, out.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       if (v[i] < 0.0f) v[i] *= slope_;
     }
@@ -63,7 +66,7 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   const float* x = input_.raw();
   float* g = grad.raw();
-  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, grad.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       if (x[i] <= 0.0f) g[i] *= slope_;
     }
@@ -74,7 +77,7 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
 Tensor Tanh::forward(const Tensor& input) {
   Tensor out = input;
   float* v = out.raw();
-  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, out.size(), 32, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) v[i] = std::tanh(v[i]);
   });
   output_ = out;
@@ -86,7 +89,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   const float* y = output_.raw();
   float* g = grad.raw();
-  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, grad.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) g[i] *= 1.0f - y[i] * y[i];
   });
   return grad;
@@ -95,7 +98,7 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 Tensor Sigmoid::forward(const Tensor& input) {
   Tensor out = input;
   float* v = out.raw();
-  elementwise(exec_, out.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, out.size(), 32, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) v[i] = 1.0f / (1.0f + std::exp(-v[i]));
   });
   output_ = out;
@@ -107,7 +110,7 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
   Tensor grad = grad_output;
   const float* y = output_.raw();
   float* g = grad.raw();
-  elementwise(exec_, grad.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec_, grad.size(), 2, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) g[i] *= y[i] * (1.0f - y[i]);
   });
   return grad;

@@ -34,9 +34,10 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   // disjoint across channels, and each channel keeps its sequential
   // accumulation order — parallelizing over c changes nothing numerically.
   util::Workspace serial_ws;
-  util::parallel_for(exec_, serial_ws, 0, channels_, 1, [&](std::size_t c0,
-                                                            std::size_t c1,
-                                                            util::Workspace&) {
+  util::parallel_for(exec_, serial_ws, 0, channels_, 1,
+                     channels_ * per_channel * 8, [&](std::size_t c0,
+                                                      std::size_t c1,
+                                                      util::Workspace&) {
   for (std::size_t c = c0; c < c1; ++c) {
     float mean = 0.0f;
     float var = 0.0f;
@@ -99,9 +100,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
   // As in forward: per-channel work is fully disjoint, including the
   // gamma/beta gradient accumulation (one slot per channel).
   util::Workspace serial_ws;
-  util::parallel_for(exec_, serial_ws, 0, channels_, 1, [&](std::size_t c0,
-                                                            std::size_t c1,
-                                                            util::Workspace&) {
+  util::parallel_for(exec_, serial_ws, 0, channels_, 1,
+                     channels_ * per_channel * 10, [&](std::size_t c0,
+                                                       std::size_t c1,
+                                                       util::Workspace&) {
   for (std::size_t c = c0; c < c1; ++c) {
     // dgamma = sum(dy * xhat), dbeta = sum(dy).
     double dg = 0.0;

@@ -83,7 +83,8 @@ Tensor Conv2d::forward(const Tensor& input) {
       }
     }
   };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
+                     batch * 2 * out_channels_ * rows * cols, sample);
   return output;
 }
 
@@ -142,7 +143,8 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, pad_, gx);
     }
   };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
+                     batch * 4 * out_channels_ * rows * cols, sample);
 
   for (std::size_t n = 0; n < batch; ++n) {
     accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);
@@ -209,7 +211,8 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
       }
     }
   };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
+                     batch * 2 * in_channels_ * rows * cols, sample);
   return output;
 }
 
@@ -260,7 +263,8 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
       }
     }
   };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1, sample);
+  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
+                     batch * 4 * in_channels_ * rows * cols, sample);
 
   for (std::size_t n = 0; n < batch; ++n) {
     accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);

@@ -36,7 +36,7 @@ Tensor InstanceNorm2d::forward(const Tensor& input) {
   // accumulation order.
   const std::size_t cells = batch * channels_;
   util::parallel_for(
-      exec_, arena_, 0, cells, 1,
+      exec_, arena_, 0, cells, 1, cells * plane * 8,
       [&](std::size_t cell0, std::size_t cell1, util::Workspace&) {
         for (std::size_t cell = cell0; cell < cell1; ++cell) {
           const std::size_t c = cell % channels_;
@@ -84,7 +84,7 @@ Tensor InstanceNorm2d::backward(const Tensor& grad_output) {
   db_cells.resize(cells);
 
   util::parallel_for(
-      exec_, arena_, 0, cells, 1,
+      exec_, arena_, 0, cells, 1, cells * plane * 10,
       [&](std::size_t cell0, std::size_t cell1, util::Workspace&) {
         for (std::size_t cell = cell0; cell < cell1; ++cell) {
           const std::size_t c = cell % channels_;

@@ -15,13 +15,16 @@ namespace lithogan::nn {
 // serial implementation.
 
 namespace {
+// `ops_per_elem` weights the dispatch-cost hint (~4 for arithmetic
+// gradients, ~32 when the body evaluates exp).
 template <typename Fn>
-void elementwise(util::ExecContext* exec, std::size_t n, Fn&& fn) {
+void elementwise(util::ExecContext* exec, std::size_t n, std::size_t ops_per_elem,
+                 Fn&& fn) {
   if (exec == nullptr) {
     fn(0, n);
     return;
   }
-  exec->parallel_for(0, n, exec->grain_for(n, 1024),
+  exec->parallel_for(0, n, exec->grain_for(n, 1024), n * ops_per_elem,
                      [&](std::size_t b, std::size_t e, util::Workspace&) { fn(b, e); });
 }
 }  // namespace
@@ -34,7 +37,7 @@ LossResult l1_loss(const Tensor& pred, const Tensor& target, util::ExecContext* 
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(p.size());
-  elementwise(exec, p.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec, p.size(), 4, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const float d = p[i] - t[i];
       g[i] = static_cast<float>((d > 0.0f ? 1.0 : (d < 0.0f ? -1.0 : 0.0)) * inv_n);
@@ -55,7 +58,7 @@ LossResult mse_loss(const Tensor& pred, const Tensor& target, util::ExecContext*
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(p.size());
-  elementwise(exec, p.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec, p.size(), 4, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const double d = static_cast<double>(p[i]) - t[i];
       g[i] = static_cast<float>(2.0 * d * inv_n);
@@ -78,7 +81,7 @@ LossResult bce_with_logits_loss(const Tensor& logits, const Tensor& target,
   const auto t = target.data();
   auto g = r.grad.data();
   const double inv_n = 1.0 / static_cast<double>(x.size());
-  elementwise(exec, x.size(), [&](std::size_t b, std::size_t e) {
+  elementwise(exec, x.size(), 32, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) {
       const double sigmoid = 1.0 / (1.0 + std::exp(-static_cast<double>(x[i])));
       g[i] = static_cast<float>((sigmoid - t[i]) * inv_n);

@@ -47,7 +47,16 @@ class ExecContext {
 
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const ChunkFn& fn) {
-    pool_.parallel_for(begin, end, grain,
+    parallel_for(begin, end, grain, ThreadPool::kUnknownCost, fn);
+  }
+
+  /// Cost-hinted variant: `cost` estimates the total work of the whole
+  /// range in scalar ops (see ThreadPool::parallel_for). Hinted jobs below
+  /// the pool's dispatch gate — or on hardware that cannot run this pool's
+  /// threads concurrently — run inline with identical chunk boundaries.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    std::size_t cost, const ChunkFn& fn) {
+    pool_.parallel_for(begin, end, grain, cost,
                        [&](std::size_t b, std::size_t e, std::size_t worker) {
                          fn(b, e, workspaces_[worker]);
                        });
@@ -74,6 +83,17 @@ inline void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t be
                          const ExecContext::ChunkFn& fn) {
   if (exec != nullptr) {
     exec->parallel_for(begin, end, grain, fn);
+  } else if (end > begin) {
+    fn(begin, end, serial_ws);
+  }
+}
+
+/// Cost-hinted variant of the nullable-context helper.
+inline void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
+                         std::size_t end, std::size_t grain, std::size_t cost,
+                         const ExecContext::ChunkFn& fn) {
+  if (exec != nullptr) {
+    exec->parallel_for(begin, end, grain, cost, fn);
   } else if (end > begin) {
     fn(begin, end, serial_ws);
   }

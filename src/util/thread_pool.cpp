@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -11,15 +12,28 @@ namespace {
 // the driving thread keeps the defaults (worker 0, not inside a chunk).
 thread_local std::size_t tls_worker = 0;
 thread_local bool tls_in_chunk = false;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Iterations of the bounded spin a worker burns before falling back to the
+// condition variable. At ~1 cycle per pause-loop iteration this is a few
+// microseconds — the same order as the futex round-trip it tries to avoid.
+constexpr int kSpinIterations = 1 << 14;
 }  // namespace
 
 std::size_t ThreadPool::current_worker() { return tls_worker; }
 bool ThreadPool::in_parallel_region() { return tls_in_chunk; }
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) {
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  }
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0) threads = hw;
   // A wrapped negative (e.g. a CLI "--threads -3" cast to size_t) would
   // otherwise surface as an opaque allocation failure deep in reserve().
   if (threads > kMaxThreads) {
@@ -28,6 +42,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
                                 std::to_string(kMaxThreads) + ")");
   }
   threads_ = threads;
+  concurrency_ = std::min(threads_, hw);
+  // Spinning only helps when every worker owns a core; on an oversubscribed
+  // pool the spinners steal time-slices from the threads doing real work.
+  spin_enabled_ = threads_ <= hw;
+  if (const char* env = std::getenv("LITHOGAN_DISPATCH_COST")) {
+    char* rest = nullptr;
+    const unsigned long long v = std::strtoull(env, &rest, 10);
+    if (rest && *rest == '\0') dispatch_cost_ = static_cast<std::size_t>(v);
+  }
   workers_.reserve(threads_ - 1);
   for (std::size_t w = 1; w < threads_; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -37,7 +60,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+    stop_.store(true, std::memory_order_relaxed);
   }
   work_cv_.notify_all();
   for (auto& t : workers_) t.join();
@@ -76,42 +99,67 @@ void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    // Bounded spin: back-to-back small jobs (a GEMM per conv sample, FFT
+    // stages) arrive microseconds apart, and a worker that went to sleep
+    // pays a futex round-trip per job. The serial counter is atomic, so the
+    // spin needs no lock; job_ itself is still read under the mutex.
+    if (spin_enabled_) {
+      for (int i = 0; i < kSpinIterations; ++i) {
+        if (stop_.load(std::memory_order_relaxed) ||
+            job_serial_.load(std::memory_order_relaxed) != seen) {
+          break;
+        }
+        cpu_relax();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || job_serial_ != seen; });
-      if (stop_) return;
-      seen = job_serial_;
+      work_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               job_serial_.load(std::memory_order_relaxed) != seen;
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
+      seen = job_serial_.load(std::memory_order_relaxed);
       job = job_;
     }
     if (job) run_chunks(*job, worker);
   }
 }
 
+void ThreadPool::run_inline(std::size_t begin, std::size_t end, std::size_t grain,
+                            std::size_t chunks, const ChunkFn& fn) {
+  const std::size_t worker = tls_worker;
+  const bool saved = tls_in_chunk;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t b = begin + c * grain;
+    tls_in_chunk = true;
+    try {
+      fn(b, std::min(b + grain, end), worker);
+    } catch (...) {
+      tls_in_chunk = saved;
+      throw;
+    }
+    tls_in_chunk = saved;
+  }
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                              const ChunkFn& fn) {
+                              std::size_t cost, const ChunkFn& fn) {
   if (end <= begin) return;
   grain = std::max<std::size_t>(1, grain);
   const std::size_t count = end - begin;
   const std::size_t chunks = (count + grain - 1) / grain;
 
   // Serial paths: a single-thread pool, a nested call from inside a chunk
-  // (running it inline keeps the pool deadlock-free), or a range that does
-  // not split. Chunk boundaries match the parallel path so per-chunk
-  // computations are identical either way.
-  if (threads_ == 1 || tls_in_chunk || chunks == 1) {
-    const std::size_t worker = tls_worker;
-    const bool saved = tls_in_chunk;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t b = begin + c * grain;
-      tls_in_chunk = true;
-      try {
-        fn(b, std::min(b + grain, end), worker);
-      } catch (...) {
-        tls_in_chunk = saved;
-        throw;
-      }
-      tls_in_chunk = saved;
-    }
+  // (running it inline keeps the pool deadlock-free), a range that does not
+  // split, or a job whose estimated cost is too small to amortize waking a
+  // worker (including any cost-hinted job when the hardware cannot actually
+  // run this pool's threads concurrently). Chunk boundaries match the
+  // parallel path so per-chunk computations are identical either way.
+  const bool gated =
+      cost != kUnknownCost && (concurrency_ <= 1 || cost < dispatch_cost_);
+  if (threads_ == 1 || tls_in_chunk || chunks == 1 || gated) {
+    run_inline(begin, end, grain, chunks, fn);
     return;
   }
 
@@ -124,12 +172,25 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = job;
-    ++job_serial_;
+    job_serial_.fetch_add(1, std::memory_order_release);
   }
-  work_cv_.notify_all();
+  // Wake only as many workers as there are chunks beyond the caller's own —
+  // a 2-chunk job on a 16-thread pool used to notify_all and stampede 15
+  // threads at one stolen chunk. Spinning workers notice the serial bump
+  // without a notification; sleeping ones each consume one notify_one.
+  const std::size_t wake = std::min(chunks - 1, threads_ - 1);
+  for (std::size_t w = 0; w < wake; ++w) work_cv_.notify_one();
 
   // The caller drains chunks as worker 0, then waits for stragglers.
   run_chunks(*job, 0);
+  if (spin_enabled_ &&
+      job->done_chunks.load(std::memory_order_acquire) != job->chunk_count) {
+    for (int i = 0; i < kSpinIterations; ++i) {
+      if (job->done_chunks.load(std::memory_order_acquire) == job->chunk_count)
+        break;
+      cpu_relax();
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] {

@@ -18,4 +18,12 @@ std::int64_t StageTimings::count(const std::string& name) const {
   return it == buckets_.end() ? 0 : it->second.second;
 }
 
+void StageTimings::merge(const StageTimings& other) {
+  for (const auto& [name, bucket] : other.buckets()) {
+    auto& mine = buckets_[name];
+    mine.first += bucket.first;
+    mine.second += bucket.second;
+  }
+}
+
 }  // namespace lithogan::util

@@ -39,6 +39,10 @@ class StageTimings {
   /// Number of add() calls for `name`.
   std::int64_t count(const std::string& name) const;
 
+  /// Folds another set of buckets into this one (totals and counts add).
+  /// Used to combine per-worker timings after a clip-parallel batch.
+  void merge(const StageTimings& other);
+
   /// All bucket names in lexicographic order.
   const std::map<std::string, std::pair<double, std::int64_t>>& buckets() const {
     return buckets_;

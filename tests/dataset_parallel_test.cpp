@@ -1,0 +1,122 @@
+// Clip-parallel dataset generation is byte-identical to the serial build.
+//
+// DatasetBuilder::build fans whole clips out across the pool when the
+// process carries an ExecContext (the coarse outer level of the two-level
+// parallel model); every clip draws from its own RNG stream seeded by clip
+// index, so the schedule cannot leak into the data. These tests pin that
+// contract at 1, 2 and 8 threads against the serial reference, field by
+// field and bit by bit. Runs under TSan via the tier2 label to also catch
+// races that happen not to corrupt the output.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/dataset.hpp"
+#include "litho/process.hpp"
+#include "util/exec_context.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace ld = lithogan::data;
+namespace ll = lithogan::litho;
+namespace lu = lithogan::util;
+
+namespace {
+
+constexpr std::size_t kClips = 8;
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+ll::ProcessConfig test_process() {
+  ll::ProcessConfig p = ll::ProcessConfig::n10();
+  p.grid.pixels = 64;  // keep the rigorous stack fast in CI
+  p.optical.source_rings = 1;
+  p.optical.source_points_per_ring = 8;
+  return p;
+}
+
+ld::BuildConfig small_build() {
+  ld::BuildConfig bc;
+  bc.clip_count = kClips;
+  bc.render.mask_size_px = 32;
+  bc.render.resist_size_px = 32;
+  return bc;
+}
+
+ld::Dataset build_with(lu::ExecContext* exec) {
+  lu::set_log_level(lu::LogLevel::kWarn);
+  ll::ProcessConfig process = test_process();
+  process.exec = exec;
+  // Same builder seed every time: only the execution schedule varies.
+  ld::DatasetBuilder builder(process, small_build(), lu::Rng(17));
+  return builder.build();
+}
+
+/// The serial reference, built once per suite.
+const ld::Dataset& serial_dataset() {
+  static const ld::Dataset dataset = build_with(nullptr);
+  return dataset;
+}
+
+bool images_equal(const lithogan::image::Image& a, const lithogan::image::Image& b) {
+  return a.channels() == b.channels() && a.height() == b.height() &&
+         a.width() == b.width() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(float)) == 0;
+}
+
+void expect_samples_identical(const ld::Sample& got, const ld::Sample& ref,
+                              std::size_t i, std::size_t threads) {
+  EXPECT_EQ(got.clip_id, ref.clip_id) << "clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.array_type, ref.array_type) << "clip " << i << ", threads=" << threads;
+  EXPECT_TRUE(images_equal(got.mask_rgb, ref.mask_rgb))
+      << "mask, clip " << i << ", threads=" << threads;
+  EXPECT_TRUE(images_equal(got.resist, ref.resist))
+      << "resist, clip " << i << ", threads=" << threads;
+  EXPECT_TRUE(images_equal(got.resist_centered, ref.resist_centered))
+      << "resist_centered, clip " << i << ", threads=" << threads;
+  EXPECT_TRUE(images_equal(got.aerial, ref.aerial))
+      << "aerial, clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.center_px.x, ref.center_px.x) << "clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.center_px.y, ref.center_px.y) << "clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.cd_width_nm, ref.cd_width_nm) << "clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.cd_height_nm, ref.cd_height_nm)
+      << "clip " << i << ", threads=" << threads;
+  EXPECT_EQ(got.resist_pixel_nm, ref.resist_pixel_nm)
+      << "clip " << i << ", threads=" << threads;
+}
+
+}  // namespace
+
+TEST(DatasetParallel, SerialReferenceIsWellFormed) {
+  const ld::Dataset& ref = serial_dataset();
+  ASSERT_EQ(ref.size(), kClips);
+  for (const ld::Sample& s : ref.samples) {
+    EXPECT_FALSE(s.clip_id.empty());
+    EXPECT_EQ(s.resist.height(), 32u);
+  }
+}
+
+TEST(DatasetParallel, BuildIsByteIdenticalAtAnyThreadCount) {
+  const ld::Dataset& ref = serial_dataset();
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    const ld::Dataset got = build_with(&exec);
+    ASSERT_EQ(got.size(), ref.size()) << "threads=" << threads;
+    EXPECT_EQ(got.process_name, ref.process_name);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      expect_samples_identical(got.samples[i], ref.samples[i], i, threads);
+    }
+  }
+}
+
+TEST(DatasetParallel, ClipIdsAreUniqueAcrossRetries) {
+  // Each clip owns a disjoint id block (index * (max_retries + 1)), so ids
+  // must never collide no matter which retry attempt finally printed.
+  const ld::Dataset& ref = serial_dataset();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    for (std::size_t j = i + 1; j < ref.size(); ++j) {
+      EXPECT_NE(ref.samples[i].clip_id, ref.samples[j].clip_id)
+          << "clips " << i << " and " << j;
+    }
+  }
+}

@@ -11,8 +11,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <vector>
 
+#include "data/augment.hpp"
+#include "data/batch.hpp"
+#include "data/dataset.hpp"
 #include "litho/process.hpp"
 #include "litho/simulator.hpp"
 #include "math/fft.hpp"
@@ -26,6 +30,7 @@ namespace lu = lithogan::util;
 namespace lm = lithogan::math;
 namespace ln = lithogan::nn;
 namespace ll = lithogan::litho;
+namespace ld = lithogan::data;
 
 namespace {
 
@@ -224,6 +229,131 @@ TEST(Determinism, SimulatorRunMatchesSerialAtAnyThreadCount) {
         EXPECT_EQ(gv[v].x, rv[v].x);
         EXPECT_EQ(gv[v].y, rv[v].y);
       }
+    }
+  }
+}
+
+// Clip level: the batch API (one clip per worker, serial-inner clones) must
+// reproduce the sequential per-clip runs bit for bit, in clip order.
+TEST(Determinism, SimulatorRunBatchMatchesSequentialAtAnyThreadCount) {
+  ll::ProcessConfig process = ll::ProcessConfig::n10();
+  process.grid.pixels = 64;
+
+  const double c = process.grid.extent_nm / 2.0;
+  const double size = process.contact_size_nm;
+  const double pitch = process.min_pitch_nm;
+  std::vector<std::vector<lithogan::geometry::Rect>> clips;
+  clips.push_back({lithogan::geometry::Rect::from_center({c, c}, size, size)});
+  clips.push_back({lithogan::geometry::Rect::from_center({c - pitch, c}, size, size),
+                   lithogan::geometry::Rect::from_center({c + pitch, c}, size, size)});
+  clips.push_back({lithogan::geometry::Rect::from_center({c, c - pitch}, size, size),
+                   lithogan::geometry::Rect::from_center({c, c}, size, size),
+                   lithogan::geometry::Rect::from_center({c, c + pitch}, size, size)});
+
+  process.exec = nullptr;
+  ll::Simulator serial(process);
+  std::vector<ll::SimulationResult> refs;
+  for (const auto& clip : clips) refs.push_back(serial.run(clip));
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    process.exec = &exec;
+    ll::Simulator sim(process);
+    const auto got = sim.run_batch(clips);
+    ASSERT_EQ(got.size(), refs.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+      EXPECT_TRUE(bit_equal(got[i].aerial.values, refs[i].aerial.values))
+          << "aerial, clip " << i << ", threads=" << threads;
+      EXPECT_TRUE(bit_equal(got[i].develop.values, refs[i].develop.values))
+          << "develop, clip " << i << ", threads=" << threads;
+      ASSERT_EQ(got[i].contours.size(), refs[i].contours.size())
+          << "clip " << i << ", threads=" << threads;
+    }
+  }
+}
+
+namespace {
+
+bool bit_equal(std::span<const float> a, std::span<const float> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+/// A small synthetic dataset (no simulation) for the batch-assembly and
+/// augmentation determinism checks.
+ld::Dataset synthetic_dataset(std::size_t count, std::size_t size) {
+  ld::Dataset ds;
+  ds.process_name = "synthetic";
+  ds.render.mask_size_px = size;
+  ds.render.resist_size_px = size;
+  for (std::size_t s = 0; s < count; ++s) {
+    ld::Sample sample;
+    sample.clip_id = "synthetic-" + std::to_string(s);
+    sample.mask_rgb = lithogan::image::Image(3, size, size);
+    sample.resist = lithogan::image::Image(1, size, size);
+    sample.resist_centered = lithogan::image::Image(1, size, size);
+    sample.aerial = lithogan::image::Image(1, size, size);
+    for (std::size_t i = 0; i < sample.mask_rgb.data().size(); ++i) {
+      sample.mask_rgb.data()[i] = synth(s * 10007 + i) > 0.0f ? 1.0f : 0.0f;
+    }
+    for (std::size_t i = 0; i < size * size; ++i) {
+      sample.resist.data()[i] = synth(s * 20011 + i) > 0.5f ? 1.0f : 0.0f;
+      sample.resist_centered.data()[i] = synth(s * 30013 + i) > 0.5f ? 1.0f : 0.0f;
+      sample.aerial.data()[i] = std::fabs(synth(s * 40031 + i)) * 0.25f;
+    }
+    sample.center_px = {static_cast<double>(size) / 2.0 + synth(s),
+                        static_cast<double>(size) / 2.0 + synth(s + 50)};
+    sample.cd_width_nm = 20.0 + s;
+    sample.cd_height_nm = 21.0 + s;
+    sample.resist_pixel_nm = 4.0;
+    ds.samples.push_back(std::move(sample));
+  }
+  return ds;
+}
+
+}  // namespace
+
+// Batch level: sample-parallel tensor assembly and dataset augmentation
+// write disjoint slices, so any schedule must reproduce the serial result.
+TEST(Determinism, BatchAssemblyMatchesSerialAtAnyThreadCount) {
+  const ld::Dataset ds = synthetic_dataset(5, 16);
+  const std::vector<std::size_t> indices = {3, 0, 4, 1, 2};
+
+  const ln::Tensor masks_ref = ld::batch_masks(ds, indices, nullptr);
+  const ln::Tensor resists_ref = ld::batch_resists(ds, indices, false, nullptr);
+  const ln::Tensor centered_ref = ld::batch_resists(ds, indices, true, nullptr);
+  const ln::Tensor centers_ref = ld::batch_centers(ds, indices, nullptr);
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    EXPECT_TRUE(bit_equal(ld::batch_masks(ds, indices, &exec), masks_ref))
+        << "masks, threads=" << threads;
+    EXPECT_TRUE(bit_equal(ld::batch_resists(ds, indices, false, &exec), resists_ref))
+        << "resists, threads=" << threads;
+    EXPECT_TRUE(bit_equal(ld::batch_resists(ds, indices, true, &exec), centered_ref))
+        << "centered resists, threads=" << threads;
+    EXPECT_TRUE(bit_equal(ld::batch_centers(ds, indices, &exec), centers_ref))
+        << "centers, threads=" << threads;
+  }
+}
+
+TEST(Determinism, AugmentDatasetMatchesSerialAtAnyThreadCount) {
+  const ld::Dataset ds = synthetic_dataset(4, 16);
+  const ld::Dataset ref = ld::augment_dataset(ds, ld::all_dihedrals(), nullptr);
+
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    const ld::Dataset got = ld::augment_dataset(ds, ld::all_dihedrals(), &exec);
+    ASSERT_EQ(got.samples.size(), ref.samples.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < ref.samples.size(); ++i) {
+      EXPECT_EQ(got.samples[i].clip_id, ref.samples[i].clip_id);
+      EXPECT_TRUE(bit_equal(got.samples[i].resist.data(), ref.samples[i].resist.data()))
+          << "resist, sample " << i << ", threads=" << threads;
+      EXPECT_TRUE(
+          bit_equal(got.samples[i].mask_rgb.data(), ref.samples[i].mask_rgb.data()))
+          << "mask, sample " << i << ", threads=" << threads;
+      EXPECT_EQ(got.samples[i].center_px.x, ref.samples[i].center_px.x);
+      EXPECT_EQ(got.samples[i].center_px.y, ref.samples[i].center_px.y);
     }
   }
 }

@@ -3,9 +3,13 @@
 // stability, and ExecContext plumbing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/exec_context.hpp"
@@ -98,6 +102,78 @@ TEST(ThreadPool, WorkerIndexInRange) {
   });
 }
 
+TEST(ThreadPool, CostGateRunsSmallHintedJobsInlineOnCaller) {
+  // A hinted job far below the dispatch threshold must never wake the pool:
+  // every chunk runs on the calling thread as worker 0, whatever the
+  // machine's core count.
+  lu::ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int chunks = 0;
+  bool on_caller = true;
+  pool.parallel_for(0, 1000, 10, /*cost=*/100,
+                    [&](std::size_t, std::size_t, std::size_t worker) {
+                      ++chunks;  // inline execution: no synchronization needed
+                      on_caller = on_caller && std::this_thread::get_id() == caller;
+                      EXPECT_EQ(worker, 0u);
+                    });
+  EXPECT_EQ(chunks, 100);
+  EXPECT_TRUE(on_caller);
+}
+
+TEST(ThreadPool, CostGatePreservesChunkBoundaries) {
+  // The gate may only move WHERE chunks run, never what they are: inline
+  // and dispatched execution of the same range produce the same chunk set.
+  lu::ThreadPool pool(4);
+  std::vector<std::pair<std::size_t, std::size_t>> inline_chunks;
+  pool.parallel_for(3, 443, 17, /*cost=*/1,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      inline_chunks.emplace_back(b, e);
+                    });
+
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> dispatched_chunks;
+  pool.parallel_for(3, 443, 17, [&](std::size_t b, std::size_t e, std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    dispatched_chunks.emplace_back(b, e);
+  });
+
+  std::sort(inline_chunks.begin(), inline_chunks.end());
+  std::sort(dispatched_chunks.begin(), dispatched_chunks.end());
+  EXPECT_EQ(inline_chunks, dispatched_chunks);
+}
+
+TEST(ThreadPool, HintedJobAboveGateCoversEveryIndexOnce) {
+  // Above the threshold the job dispatches on multicore hosts and runs
+  // inline where concurrency() == 1; either way coverage is exact.
+  lu::ThreadPool pool(4);
+  const std::size_t n = 4096;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 64, /*cost=*/std::size_t{1} << 30,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+                    });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, DispatchCostIsConfigurable) {
+  lu::ThreadPool pool(2);
+  pool.set_dispatch_cost(42);
+  EXPECT_EQ(pool.dispatch_cost(), 42u);
+  EXPECT_GE(pool.concurrency(), 1u);
+  EXPECT_LE(pool.concurrency(), pool.threads());
+
+  // With the gate effectively disabled (threshold 0), a hinted job on a
+  // single-core host still runs inline (concurrency() == 1) — and on a
+  // multicore host dispatches — so only coverage is asserted.
+  pool.set_dispatch_cost(0);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 128, 16, /*cost=*/1,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      total.fetch_add(static_cast<int>(e - b));
+                    });
+  EXPECT_EQ(total.load(), 128);
+}
+
 TEST(Workspace, ReferencesSurviveHigherSlotCreation) {
   lu::Workspace ws;
   auto& a = ws.floats(0);
@@ -145,6 +221,25 @@ TEST(ExecContext, GrainForTargetsMultipleChunksPerThread) {
   // ~4 chunks per thread keeps the tail balanced.
   EXPECT_LE((1000 + grain - 1) / grain, 4u * 4u + 1u);
   EXPECT_GE(exec.grain_for(10, 64), 10u);  // min_grain caps chunk count
+}
+
+TEST(ExecContext, CostHintedOverloadGatesToCallerWorkspace) {
+  lu::ExecContext exec(4);
+  // Far below the gate: inline on the caller, so every chunk sees worker
+  // 0's workspace and the serial helper's fallback workspace stays unused.
+  exec.parallel_for(0, 64, 8, /*cost=*/16,
+                    [&](std::size_t, std::size_t, lu::Workspace& ws) {
+                      EXPECT_EQ(&ws, &exec.workspace(0));
+                    });
+
+  lu::Workspace serial_ws;
+  int calls = 0;
+  lu::parallel_for(&exec, serial_ws, 0, 64, 8, /*cost=*/16,
+                   [&](std::size_t, std::size_t, lu::Workspace& ws) {
+                     ++calls;
+                     EXPECT_EQ(&ws, &exec.workspace(0));
+                   });
+  EXPECT_EQ(calls, 8);
 }
 
 TEST(ExecContext, SerialHelperRunsWholeRangeOnce) {
