@@ -12,7 +12,9 @@
 // record with the same op+shape at threads == 1) divided by its own time —
 // >1 means scaling helps — and 0 when no baseline was benched. The host
 // block pins what machine a trajectory was measured on, so cross-machine
-// diffs are recognizable as such.
+// diffs are recognizable as such. A trailing "metrics" block snapshots the
+// process-wide obs::Registry counters that explain perf deltas: FFT plan
+// cache hits/misses and the thread pool's inline-vs-dispatch decisions.
 #pragma once
 
 #include <cstdio>
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "math/gemm.hpp"
+#include "obs/metrics.hpp"
 
 namespace lithogan::bench {
 
@@ -62,7 +65,16 @@ inline bool write_bench_json(const std::string& path,
                  r.op.c_str(), r.shape.c_str(), r.threads, r.ns_per_iter,
                  r.gflops_per_s, speedup, i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  const obs::Registry& reg = obs::Registry::global();
+  std::fprintf(f,
+               "  ],\n  \"metrics\": {\"fft.plan_cache.hit\": %llu, "
+               "\"fft.plan_cache.miss\": %llu, \"threadpool.jobs_inlined\": %llu, "
+               "\"threadpool.jobs_dispatched\": %llu}\n}\n",
+               static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.hit")),
+               static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.miss")),
+               static_cast<unsigned long long>(reg.counter_value("threadpool.jobs_inlined")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("threadpool.jobs_dispatched")));
   return std::fclose(f) == 0;
 }
 

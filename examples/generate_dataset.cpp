@@ -12,10 +12,12 @@
 #include "data/statistics.hpp"
 #include "geometry/marching_squares.hpp"
 #include "image/io.hpp"
+#include "math/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 #include "util/logging.hpp"
+#include "util/obs_cli.hpp"
 
 using namespace lithogan;
 
@@ -43,10 +45,12 @@ int main(int argc, char** argv) {
       .add_flag("out", "dataset", "output prefix: <out>.ds plus stage images")
       .add_flag("visualize", "3", "clips to dump stage images for")
       .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
+  util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
+  const util::ObsOptions obs = util::begin_observability(cli);
 
   litho::ProcessConfig process = cli.get("node") == "N7" ? litho::ProcessConfig::n7()
                                                          : litho::ProcessConfig::n10();
@@ -103,5 +107,6 @@ int main(int argc, char** argv) {
               dataset.render.mask_size_px, dataset.render.mask_size_px,
               dataset.samples[0].resist_pixel_nm);
   std::printf("\n%s", data::format_statistics(data::compute_statistics(dataset)).c_str());
+  util::finish_observability(obs, math::simd_level());
   return 0;
 }

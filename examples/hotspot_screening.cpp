@@ -11,9 +11,11 @@
 #include "core/lithogan.hpp"
 #include "core/screening.hpp"
 #include "data/dataset.hpp"
+#include "math/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
 #include "util/logging.hpp"
+#include "util/obs_cli.hpp"
 #include "util/timer.hpp"
 
 using namespace lithogan;
@@ -25,10 +27,12 @@ int main(int argc, char** argv) {
       .add_flag("epochs", "25", "GAN training epochs")
       .add_flag("budget-frac", "0.12", "CD error budget as fraction of target")
       .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
+  util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
+  const util::ObsOptions obs = util::begin_observability(cli);
   util::set_log_level(util::LogLevel::kWarn);
 
   util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
@@ -97,5 +101,6 @@ int main(int argc, char** argv) {
   std::printf("\nwall time: golden flow %.1f s (includes RET+simulation), LithoGAN "
               "inference %.2f s -> %.0fx faster screening\n",
               golden_s, gan_s, golden_s / std::max(gan_s, 1e-9));
+  util::finish_observability(obs, math::simd_level());
   return 0;
 }

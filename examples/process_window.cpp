@@ -8,9 +8,11 @@
 #include <cstdio>
 
 #include "litho/process_window.hpp"
+#include "math/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
 #include "util/logging.hpp"
+#include "util/obs_cli.hpp"
 #include "util/timer.hpp"
 
 using namespace lithogan;
@@ -23,10 +25,12 @@ int main(int argc, char** argv) {
       .add_flag("focus-range", "60", "max |focus| offset (nm)")
       .add_flag("tolerance", "0.1", "CD spec as fraction of target")
       .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
+  util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
+  const util::ObsOptions obs = util::begin_observability(cli);
   util::set_log_level(util::LogLevel::kWarn);
 
   litho::ProcessConfig process = cli.get("node") == "N7" ? litho::ProcessConfig::n7()
@@ -75,5 +79,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nNote: each matrix point is one full simulation; a learned model\n"
               "amortizes this cost, which is the paper's core runtime argument.\n");
+  util::finish_observability(obs, math::simd_level());
   return 0;
 }

@@ -14,9 +14,11 @@
 #include "data/dataset.hpp"
 #include "eval/report.hpp"
 #include "image/io.hpp"
+#include "math/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
 #include "util/logging.hpp"
+#include "util/obs_cli.hpp"
 
 using namespace lithogan;
 
@@ -27,10 +29,12 @@ int main(int argc, char** argv) {
       .add_flag("image-size", "32", "image resolution (power of two)")
       .add_flag("out", "quickstart_prediction", "output image prefix")
       .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
+  util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
+  const util::ObsOptions obs = util::begin_observability(cli);
 
   util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
 
@@ -84,5 +88,6 @@ int main(int argc, char** argv) {
   image::write_pgm(prefix + "_golden.pgm", sample.resist);
   image::write_pgm(prefix + "_predicted.pgm", model.predict(sample));
   std::printf("wrote %s_{mask.ppm,golden.pgm,predicted.pgm}\n", prefix.c_str());
+  util::finish_observability(obs, math::simd_level());
   return 0;
 }

@@ -9,10 +9,12 @@
 #include "core/lithogan.hpp"
 #include "data/dataset.hpp"
 #include "eval/report.hpp"
+#include "math/gemm.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
 #include "util/fileio.hpp"
 #include "util/logging.hpp"
+#include "util/obs_cli.hpp"
 
 using namespace lithogan;
 
@@ -34,10 +36,12 @@ int main(int argc, char** argv) {
       .add_flag("train-fraction", "0.75", "train split fraction (paper: 0.75)")
       .add_flag("save", "", "checkpoint prefix (empty = do not save)")
       .add_flag("threads", "0", "worker threads (0 = all cores, 1 = serial)");
+  util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 0;
   }
+  const util::ObsOptions obs = util::begin_observability(cli);
 
   const data::Dataset dataset = data::load_dataset(cli.get("dataset"));
   std::printf("loaded %s: %zu samples, %s, %zu px\n", cli.get("dataset").c_str(),
@@ -95,5 +99,6 @@ int main(int argc, char** argv) {
     std::printf("checkpoint written to %s.{gen,dis%s}.bin\n", save.c_str(),
                 mode == core::Mode::kDualLearning ? ",cnn" : "");
   }
+  util::finish_observability(obs, math::simd_level());
   return 0;
 }

@@ -5,8 +5,11 @@
 #include "core/networks.hpp"
 #include "data/batch.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/timer.hpp"
 
 namespace lithogan::core {
 
@@ -40,6 +43,8 @@ double CenterPredictor::train(const data::Dataset& dataset,
            ++k) {
         batch.push_back(train[order[k]]);
       }
+      const obs::Span span("train.center_step");
+      const util::Timer step_timer;
       const nn::Tensor x = data::batch_masks(dataset, batch, config_.exec);
       const nn::Tensor target = data::batch_centers(dataset, batch, config_.exec);
       const nn::Tensor pred = net_->forward(x);
@@ -47,6 +52,9 @@ double CenterPredictor::train(const data::Dataset& dataset,
       opt.zero_grad();
       net_->backward(loss.grad);
       opt.step();
+      static obs::Histogram& step_ms = obs::Registry::global().histogram(
+          "train.step_ms", obs::default_ms_buckets());
+      step_ms.observe(step_timer.elapsed_seconds() * 1e3);
       epoch_loss += loss.value;
       ++batches;
     }

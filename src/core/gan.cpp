@@ -2,7 +2,10 @@
 
 #include "core/tensor_ops.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace lithogan::core {
 
@@ -24,6 +27,8 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
   LITHOGAN_REQUIRE(masks.rank() == 4 && resists.rank() == 4 &&
                        masks.dim(0) == resists.dim(0),
                    "batch shape mismatch");
+  const obs::Span step_span("train.gan_step");
+  const util::Timer step_timer;
   generator_->set_training(true);
   discriminator_->set_training(true);
   GanStepLosses losses;
@@ -35,6 +40,7 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
   // --- Discriminator phase (Eq. 1): real pair up, fake pair down. -------
   d_opt_->zero_grad();
   {
+    const obs::Span span("train.d_phase");
     const nn::Tensor real_logits = discriminator_->forward(concat_channels(masks, resists));
     const auto real_loss = nn::bce_with_logits_loss(real_logits, 1.0f, config_.exec);
     discriminator_->backward(real_loss.grad);
@@ -50,6 +56,7 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
   // --- Generator phase (Eq. 2): fool the updated D, stay near y in l1. --
   g_opt_->zero_grad();
   {
+    const obs::Span span("train.g_phase");
     const nn::Tensor fake_pair = concat_channels(masks, fake);
     const nn::Tensor logits = discriminator_->forward(fake_pair);
     // Non-saturating objective: maximize log D(x, G(x,z)).
@@ -69,6 +76,9 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
     losses.g_adv_loss = adv.value;
     losses.g_l1_loss = rec.value;
   }
+  static obs::Histogram& step_ms = obs::Registry::global().histogram(
+      "train.step_ms", obs::default_ms_buckets());
+  step_ms.observe(step_timer.elapsed_seconds() * 1e3);
   return losses;
 }
 

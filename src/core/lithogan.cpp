@@ -6,6 +6,7 @@
 #include "data/batch.hpp"
 #include "data/render.hpp"
 #include "nn/serialize.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -46,6 +47,7 @@ std::vector<GanEpochLosses> LithoGan::train(const data::Dataset& dataset,
   std::vector<GanEpochLosses> curves;
   curves.reserve(config_.epochs);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const obs::Span epoch_span("train.epoch");
     const auto order = rng_.permutation(train.size());
     GanEpochLosses acc;
     acc.epoch = epoch + 1;

@@ -10,6 +10,7 @@
 #include "nn/dropout.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lithogan::core {
@@ -185,19 +186,29 @@ UNetGenerator::UNetGenerator(const LithoGanConfig& cfg, util::Rng& rng) {
     }
     decoder_.push_back(std::move(block));
   }
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    enc_labels_.push_back("nn.unet.enc" + std::to_string(l));
+    dec_labels_.push_back("nn.unet.dec" + std::to_string(l));
+  }
 }
 
 nn::Tensor UNetGenerator::forward(const nn::Tensor& input) {
   skips_.clear();
   nn::Tensor x = input;
-  for (auto& block : encoder_) {
-    x = block->forward(x);
+  for (std::size_t l = 0; l < encoder_.size(); ++l) {
+    const obs::Span span(enc_labels_[l]);
+    x = encoder_[l]->forward(x);
     skips_.push_back(x);
   }
 
   const std::size_t levels = encoder_.size();
-  nn::Tensor y = decoder_[0]->forward(skips_[levels - 1]);
+  nn::Tensor y = [&] {
+    const obs::Span span(dec_labels_[0]);
+    return decoder_[0]->forward(skips_[levels - 1]);
+  }();
   for (std::size_t l = 1; l < levels; ++l) {
+    const obs::Span span(dec_labels_[l]);
     y = decoder_[l]->forward(concat_channels(y, skips_[levels - 1 - l]));
   }
   return y;

@@ -69,6 +69,10 @@ class UNetGenerator : public nn::Module {
   std::vector<std::unique_ptr<nn::Sequential>> encoder_;
   std::vector<std::unique_ptr<nn::Sequential>> decoder_;
   std::vector<nn::Tensor> skips_;  ///< encoder outputs cached for backward
+  // Trace labels ("nn.unet.enc3") built once in the constructor so the
+  // forward/backward hot paths never format strings.
+  std::vector<std::string> enc_labels_;
+  std::vector<std::string> dec_labels_;
 };
 
 }  // namespace lithogan::core

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "geometry/marching_squares.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 #include "util/fileio.hpp"
@@ -106,6 +107,7 @@ Dataset DatasetBuilder::build() {
   util::ExecContext* exec = sim_.process().exec;
   if (exec == nullptr || config_.clip_count <= 1) {
     for (std::size_t i = 0; i < config_.clip_count; ++i) {
+      const obs::Span span("data.clip");
       dataset.samples[i] = build_clip(i, sim_);
       if ((i + 1) % 50 == 0) {
         util::log_info() << dataset.process_name << " dataset: " << (i + 1) << "/"
@@ -130,6 +132,7 @@ Dataset DatasetBuilder::build() {
         auto& sim = sims[worker];
         if (!sim) sim = std::make_unique<litho::Simulator>(serial_process);
         for (std::size_t i = b; i < e; ++i) {
+          const obs::Span span("data.clip");
           dataset.samples[i] = build_clip(i, *sim);
           const std::size_t done = built.fetch_add(1, std::memory_order_relaxed) + 1;
           if (done % 50 == 0) {

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "math/fft.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 
@@ -194,8 +195,10 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
 
   // The mask is real, so its spectrum comes from the half-work
   // real-to-complex path.
-  const std::vector<math::Complex> spectrum =
-      math::fft2d_real_forward(mask.values, n, n, exec_);
+  const std::vector<math::Complex> spectrum = [&] {
+    const obs::Span span("sim.mask_spectrum");
+    return math::fft2d_real_forward(mask.values, n, n, exec_);
+  }();
 
   FieldGrid out;
   out.pixels = n;
@@ -211,6 +214,7 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
   // here are the serial single-line form.
   const auto render = [&](std::size_t k,
                           util::Workspace& ws) -> const math::Complex* {
+    const obs::Span span("sim.socs_kernel");
     const TransferWindow& t = windows_[k];
     auto& field = ws.complexes(0);
     field.assign(n2, math::Complex(0.0, 0.0));
@@ -270,6 +274,7 @@ FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {
         for (std::size_t i = 0; i < n2; ++i) slot[i] = w * std::norm(field[i]);
       }
     });
+    const obs::Span span("sim.socs_accumulate");
     for (std::size_t k = w0; k < w1; ++k) {
       const double* slot = slots.data() + (k - w0) * n2;
       for (std::size_t i = 0; i < n2; ++i) out.values[i] += slot[i];

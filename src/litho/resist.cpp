@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "math/fft.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 
@@ -13,6 +14,7 @@ namespace lithogan::litho {
 FieldGrid diffuse(const FieldGrid& field, double sigma_nm, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(sigma_nm >= 0.0, "diffusion sigma negative");
   if (sigma_nm == 0.0) return field;
+  const obs::Span span("sim.diffuse");
   const std::size_t n = field.pixels;
   const double dx = field.pixel_nm();
 
@@ -120,6 +122,7 @@ std::vector<double> window_max(const std::vector<double>& src, std::size_t n,
 }  // namespace
 
 FieldGrid VariableThresholdResist::threshold_field(const FieldGrid& latent) const {
+  const obs::Span span("sim.threshold");
   const std::size_t n = latent.pixels;
   const double dx = latent.pixel_nm();
   const auto radius = static_cast<std::size_t>(

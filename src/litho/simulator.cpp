@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "geometry/marching_squares.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 #include "util/logging.hpp"
@@ -27,6 +29,7 @@ void Simulator::rebuild_resist() {
 }
 
 FieldGrid Simulator::aerial_image(const std::vector<geometry::Rect>& mask_openings) {
+  const obs::Span span("sim.aerial");
   util::Timer timer;
   const FieldGrid mask = rasterize_mask(mask_openings, process_.grid);
   FieldGrid aerial = optical_.aerial_image(mask);
@@ -39,6 +42,7 @@ FieldGrid Simulator::develop(const FieldGrid& aerial) const {
 }
 
 std::vector<geometry::Polygon> Simulator::contours(const FieldGrid& develop_grid) const {
+  const obs::Span span("sim.contour");
   const double dx = develop_grid.pixel_nm();
   // Contours come back in grid-index space; cell centers sit at (i+0.5)*dx.
   auto raw = geometry::extract_contours(develop_grid.values, develop_grid.pixels,
@@ -48,6 +52,9 @@ std::vector<geometry::Polygon> Simulator::contours(const FieldGrid& develop_grid
   for (auto& poly : raw) {
     out.push_back(poly.scaled(dx, dx).translated({dx / 2.0, dx / 2.0}));
   }
+  static obs::Counter& extracted =
+      obs::Registry::global().counter("sim.contours_extracted");
+  extracted.add(out.size());
   return out;
 }
 
@@ -56,11 +63,14 @@ SimulationResult Simulator::run(const std::vector<geometry::Rect>& mask_openings
   result.aerial = aerial_image(mask_openings);
 
   util::Timer resist_timer;
-  result.latent = resist_->latent_image(result.aerial);
-  const FieldGrid threshold = resist_->threshold_field(result.latent);
-  result.develop = result.latent;
-  for (std::size_t i = 0; i < result.develop.values.size(); ++i) {
-    result.develop.values[i] = result.latent.values[i] - threshold.values[i];
+  {
+    const obs::Span span("sim.resist");
+    result.latent = resist_->latent_image(result.aerial);
+    const FieldGrid threshold = resist_->threshold_field(result.latent);
+    result.develop = result.latent;
+    for (std::size_t i = 0; i < result.develop.values.size(); ++i) {
+      result.develop.values[i] = result.latent.values[i] - threshold.values[i];
+    }
   }
   timings_.add("resist", resist_timer.elapsed_seconds());
 
@@ -75,7 +85,10 @@ std::vector<SimulationResult> Simulator::run_batch(
   std::vector<SimulationResult> results(clips.size());
   util::ExecContext* exec = process_.exec;
   if (exec == nullptr || clips.size() <= 1) {
-    for (std::size_t i = 0; i < clips.size(); ++i) results[i] = run(clips[i]);
+    for (std::size_t i = 0; i < clips.size(); ++i) {
+      const obs::Span span("sim.clip");
+      results[i] = run(clips[i]);
+    }
     return results;
   }
 
@@ -93,7 +106,10 @@ std::vector<SimulationResult> Simulator::run_batch(
       [&](std::size_t b, std::size_t e, std::size_t worker) {
         auto& sim = clones[worker];
         if (!sim) sim = std::make_unique<Simulator>(serial_process, resist_kind_);
-        for (std::size_t i = b; i < e; ++i) results[i] = sim->run(clips[i]);
+        for (std::size_t i = b; i < e; ++i) {
+          const obs::Span span("sim.clip");
+          results[i] = sim->run(clips[i]);
+        }
       });
   for (const auto& sim : clones) {
     if (sim) timings_.merge(sim->timings());

@@ -7,6 +7,7 @@
 #include <numbers>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 
@@ -75,11 +76,23 @@ std::size_t fft_stage_cost(std::size_t count, std::size_t n) {
 
 std::shared_ptr<const FftPlan> fft_plan(std::size_t n, bool inverse) {
   LITHOGAN_REQUIRE(is_power_of_two(n), "fft size must be a power of two");
+  // Cache effectiveness counters: a miss means twiddle/bitrev tables were
+  // built from scratch. Per-worker memo hits (the overload below) count as
+  // hits too, so hit/miss reflects every plan lookup in the process.
+  static obs::Counter& hits =
+      obs::Registry::global().counter("fft.plan_cache.hit");
+  static obs::Counter& misses =
+      obs::Registry::global().counter("fft.plan_cache.miss");
   static std::mutex mutex;
   static std::map<std::pair<std::size_t, bool>, std::shared_ptr<const FftPlan>> cache;
   const std::lock_guard<std::mutex> lock(mutex);
   auto& slot = cache[{n, inverse}];
-  if (!slot) slot = make_plan(n, inverse);
+  if (!slot) {
+    misses.add();
+    slot = make_plan(n, inverse);
+  } else {
+    hits.add();
+  }
   return slot;
 }
 
@@ -88,7 +101,12 @@ const FftPlan& fft_plan(util::Workspace& ws, std::size_t n, bool inverse) {
   if (!slot) slot = std::make_shared<PlanCache>();
   auto* cache = static_cast<PlanCache*>(slot.get());
   for (const auto& plan : cache->plans) {
-    if (plan->n == n && plan->inverse == inverse) return *plan;
+    if (plan->n == n && plan->inverse == inverse) {
+      static obs::Counter& hits =
+          obs::Registry::global().counter("fft.plan_cache.hit");
+      hits.add();
+      return *plan;
+    }
   }
   cache->plans.push_back(fft_plan(n, inverse));
   return *cache->plans.back();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/exec_context.hpp"
 
 #if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
@@ -292,6 +293,14 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
                      });
 }
 
+/// One relaxed add per GEMM call (2*m*n*k multiply-add flops) — the
+/// registry's gemm.flops makes "how much math did this run retire" a
+/// snapshot read instead of a bench-harness estimate.
+void count_gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  static obs::Counter& flops = obs::Registry::global().counter("gemm.flops");
+  flops.add(2 * m * n * k);
+}
+
 template <bool TransA, bool TransB>
 void gemm_entry(std::size_t m, std::size_t n, std::size_t k, float alpha,
                 const float* a, const float* b, float beta, float* c,
@@ -301,6 +310,7 @@ void gemm_entry(std::size_t m, std::size_t n, std::size_t k, float alpha,
     scale_c(m, n, beta, c);
     return;
   }
+  count_gemm_flops(m, n, k);
   // B is packed once on the calling thread (O(k*n), negligible next to the
   // O(m*n*k) compute) and read shared by every task.
   auto& bbuf = local_workspace().floats(kBPanelSlot);
@@ -352,6 +362,7 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
     scale_c(m, n, beta, c);
     return;
   }
+  count_gemm_flops(m, n, k);
   gemm_driver<false>(m, n, k, alpha, a, k, packed_b, beta, c, exec);
 }
 

@@ -1,5 +1,6 @@
 #include "nn/sequential.hpp"
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace lithogan::nn {
@@ -7,19 +8,27 @@ namespace lithogan::nn {
 Sequential& Sequential::add(std::unique_ptr<Module> layer) {
   LITHOGAN_REQUIRE(layer != nullptr, "null layer");
   if (exec_ != nullptr) layer->set_exec_context(exec_);
+  fwd_labels_.push_back("nn.fwd." + layer->kind());
+  bwd_labels_.push_back("nn.bwd." + layer->kind());
   layers_.push_back(std::move(layer));
   return *this;
 }
 
 Tensor Sequential::forward(const Tensor& input) {
   Tensor x = input;
-  for (auto& layer : layers_) x = layer->forward(x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const obs::Span span(fwd_labels_[i]);
+    x = layers_[i]->forward(x);
+  }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const obs::Span span(bwd_labels_[i]);
+    g = layers_[i]->backward(g);
+  }
   return g;
 }
 

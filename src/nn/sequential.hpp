@@ -37,6 +37,10 @@ class Sequential : public Module {
 
  private:
   std::vector<std::unique_ptr<Module>> layers_;
+  // Span labels ("nn.fwd.<Kind>" / "nn.bwd.<Kind>") are built once at add()
+  // time so the per-layer hot path never allocates a name string.
+  std::vector<std::string> fwd_labels_;
+  std::vector<std::string> bwd_labels_;
 };
 
 }  // namespace lithogan::nn

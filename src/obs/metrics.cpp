@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace lithogan::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::logic_error("Histogram bounds must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double v) {
+  // Linear scan: bucket ladders are short (tens of entries) and the scan
+  // touches one cache line per few buckets.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add(double) lowers to a CAS loop where the ISA lacks it; the
+  // histogram sum is not on any per-element hot path.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> default_ms_buckets() {
+  return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000};
+}
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: node-based, so metric addresses are stable while the
+  // registry grows — call sites may cache references.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+
+  /// Called right after inserting `name` into one of the maps: a total
+  /// membership above 1 means the name already exists with another kind.
+  /// Kind collisions are registration bugs; surface them at the second
+  /// registration instead of silently shadowing.
+  void check_unique(const std::string& name) const {
+    if (counters.count(name) + gauges.count(name) + histograms.count(name) > 1) {
+      throw std::logic_error("metric '" + name +
+                             "' already registered with a different kind");
+    }
+  }
+};
+
+Registry::Impl& Registry::impl() const {
+  static std::mutex init_mutex;
+  if (impl_ == nullptr) {
+    const std::lock_guard<std::mutex> lock(init_mutex);
+    if (impl_ == nullptr) impl_ = new Impl();
+  }
+  return *impl_;
+}
+
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked so worker-thread instrumentation that fires during static
+  // teardown still has a live registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.counters[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    im.check_unique(name);
+  }
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.gauges[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    im.check_unique(name);
+  }
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  auto& slot = im.histograms[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = default_ms_buckets();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+    im.check_unique(name);
+  }
+  return *slot;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  const auto it = im.counters.find(name);
+  return it == im.counters.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) out.emplace_back(name, c->value());
+  return out;
+}
+
+namespace {
+
+void append_number(std::ostringstream& os, double v) {
+  // JSON has no infinity/NaN literals; clamp to null (never expected from
+  // well-formed instrumentation, but snapshots must stay parseable).
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string Registry::snapshot_json(const std::string& host_simd) const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  std::ostringstream os;
+  os << "{\"host\": {\"cpus\": " << std::thread::hardware_concurrency()
+     << ", \"simd\": \"" << host_simd << "\"}, \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    os << (first ? "" : ", ") << '"' << name << "\": " << c->value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    os << (first ? "" : ", ") << '"' << name << "\": ";
+    append_number(os, g->value());
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    os << (first ? "" : ", ") << '"' << name << "\": {\"bounds\": [";
+    const auto& bounds = h->upper_bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i != 0) os << ", ";
+      append_number(os, bounds[i]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      os << (i != 0 ? ", " : "") << h->bucket_count(i);
+    }
+    os << "], \"sum\": ";
+    append_number(os, h->sum());
+    os << ", \"count\": " << h->count() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+bool Registry::append_snapshot_jsonl(const std::string& path,
+                                     const std::string& host_simd) const {
+  const std::string line = snapshot_json(host_simd);
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s\n", line.c_str());
+  return std::fclose(f) == 0;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+}  // namespace lithogan::obs

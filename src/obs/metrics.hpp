@@ -1,0 +1,134 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms.
+//
+// Registration (the first lookup of a name) takes the registry mutex;
+// updates afterwards are single relaxed/CAS atomic operations, safe from
+// any thread including pool workers. Hot call sites cache the returned
+// reference in a function-local static so the steady state is one atomic
+// add per update:
+//
+//   static obs::Counter& hits =
+//       obs::Registry::global().counter("fft.plan_cache.hit");
+//   hits.add();
+//
+// Metric objects live for the process lifetime (node-stable map), so
+// cached references never dangle. Naming convention: dot-separated
+// lowercase paths, subsystem first ("threadpool.jobs_dispatched",
+// "sim.contours_extracted", "train.step_ms"); histogram names carry their
+// unit as a suffix. Names must not need JSON escaping.
+//
+// Snapshots serialize the whole registry as one JSON object per line
+// (JSONL), sharing the host block of bench/bench_json.hpp so metrics land
+// next to BENCH_*.json records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lithogan::obs {
+
+/// Monotonic event count. add() is wait-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, active threads, ...).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an implicit
+/// overflow bucket, with a running sum and count. observe() is lock-free
+/// (one relaxed add per field; the sum uses a CAS loop on platforms
+/// without native atomic double add).
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; a value v lands in the
+  /// first bucket with v <= bound, or the overflow bucket past the last.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// bucket_count(i) for i in [0, upper_bounds().size()]: the last index is
+  /// the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Default bucket ladder for millisecond timings (train.step_ms and
+/// friends): 0.5 ms to 30 s in a 1-2-5 progression.
+std::vector<double> default_ms_buckets();
+
+class Registry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Looks up or creates the named metric. References stay valid for the
+  /// registry's lifetime. Requesting an existing name with a different
+  /// metric kind throws std::logic_error; histogram() ignores `bounds` when
+  /// the histogram already exists.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// Counter value by name, 0 if the counter was never registered. For
+  /// readers (bench JSON emitters, tests) that must not create metrics.
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// All registered counters as (name, value), lexicographic by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+  /// Whole-registry snapshot as a single-line JSON object:
+  ///   {"host": {"cpus": N, "simd": "..."}, "counters": {...},
+  ///    "gauges": {...}, "histograms": {name: {"bounds": [...],
+  ///    "counts": [...], "sum": S, "count": N}}}
+  /// `host_simd` is the math::simd_level() string (callers above math pass
+  /// it in; obs itself stays independent of the math library).
+  std::string snapshot_json(const std::string& host_simd) const;
+
+  /// Appends snapshot_json() as one line to `path` (creating it if
+  /// needed). Returns false if the file could not be written.
+  bool append_snapshot_jsonl(const std::string& path,
+                             const std::string& host_simd) const;
+
+  /// Zeroes every registered metric (registrations survive). For tests and
+  /// for benches that want per-phase deltas.
+  void reset();
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+}  // namespace lithogan::obs

@@ -1,0 +1,205 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace lithogan::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// One thread's span storage. The owning thread is the only writer of
+/// `ring` and publishes each event with the release store of `count`; any
+/// reader must hold a happens-after edge to the writes it consumes (see the
+/// quiescence contract in trace.hpp). Registration and naming go through
+/// the global registry mutex.
+struct ThreadTrack {
+  std::uint32_t tid = 0;
+  char name[32] = {0};
+  std::vector<TraceEvent> ring;                ///< laid out on registration
+  std::atomic<std::uint64_t> count{0};         ///< events ever recorded
+};
+
+struct TrackRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTrack>> tracks;
+};
+
+TrackRegistry& registry() {
+  static TrackRegistry* r = new TrackRegistry();  // leaked: spans may record
+  return *r;                                      // during static teardown
+}
+
+ThreadTrack& local_track() {
+  thread_local std::shared_ptr<ThreadTrack> track = [] {
+    auto t = std::make_shared<ThreadTrack>();
+    t->ring.resize(TraceRecorder::kRingCapacity);
+    TrackRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    t->tid = static_cast<std::uint32_t>(reg.tracks.size());
+    std::snprintf(t->name, sizeof(t->name), "thread-%u", t->tid);
+    reg.tracks.push_back(t);
+    return t;
+  }();
+  return *track;
+}
+
+void copy_name(char* dst, const char* src) {
+  std::size_t n = 0;
+  while (n < TraceEvent::kNameCapacity && src[n] != '\0') {
+    dst[n] = src[n];
+    ++n;
+  }
+  dst[n] = '\0';
+}
+
+/// Escapes the few JSON-significant bytes a span name could contain.
+void print_json_string(std::FILE* f, const char* s) {
+  std::fputc('"', f);
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (c < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+  std::fputc('"', f);
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
+          .count());
+}
+
+void set_trace_enabled(bool enabled) {
+  if (enabled) trace_now_ns();  // pin the epoch before the first span
+  detail::g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) {
+  ThreadTrack& track = local_track();
+  const std::uint64_t n = track.count.load(std::memory_order_relaxed);
+  TraceEvent& ev = track.ring[n % kRingCapacity];
+  copy_name(ev.name, name);
+  ev.start_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  track.count.store(n + 1, std::memory_order_release);
+}
+
+void TraceRecorder::set_thread_name(const std::string& name) {
+  ThreadTrack& track = local_track();
+  TrackRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::strncpy(track.name, name.c_str(), sizeof(track.name) - 1);
+  track.name[sizeof(track.name) - 1] = '\0';
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) {
+  std::vector<std::shared_ptr<ThreadTrack>> tracks;
+  {
+    TrackRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    tracks = reg.tracks;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"traceEvents\": [\n", f);
+  bool first = true;
+  for (const auto& track : tracks) {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+    std::fprintf(f,
+                 "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"tid\": %u, \"args\": {\"name\": ",
+                 track->tid);
+    print_json_string(f, track->name);
+    std::fputs("}}", f);
+    const std::uint64_t n = track->count.load(std::memory_order_acquire);
+    const std::uint64_t begin = n > kRingCapacity ? n - kRingCapacity : 0;
+    for (std::uint64_t i = begin; i < n; ++i) {
+      const TraceEvent& ev = track->ring[i % kRingCapacity];
+      std::fputs(",\n  {\"name\": ", f);
+      print_json_string(f, ev.name);
+      // Chrome trace timestamps are microseconds; keep ns resolution in the
+      // fraction.
+      std::fprintf(f,
+                   ", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                   "\"ts\": %.3f, \"dur\": %.3f}",
+                   track->tid, static_cast<double>(ev.start_ns) / 1e3,
+                   static_cast<double>(ev.dur_ns) / 1e3);
+    }
+  }
+  std::fputs("\n]}\n", f);
+  return std::fclose(f) == 0;
+}
+
+std::size_t TraceRecorder::total_events() {
+  TrackRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t total = 0;
+  for (const auto& track : reg.tracks) {
+    const std::uint64_t n = track->count.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(n > kRingCapacity ? kRingCapacity : n);
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::total_dropped() {
+  TrackRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::size_t dropped = 0;
+  for (const auto& track : reg.tracks) {
+    const std::uint64_t n = track->count.load(std::memory_order_acquire);
+    if (n > kRingCapacity) dropped += static_cast<std::size_t>(n - kRingCapacity);
+  }
+  return dropped;
+}
+
+std::size_t TraceRecorder::thread_count() {
+  TrackRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.tracks.size();
+}
+
+void TraceRecorder::clear() {
+  TrackRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& track : reg.tracks) {
+    track->count.store(0, std::memory_order_release);
+  }
+}
+
+void Span::arm(const char* name) {
+  copy_name(name_, name);
+  start_ns_ = trace_now_ns();
+  armed_ = true;
+}
+
+void Span::finish() {
+  const std::uint64_t end = trace_now_ns();
+  TraceRecorder::instance().record(name_, start_ns_, end - start_ns_);
+}
+
+}  // namespace lithogan::obs

@@ -1,0 +1,119 @@
+// Per-thread span tracing with Chrome trace-event export.
+//
+// Every thread that records owns a fixed-capacity ring of completed spans
+// (single writer, no locks on the hot path); the rings are registered in a
+// process-global recorder and drained into chrome://tracing / Perfetto
+// JSON on demand. Tracing is off by default: an un-enabled obs::Span costs
+// one relaxed atomic load and never touches the clock, so instrumentation
+// can stay compiled into hot paths permanently.
+//
+// Synchronization contract: a ring is written only by its owning thread.
+// Exporting (write_chrome_trace / clear / total_events) must happen while
+// recording threads are quiescent — in this codebase every worker-side span
+// completes before the worker's done-count increment in
+// ThreadPool::run_chunks, so the pool's parallel_for return gives the
+// driving thread the needed happens-before edge. Recording never allocates
+// after a thread's first span (the ring is laid out up front), never takes
+// a lock, and never changes the behavior of the code it wraps — enabling
+// tracing cannot alter results, only observe them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lithogan::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// Process-global tracing switch. Relaxed load: spans opened concurrently
+/// with a toggle may or may not record, but either way never block.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled);
+
+/// Nanoseconds since the process trace epoch (first use of the clock).
+std::uint64_t trace_now_ns();
+
+/// One completed span in a thread's ring. `name` is copied at record time
+/// so callers may pass transient strings (layer labels, clip ids).
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 47;
+  char name[kNameCapacity + 1];
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+class TraceRecorder {
+ public:
+  /// Spans retained per thread; older spans are overwritten (and counted as
+  /// dropped) once a thread's ring wraps.
+  static constexpr std::size_t kRingCapacity = 1 << 14;
+
+  static TraceRecorder& instance();
+
+  /// Records one completed span into the calling thread's ring. Called by
+  /// ~Span; usable directly for spans whose bounds are measured manually.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Names the calling thread's track in the export ("main",
+  /// "pool-worker-3", ...). Registers the thread if it never recorded;
+  /// cheap enough to call unconditionally from thread entry points.
+  void set_thread_name(const std::string& name);
+
+  /// Writes every retained span as Chrome trace-event JSON (one complete
+  /// "X" event per span plus thread_name metadata). Requires recording
+  /// threads to be quiescent (see file comment). Returns false if the file
+  /// could not be written.
+  bool write_chrome_trace(const std::string& path);
+
+  /// Spans currently retained across all threads (post-wraparound).
+  std::size_t total_events();
+
+  /// Spans lost to ring wraparound across all threads.
+  std::size_t total_dropped();
+
+  /// Number of registered thread tracks.
+  std::size_t thread_count();
+
+  /// Drops all retained spans (thread registrations and names survive).
+  /// Same quiescence requirement as export.
+  void clear();
+
+ private:
+  TraceRecorder() = default;
+};
+
+/// RAII span: records [construction, destruction) on the calling thread's
+/// track if tracing was enabled at construction. A span that outlives a
+/// disable still records — its start was already measured — so toggling
+/// mid-run never produces half-open events.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) arm(name);
+  }
+  explicit Span(const std::string& name) {
+    if (trace_enabled()) arm(name.c_str());
+  }
+  ~Span() {
+    if (armed_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void arm(const char* name);
+  void finish();
+
+  std::uint64_t start_ns_ = 0;
+  bool armed_ = false;
+  char name_[TraceEvent::kNameCapacity + 1];
+};
+
+}  // namespace lithogan::obs

@@ -1,12 +1,14 @@
 #include "util/logging.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <iostream>
+#include <cctype>
+#include <cstdlib>
 
 namespace lithogan::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,6 +25,29 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Startup default: LITHOGAN_LOG_LEVEL accepts a level name
+/// (debug|info|warn|error|off, case-insensitive) or a digit 0-4. An explicit
+/// set_log_level() call afterwards still wins — the env var only seeds the
+/// initial value, so tests/CI can silence or raise verbosity without code
+/// changes.
+LogLevel initial_level() {
+  const char* env = std::getenv("LITHOGAN_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string s;
+  for (const char* p = env; *p != '\0'; ++p) {
+    s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  if (s == "off" || s == "none" || s == "4") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -31,7 +56,19 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[" << level_name(level) << "] " << message << "\n";
+  // Build the complete line first and emit it with one write() so lines from
+  // concurrent pool workers never interleave mid-line (POSIX write to the
+  // same file description is atomic with respect to other writes for
+  // ordinary pipes/files of this size).
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += "\n";
+  ssize_t rc = ::write(STDERR_FILENO, line.data(), line.size());
+  (void)rc;  // stderr going away is not an error worth handling
 }
 
 }  // namespace lithogan::util

@@ -1,0 +1,58 @@
+#include "util/obs_cli.hpp"
+
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace lithogan::util {
+
+void add_obs_flags(CliParser& cli) {
+  cli.add_flag("trace", "",
+               "write a Chrome trace-event JSON (chrome://tracing / Perfetto) "
+               "of this run to the given path; LITHOGAN_TRACE=<path> does the "
+               "same without a flag")
+      .add_flag("metrics", "",
+                "append one metrics-registry snapshot line (JSONL) to the "
+                "given path on exit");
+}
+
+ObsOptions begin_observability(const CliParser& cli) {
+  ObsOptions options;
+  options.trace_path = cli.get("trace");
+  options.metrics_path = cli.get("metrics");
+  if (options.trace_path.empty()) {
+    if (const char* env = std::getenv("LITHOGAN_TRACE")) options.trace_path = env;
+  }
+  if (!options.trace_path.empty()) {
+    obs::TraceRecorder::instance().set_thread_name("main");
+    obs::set_trace_enabled(true);
+  }
+  return options;
+}
+
+void finish_observability(const ObsOptions& options, const char* host_simd) {
+  if (!options.trace_path.empty()) {
+    obs::set_trace_enabled(false);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    if (recorder.write_chrome_trace(options.trace_path)) {
+      log_info() << "wrote trace: " << options.trace_path << " ("
+                 << recorder.total_events() << " spans, "
+                 << recorder.thread_count() << " tracks, "
+                 << recorder.total_dropped() << " dropped)";
+    } else {
+      log_warn() << "could not write trace file " << options.trace_path;
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    if (obs::Registry::global().append_snapshot_jsonl(
+            options.metrics_path, host_simd != nullptr ? host_simd : "")) {
+      log_info() << "appended metrics snapshot: " << options.metrics_path;
+    } else {
+      log_warn() << "could not write metrics file " << options.metrics_path;
+    }
+  }
+}
+
+}  // namespace lithogan::util

@@ -1,0 +1,42 @@
+// Shared --trace/--metrics plumbing for the example and bench binaries.
+//
+// Usage pattern (see examples/quickstart.cpp):
+//   util::CliParser cli(...);
+//   util::add_obs_flags(cli);
+//   ... cli.parse ...
+//   const util::ObsOptions obs = util::begin_observability(cli);
+//   ... run ...
+//   util::finish_observability(obs, math::simd_level());
+//
+// --trace <path> (or the LITHOGAN_TRACE=<path> environment variable, which
+// needs no CLI support at all) enables span tracing for the whole run and
+// writes Chrome trace-event JSON on finish; --metrics <path> appends one
+// registry snapshot line (JSONL). Both default to off, so instrumented
+// binaries behave identically to uninstrumented ones unless asked.
+#pragma once
+
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace lithogan::util {
+
+struct ObsOptions {
+  std::string trace_path;    ///< empty = tracing stays disabled
+  std::string metrics_path;  ///< empty = no snapshot written
+};
+
+/// Registers the --trace and --metrics flags.
+void add_obs_flags(CliParser& cli);
+
+/// Resolves the flags (LITHOGAN_TRACE overrides an empty --trace), enables
+/// tracing if a trace path was requested, and names the calling thread's
+/// trace track "main".
+ObsOptions begin_observability(const CliParser& cli);
+
+/// Writes the requested outputs. `host_simd` tags the metrics snapshot's
+/// host block (pass math::simd_level(); obs itself cannot depend on math).
+/// Logs a warning on write failure rather than failing the run.
+void finish_observability(const ObsOptions& options, const char* host_simd);
+
+}  // namespace lithogan::util

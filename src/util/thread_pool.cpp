@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lithogan::util {
 
 namespace {
@@ -12,6 +15,29 @@ namespace {
 // the driving thread keeps the defaults (worker 0, not inside a chunk).
 thread_local std::size_t tls_worker = 0;
 thread_local bool tls_in_chunk = false;
+
+// Idle-to-running transition (spin hit or condition-variable sleep) measured
+// by worker_loop but recorded lazily by run_chunks, and only once the worker
+// has claimed a chunk. Recording at claim time keeps trace export race-free:
+// every span a worker writes is sequenced before its done_chunks increment,
+// so the driving thread's parallel_for return orders all worker spans before
+// any export it performs. A worker that wakes for an already-drained job
+// records nothing — it also contributes no completion the caller could
+// synchronize with.
+struct PendingWake {
+  const char* name = nullptr;  ///< "pool.spin" or "pool.sleep"; null = none
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+thread_local PendingWake tls_pending_wake;
+
+void flush_pending_wake() {
+  if (tls_pending_wake.name == nullptr) return;
+  obs::TraceRecorder::instance().record(
+      tls_pending_wake.name, tls_pending_wake.start_ns,
+      tls_pending_wake.end_ns - tls_pending_wake.start_ns);
+  tls_pending_wake.name = nullptr;
+}
 
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -73,9 +99,11 @@ void ThreadPool::run_chunks(Job& job, std::size_t worker) {
   for (;;) {
     const std::size_t chunk = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.chunk_count) break;
+    flush_pending_wake();
     if (!job.cancelled.load(std::memory_order_relaxed)) {
       const std::size_t b = job.begin + chunk * job.grain;
       tls_in_chunk = true;
+      const obs::Span span("pool.chunk");
       try {
         (*job.fn)(b, std::min(b + job.grain, job.end), worker);
       } catch (...) {
@@ -96,9 +124,17 @@ void ThreadPool::run_chunks(Job& job, std::size_t worker) {
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  obs::TraceRecorder::instance().set_thread_name("pool-worker-" +
+                                                 std::to_string(worker));
   std::uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    // Timestamp the idle period only under tracing — the export then shows
+    // whether a worker picked the job up out of the spin or paid a futex
+    // wake-up ("pool.spin" vs "pool.sleep" leading each chunk burst).
+    const bool tracing = obs::trace_enabled();
+    const std::uint64_t idle_start = tracing ? obs::trace_now_ns() : 0;
+    bool spun_in = false;
     // Bounded spin: back-to-back small jobs (a GEMM per conv sample, FFT
     // stages) arrive microseconds apart, and a worker that went to sleep
     // pays a futex round-trip per job. The serial counter is atomic, so the
@@ -107,6 +143,7 @@ void ThreadPool::worker_loop(std::size_t worker) {
       for (int i = 0; i < kSpinIterations; ++i) {
         if (stop_.load(std::memory_order_relaxed) ||
             job_serial_.load(std::memory_order_relaxed) != seen) {
+          spun_in = job_serial_.load(std::memory_order_relaxed) != seen;
           break;
         }
         cpu_relax();
@@ -122,7 +159,14 @@ void ThreadPool::worker_loop(std::size_t worker) {
       seen = job_serial_.load(std::memory_order_relaxed);
       job = job_;
     }
+    if (tracing) {
+      tls_pending_wake = {spun_in ? "pool.spin" : "pool.sleep", idle_start,
+                          obs::trace_now_ns()};
+    } else {
+      tls_pending_wake.name = nullptr;
+    }
     if (job) run_chunks(*job, worker);
+    tls_pending_wake.name = nullptr;
   }
 }
 
@@ -133,6 +177,7 @@ void ThreadPool::run_inline(std::size_t begin, std::size_t end, std::size_t grai
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t b = begin + c * grain;
     tls_in_chunk = true;
+    const obs::Span span("pool.chunk");
     try {
       fn(b, std::min(b + grain, end), worker);
     } catch (...) {
@@ -158,10 +203,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   // parallel path so per-chunk computations are identical either way.
   const bool gated =
       cost != kUnknownCost && (concurrency_ <= 1 || cost < dispatch_cost_);
+  // Gate accounting: one count per parallel_for call, not per chunk, so the
+  // inline/dispatch ratio in metrics snapshots reads as "jobs". The
+  // counters are registered once and cached — steady state is one relaxed
+  // atomic add per call, independent of tracing.
+  static obs::Counter& jobs_inlined =
+      obs::Registry::global().counter("threadpool.jobs_inlined");
+  static obs::Counter& jobs_dispatched =
+      obs::Registry::global().counter("threadpool.jobs_dispatched");
   if (threads_ == 1 || tls_in_chunk || chunks == 1 || gated) {
+    jobs_inlined.add();
+    const obs::Span span("pool.inline");
     run_inline(begin, end, grain, chunks, fn);
     return;
   }
+  jobs_dispatched.add();
+  const obs::Span span("pool.dispatch");
 
   auto job = std::make_shared<Job>();
   job->begin = begin;

@@ -1,11 +1,21 @@
 #include "util/timer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace lithogan::util {
 
 void StageTimings::add(const std::string& name, double seconds) {
   auto& bucket = buckets_[name];
   bucket.first += seconds;
   bucket.second += 1;
+  // Mirror every sample into the process-wide registry so the per-instance
+  // buckets and the metrics snapshot are fed by the same add() call and
+  // cannot drift. merge() deliberately does NOT re-observe: a clone's own
+  // add() calls already landed in the (global) registry, so folding its
+  // buckets here must only touch the local map.
+  obs::Registry::global()
+      .histogram("stage." + name + "_ms", obs::default_ms_buckets())
+      .observe(seconds * 1e3);
 }
 
 double StageTimings::total(const std::string& name) const {

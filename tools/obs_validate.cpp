@@ -1,0 +1,149 @@
+// Schema validator for the observability outputs, used by the obs-smoke
+// ctest entries: parses a Chrome trace-event JSON file and/or a metrics
+// JSONL file with the in-tree parser (src/obs/json_verify.hpp) and checks
+// the invariants the exporters promise:
+//
+//   trace:   top-level {"traceEvents": [...]}; every event has a string
+//            "ph"; "X" events carry name/pid/tid/ts/dur with ts/dur >= 0;
+//            at least one "M" thread_name metadata record exists, so
+//            Perfetto shows named tracks.
+//   metrics: every line is one object with a "host" block ({cpus, simd})
+//            and "counters"/"gauges"/"histograms" objects; histogram
+//            bucket-count arrays are one longer than their bounds
+//            (overflow bucket).
+//
+//   obs_validate --trace out.json --metrics out.jsonl
+//
+// Exits nonzero with a message on the first violation.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_verify.hpp"
+#include "util/cli.hpp"
+
+using lithogan::obs::json::Value;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::runtime_error(what);
+}
+
+const Value& field(const Value& obj, const char* key, const std::string& where) {
+  const Value* v = obj.get(key);
+  require(v != nullptr, where + ": missing \"" + key + "\"");
+  return *v;
+}
+
+void validate_trace(const std::string& path) {
+  const Value root = lithogan::obs::json::parse(read_file(path));
+  require(root.kind == Value::Kind::kObject, "trace: top level is not an object");
+  const Value& events = field(root, "traceEvents", "trace");
+  require(events.kind == Value::Kind::kArray, "trace: traceEvents is not an array");
+
+  std::size_t complete = 0;
+  std::size_t thread_names = 0;
+  for (std::size_t i = 0; i < events.array.size(); ++i) {
+    const Value& e = *events.array[i];
+    const std::string where = "trace event " + std::to_string(i);
+    require(e.kind == Value::Kind::kObject, where + ": not an object");
+    const Value& ph = field(e, "ph", where);
+    require(ph.kind == Value::Kind::kString, where + ": ph is not a string");
+    if (ph.string == "X") {
+      ++complete;
+      require(field(e, "name", where).kind == Value::Kind::kString,
+              where + ": name is not a string");
+      for (const char* k : {"pid", "tid", "ts", "dur"}) {
+        const Value& n = field(e, k, where);
+        require(n.kind == Value::Kind::kNumber,
+                where + ": " + k + " is not a number");
+        require(n.number >= 0.0, where + ": " + k + " is negative");
+      }
+    } else if (ph.string == "M") {
+      const Value& name = field(e, "name", where);
+      require(name.kind == Value::Kind::kString, where + ": name is not a string");
+      if (name.string == "thread_name") ++thread_names;
+    } else {
+      throw std::runtime_error(where + ": unexpected ph \"" + ph.string + "\"");
+    }
+  }
+  require(thread_names >= 1, "trace: no thread_name metadata record");
+  std::printf("trace OK: %s (%zu complete events, %zu named tracks)\n", path.c_str(),
+              complete, thread_names);
+}
+
+void validate_metrics(const std::string& path) {
+  std::ifstream is(path);
+  require(static_cast<bool>(is), "cannot open " + path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::string where = "metrics line " + std::to_string(lines);
+    const Value root = lithogan::obs::json::parse(line);
+    require(root.kind == Value::Kind::kObject, where + ": not an object");
+
+    const Value& host = field(root, "host", where);
+    require(host.kind == Value::Kind::kObject, where + ": host is not an object");
+    require(field(host, "cpus", where).kind == Value::Kind::kNumber,
+            where + ": host.cpus is not a number");
+    require(field(host, "simd", where).kind == Value::Kind::kString,
+            where + ": host.simd is not a string");
+
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      require(field(root, section, where).kind == Value::Kind::kObject,
+              where + ": " + section + " is not an object");
+    }
+    const Value& histograms = *root.get("histograms");
+    for (const auto& [name, hp] : histograms.object) {
+      const Value& h = *hp;
+      const std::string hw = where + " histogram " + name;
+      require(h.kind == Value::Kind::kObject, hw + ": not an object");
+      const Value& bounds = field(h, "bounds", hw);
+      const Value& counts = field(h, "counts", hw);
+      require(bounds.kind == Value::Kind::kArray && counts.kind == Value::Kind::kArray,
+              hw + ": bounds/counts are not arrays");
+      require(counts.array.size() == bounds.array.size() + 1,
+              hw + ": counts must be bounds + overflow bucket");
+    }
+  }
+  require(lines >= 1, "metrics: file has no snapshot lines");
+  std::printf("metrics OK: %s (%zu snapshot lines)\n", path.c_str(), lines);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lithogan::util::CliParser cli("Validate observability outputs (trace JSON, metrics JSONL).");
+  cli.add_flag("trace", "", "Chrome trace-event JSON file to validate")
+      .add_flag("metrics", "", "metrics JSONL file to validate");
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.usage().c_str());
+    return 2;
+  }
+  try {
+    const std::string trace = cli.get("trace");
+    const std::string metrics = cli.get("metrics");
+    if (trace.empty() && metrics.empty()) {
+      std::fprintf(stderr, "obs_validate: nothing to do (pass --trace and/or --metrics)\n");
+      return 2;
+    }
+    if (!trace.empty()) validate_trace(trace);
+    if (!metrics.empty()) validate_metrics(metrics);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
