@@ -26,7 +26,10 @@
 #include "math/fft.hpp"
 #include "math/gemm.hpp"
 #include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
+#include "nn/infer.hpp"
+#include "nn/sequential.hpp"
 #include "nn/tensor.hpp"
 #include "util/exec_context.hpp"
 #include "util/rng.hpp"
@@ -87,6 +90,20 @@ int main() {
   nn::Conv2d conv(16, 32, 5, 2, 2, rng);
   const auto conv_x = nn::Tensor::randn({4, 16, 32, 32}, rng);
 
+  // InferencePlan (batch 8, conv-bn-act-deconv-act at 32x32): the serving
+  // path's outer batch-parallel dispatch, one sample per worker with inner
+  // kernels serial.
+  nn::Sequential infer_net;
+  infer_net.emplace<nn::Conv2d>(4, 16, 3, 2, 1, rng);
+  infer_net.emplace<nn::BatchNorm2d>(16);
+  infer_net.emplace<nn::LeakyReLU>(0.2f);
+  infer_net.emplace<nn::ConvTranspose2d>(16, 1, 3, 2, 1, 1, rng);
+  infer_net.emplace<nn::Tanh>();
+  infer_net.set_training(false);
+  nn::InferencePlan infer_plan;
+  infer_plan.compile(infer_net, {4, 32, 32});
+  const auto infer_x = nn::Tensor::randn({8, 4, 32, 32}, rng);
+
   std::vector<Op> ops;
   ops.push_back({"gemm_192", 16, [&](util::ExecContext* exec) {
                    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec);
@@ -102,6 +119,10 @@ int main() {
   ops.push_back({"conv2d_small", 4, [&](util::ExecContext* exec) {
                    conv.set_exec_context(exec);
                    auto y = conv.forward(conv_x);
+                 }});
+  ops.push_back({"infer_plan_b8", 4, [&](util::ExecContext* exec) {
+                   infer_plan.set_exec_context(exec);
+                   (void)infer_plan.infer(infer_x);
                  }});
 
   util::ExecContext exec1(1);

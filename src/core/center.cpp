@@ -71,7 +71,11 @@ geometry::Point CenterPredictor::predict(const nn::Tensor& mask,
                                          std::size_t image_size) const {
   auto& net = const_cast<nn::Sequential&>(*net_);
   net.set_training(false);
-  const nn::Tensor out = net.forward(mask);
+  nn::Tensor out;
+  {
+    const nn::NoGradGuard guard(net);
+    out = net.forward(mask);
+  }
   net.set_training(true);
   return data::denormalize_center(out, 0, image_size, image_size);
 }
@@ -82,13 +86,16 @@ double CenterPredictor::evaluate_pixels(const data::Dataset& dataset,
   auto& net = const_cast<nn::Sequential&>(*net_);
   net.set_training(false);
   double total = 0.0;
-  for (const std::size_t i : indices) {
-    const data::Sample& s = dataset.samples.at(i);
-    const nn::Tensor x = data::image_to_tensor(s.mask_rgb);
-    const nn::Tensor out = net.forward(x);
-    const geometry::Point p =
-        data::denormalize_center(out, 0, s.resist.height(), s.resist.width());
-    total += geometry::distance(p, s.center_px);
+  {
+    const nn::NoGradGuard guard(net);
+    for (const std::size_t i : indices) {
+      const data::Sample& s = dataset.samples.at(i);
+      const nn::Tensor x = data::image_to_tensor(s.mask_rgb);
+      const nn::Tensor out = net.forward(x);
+      const geometry::Point p =
+          data::denormalize_center(out, 0, s.resist.height(), s.resist.width());
+      total += geometry::distance(p, s.center_px);
+    }
   }
   net.set_training(true);
   return total / static_cast<double>(indices.size());

@@ -84,7 +84,13 @@ GanStepLosses CganTrainer::train_step(const nn::Tensor& masks, const nn::Tensor&
 
 nn::Tensor CganTrainer::predict(const nn::Tensor& masks) {
   generator_->set_training(false);
-  nn::Tensor out = generator_->forward(masks);
+  nn::Tensor out;
+  {
+    // Forward-only: skip the backward caches (the eval-mode memory bug --
+    // every predict used to pin a full activation set per layer).
+    const nn::NoGradGuard guard(*generator_);
+    out = generator_->forward(masks);
+  }
   generator_->set_training(true);
   return out;
 }

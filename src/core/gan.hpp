@@ -46,6 +46,8 @@ class CganTrainer {
 
   nn::Module& generator() { return *generator_; }
   nn::Module& discriminator() { return *discriminator_; }
+  const nn::Module& generator() const { return *generator_; }
+  const nn::Module& discriminator() const { return *discriminator_; }
   const LithoGanConfig& config() const { return config_; }
 
  private:

@@ -1,16 +1,25 @@
 #include "core/lithogan.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/networks.hpp"
 #include "data/batch.hpp"
 #include "data/render.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace lithogan::core {
+
+namespace {
+/// Samples per InferencePlan invocation: bounds the activation arena (it
+/// scales linearly with batch) while keeping per-batch dispatch overhead
+/// negligible.
+constexpr std::size_t kMaxInferBatch = 64;
+}  // namespace
 
 LithoGan::LithoGan(const LithoGanConfig& config, Mode mode, GeneratorArch arch,
                    DiscriminatorArch disc)
@@ -74,6 +83,9 @@ std::vector<GanEpochLosses> LithoGan::train(const data::Dataset& dataset,
     util::log_info() << "epoch " << acc.epoch << "/" << config_.epochs
                      << " G=" << acc.generator << " D=" << acc.discriminator
                      << " l1=" << acc.l1;
+    // The epoch's updates invalidated any compiled serving plans (weights
+    // are snapshot at plan build); the callback may call predict().
+    plans_built_ = false;
     if (callback) callback(acc, *this);
   }
 
@@ -82,7 +94,58 @@ std::vector<GanEpochLosses> LithoGan::train(const data::Dataset& dataset,
     const double mse = center_->train(dataset, train, cnn_rng);
     util::log_info() << "center CNN final mse " << mse;
   }
+  plans_built_ = false;
   return curves;
+}
+
+void LithoGan::ensure_plans() {
+  if (plans_built_) return;
+  const std::vector<std::size_t> mask_shape{config_.mask_channels, config_.image_size,
+                                            config_.image_size};
+  gen_plan_ = nn::InferencePlan();
+  if (arch_ == GeneratorArch::kEncoderDecoder) {
+    gen_plan_.compile(static_cast<nn::Sequential&>(cgan_->generator()), mask_shape);
+  } else {
+    static_cast<UNetGenerator&>(cgan_->generator()).build_plan(gen_plan_, mask_shape);
+  }
+  gen_plan_.set_exec_context(config_.exec);
+  if (mode_ == Mode::kDualLearning) {
+    cnn_plan_ = nn::InferencePlan();
+    cnn_plan_.compile(center_->network(), mask_shape);
+    cnn_plan_.set_exec_context(config_.exec);
+  }
+  plans_built_ = true;
+}
+
+std::vector<image::Image> LithoGan::predict_batch(
+    std::span<const data::Sample> samples) {
+  LITHOGAN_REQUIRE(!samples.empty(), "empty prediction batch");
+  ensure_plans();
+  static obs::Counter& clips = obs::Registry::global().counter("infer.clips");
+
+  std::vector<image::Image> out;
+  out.reserve(samples.size());
+  for (std::size_t start = 0; start < samples.size(); start += kMaxInferBatch) {
+    const auto chunk =
+        samples.subspan(start, std::min(kMaxInferBatch, samples.size() - start));
+    const nn::Tensor masks = data::batch_masks(chunk, config_.exec);
+    const nn::Tensor& shapes = gen_plan_.infer(masks);
+    if (mode_ == Mode::kDualLearning) {
+      const nn::Tensor& centers = cnn_plan_.infer(masks);
+      for (std::size_t n = 0; n < chunk.size(); ++n) {
+        // Post-adjustment (Fig. 5): shift each shape to its CNN center.
+        const geometry::Point center = data::denormalize_center(
+            centers, n, config_.image_size, config_.image_size);
+        out.push_back(data::recenter_to(data::tensor_to_resist_image(shapes, n), center));
+      }
+    } else {
+      for (std::size_t n = 0; n < chunk.size(); ++n) {
+        out.push_back(data::tensor_to_resist_image(shapes, n));
+      }
+    }
+  }
+  clips.add(samples.size());
+  return out;
 }
 
 nn::Tensor LithoGan::predict_shape(const nn::Tensor& mask) {
@@ -99,14 +162,7 @@ geometry::Point LithoGan::predict_center(const data::Sample& sample) {
 }
 
 image::Image LithoGan::predict(const data::Sample& sample) {
-  const nn::Tensor mask = data::image_to_tensor(sample.mask_rgb);
-  image::Image shape = data::tensor_to_resist_image(predict_shape(mask));
-  if (mode_ == Mode::kDualLearning) {
-    // Post-adjustment (Fig. 5): move the generated shape to the CNN center.
-    const geometry::Point center = center_->predict(mask, config_.image_size);
-    shape = data::recenter_to(shape, center);
-  }
-  return shape;
+  return std::move(predict_batch(std::span<const data::Sample>(&sample, 1)).front());
 }
 
 std::string LithoGan::gan_tag() const {
@@ -115,10 +171,9 @@ std::string LithoGan::gan_tag() const {
 }
 
 void LithoGan::save(const std::string& prefix) const {
-  nn::save_module(const_cast<LithoGan*>(this)->cgan_->generator(), gan_tag() + ":G",
-                  prefix + ".gen.bin");
-  nn::save_module(const_cast<LithoGan*>(this)->cgan_->discriminator(), gan_tag() + ":D",
-                  prefix + ".dis.bin");
+  const CganTrainer& cgan = *cgan_;
+  nn::save_module(cgan.generator(), gan_tag() + ":G", prefix + ".gen.bin");
+  nn::save_module(cgan.discriminator(), gan_tag() + ":D", prefix + ".dis.bin");
   if (mode_ == Mode::kDualLearning) {
     nn::save_module(center_->network(), gan_tag() + ":CNN", prefix + ".cnn.bin");
   }
@@ -130,6 +185,7 @@ void LithoGan::load(const std::string& prefix) {
   if (mode_ == Mode::kDualLearning) {
     nn::load_module(center_->network(), gan_tag() + ":CNN", prefix + ".cnn.bin");
   }
+  plans_built_ = false;
 }
 
 }  // namespace lithogan::core

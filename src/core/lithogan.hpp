@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/gan.hpp"
 #include "data/dataset.hpp"
 #include "image/image.hpp"
+#include "nn/infer.hpp"
 
 namespace lithogan::core {
 
@@ -43,7 +45,15 @@ class LithoGan {
 
   /// Full inference: mask image -> final resist image (values ~ {0,1}).
   /// In dual mode the shape is re-centered at the CNN-predicted center.
+  /// Delegates to predict_batch on a single-sample span.
   image::Image predict(const data::Sample& sample);
+
+  /// Batched inference over a run of samples, one result per sample. Runs
+  /// through cached InferencePlans (prepacked weights, static activation
+  /// arena, fused epilogues); output is bit-identical to predict() on each
+  /// sample. Plans are compiled lazily on first use and recompiled after
+  /// any weight change (train / load).
+  std::vector<image::Image> predict_batch(std::span<const data::Sample> samples);
 
   /// The raw generator output for a (1, C, H, W) mask tensor in [-1, 1],
   /// without the center adjustment.
@@ -72,7 +82,13 @@ class LithoGan {
   std::unique_ptr<CganTrainer> cgan_;
   std::unique_ptr<CenterPredictor> center_;
 
+  // Serving plans, compiled from the current weights on demand.
+  nn::InferencePlan gen_plan_;
+  nn::InferencePlan cnn_plan_;
+  bool plans_built_ = false;
+
   std::string gan_tag() const;
+  void ensure_plans();
 };
 
 }  // namespace lithogan::core

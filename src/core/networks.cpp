@@ -8,6 +8,7 @@
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
 #include "nn/dropout.hpp"
+#include "nn/infer.hpp"
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
 #include "obs/trace.hpp"
@@ -211,6 +212,8 @@ nn::Tensor UNetGenerator::forward(const nn::Tensor& input) {
     const obs::Span span(dec_labels_[l]);
     y = decoder_[l]->forward(concat_channels(y, skips_[levels - 1 - l]));
   }
+  // Skips only feed backward; a no-grad forward drops them immediately.
+  if (!grad_enabled_) skips_.clear();
   return y;
 }
 
@@ -258,10 +261,46 @@ std::vector<nn::Parameter*> UNetGenerator::parameters() {
   return out;
 }
 
+std::vector<const nn::Parameter*> UNetGenerator::parameters() const {
+  std::vector<const nn::Parameter*> out;
+  for (const auto& block : encoder_) {
+    const auto ps = static_cast<const nn::Sequential&>(*block).parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  for (const auto& block : decoder_) {
+    const auto ps = static_cast<const nn::Sequential&>(*block).parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
 void UNetGenerator::set_training(bool training) {
   nn::Module::set_training(training);
   for (auto& block : encoder_) block->set_training(training);
   for (auto& block : decoder_) block->set_training(training);
+}
+
+void UNetGenerator::set_grad_enabled(bool enabled) {
+  nn::Module::set_grad_enabled(enabled);
+  for (auto& block : encoder_) block->set_grad_enabled(enabled);
+  for (auto& block : decoder_) block->set_grad_enabled(enabled);
+}
+
+void UNetGenerator::build_plan(nn::InferencePlan& plan,
+                               const std::vector<std::size_t>& sample_shape) {
+  const std::size_t levels = encoder_.size();
+  nn::InferencePlan::BufId x = plan.add_input(sample_shape);
+  std::vector<nn::InferencePlan::BufId> skips;
+  for (std::size_t l = 0; l < levels; ++l) {
+    x = plan.add_layers(*encoder_[l], x);
+    skips.push_back(x);
+  }
+  nn::InferencePlan::BufId y = plan.add_layers(*decoder_[0], skips[levels - 1]);
+  for (std::size_t l = 1; l < levels; ++l) {
+    y = plan.add_layers(*decoder_[l], plan.add_concat(y, skips[levels - 1 - l]));
+  }
+  plan.set_output(y);
+  plan.finalize();
 }
 
 void UNetGenerator::set_exec_context(util::ExecContext* exec) {

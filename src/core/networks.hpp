@@ -24,6 +24,10 @@
 #include "nn/sequential.hpp"
 #include "util/rng.hpp"
 
+namespace lithogan::nn {
+class InferencePlan;
+}
+
 namespace lithogan::core {
 
 /// Encoder-decoder generator (paper Table 1 left/middle columns).
@@ -56,11 +60,19 @@ class UNetGenerator : public nn::Module {
   nn::Tensor forward(const nn::Tensor& input) override;
   nn::Tensor backward(const nn::Tensor& grad_output) override;
   std::vector<nn::Parameter*> parameters() override;
+  std::vector<const nn::Parameter*> parameters() const override;
   void set_training(bool training) override;
+  void set_grad_enabled(bool enabled) override;
   void set_exec_context(util::ExecContext* exec) override;
   std::string kind() const override { return "UNetGenerator"; }
   void save_state(std::ostream& os) const override;
   void load_state(std::istream& is) override;
+
+  /// Compiles this network into `plan` (which must be empty): encoder chain,
+  /// skip-buffer concats, decoder chain. The plan's liveness analysis pins
+  /// each skip buffer across its live range automatically.
+  void build_plan(nn::InferencePlan& plan,
+                  const std::vector<std::size_t>& sample_shape);
 
  private:
   // Per-level blocks. enc[i] halves resolution; dec[i] doubles it and (for

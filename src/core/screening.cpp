@@ -47,8 +47,16 @@ double ScreeningReport::recall() const {
 ScreeningReport screen_dataset(LithoGan& model, const std::vector<data::Sample>& samples,
                                const ScreeningSpec& spec) {
   ScreeningReport report;
-  for (const data::Sample& sample : samples) {
-    const ScreeningVerdict verdict = screen_sample(model, sample, spec);
+  if (samples.empty()) return report;
+  // One batched pass through the inference plans instead of per-sample
+  // predict() calls; outputs are identical (predict delegates to the same
+  // path), this just amortizes batching and dispatch.
+  const std::vector<image::Image> predictions = model.predict_batch(samples);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const data::Sample& sample = samples[i];
+    ScreeningVerdict verdict;
+    verdict.cd = predicted_cd(predictions[i], sample.resist_pixel_nm);
+    verdict.hotspot = out_of_spec(verdict.cd, spec);
     const bool golden_hot =
         out_of_spec({sample.cd_width_nm, sample.cd_height_nm}, spec);
     if (golden_hot && verdict.hotspot) {

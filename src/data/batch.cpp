@@ -31,6 +31,24 @@ nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& i
   return out;
 }
 
+nn::Tensor batch_masks(std::span<const Sample> samples, util::ExecContext* exec) {
+  LITHOGAN_REQUIRE(!samples.empty(), "empty batch");
+  const auto& first = samples.front().mask_rgb;
+  nn::Tensor out({samples.size(), first.channels(), first.height(), first.width()});
+  const std::size_t stride = first.data().size();
+  util::Workspace serial_ws;
+  util::parallel_for(exec, serial_ws, 0, samples.size(), 1, samples.size() * stride * 2,
+                     [&](std::size_t n0, std::size_t n1, util::Workspace&) {
+                       for (std::size_t n = n0; n < n1; ++n) {
+                         const auto& img = samples[n].mask_rgb;
+                         LITHOGAN_REQUIRE(img.data().size() == stride,
+                                          "inhomogeneous dataset images");
+                         copy_scaled(img, out.raw() + n * stride);
+                       }
+                     });
+  return out;
+}
+
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
                          bool centered, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
@@ -79,6 +97,19 @@ image::Image tensor_to_resist_image(const nn::Tensor& tensor) {
   image::Image img(1, h, w);
   for (std::size_t i = 0; i < tensor.size(); ++i) {
     img.data()[i] = (tensor[i] + 1.0f) / 2.0f;
+  }
+  return img;
+}
+
+image::Image tensor_to_resist_image(const nn::Tensor& batch, std::size_t n) {
+  LITHOGAN_REQUIRE(batch.rank() == 4 && batch.dim(1) == 1 && n < batch.dim(0),
+                   "expected (N,1,H,W) row, got " + batch.shape_string());
+  const std::size_t h = batch.dim(2);
+  const std::size_t w = batch.dim(3);
+  const float* row = batch.raw() + n * h * w;
+  image::Image img(1, h, w);
+  for (std::size_t i = 0; i < h * w; ++i) {
+    img.data()[i] = (row[i] + 1.0f) / 2.0f;
   }
   return img;
 }

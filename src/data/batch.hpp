@@ -5,6 +5,7 @@
 // mapping. Center coordinates are normalized to [0,1] across the image.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -21,6 +22,10 @@ namespace lithogan::data {
 nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& indices,
                        util::ExecContext* exec = nullptr);
 
+/// Same, over a contiguous run of samples (the predict_batch path).
+nn::Tensor batch_masks(std::span<const Sample> samples,
+                       util::ExecContext* exec = nullptr);
+
 /// Resist targets as (N, 1, H, W) in [-1, 1]. `centered` selects the
 /// re-centered variant (CGAN-shape objective) vs. the raw crop (plain CGAN).
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
@@ -33,6 +38,11 @@ nn::Tensor batch_centers(const Dataset& dataset, const std::vector<std::size_t>&
 /// Converts one generated (1, 1, H, W) or (1, H, W) tensor in [-1, 1] back
 /// to a {0..1}-valued monochrome image.
 image::Image tensor_to_resist_image(const nn::Tensor& tensor);
+
+/// Converts row `n` of a batched (N, 1, H, W) generator output in [-1, 1]
+/// to a {0..1}-valued monochrome image (same mapping as the single-sample
+/// overload applied to that row).
+image::Image tensor_to_resist_image(const nn::Tensor& batch, std::size_t n);
 
 /// Converts an image in {0..1} to a single-sample (1, C, H, W) tensor in
 /// [-1, 1] (inference-time input).

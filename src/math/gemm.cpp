@@ -1,6 +1,7 @@
 #include "math/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "obs/metrics.hpp"
@@ -192,6 +193,230 @@ void micro_kernel_avx2(std::size_t kc, const float* ap, const float* bp, float* 
 }
 #endif
 
+// --- Thin-tile micro-kernels ------------------------------------------------
+//
+// The serving path's deconv and deep-encoder GEMMs have C tiles far narrower
+// than the register block (N = out_h*out_w drops to 16/4/1 deep in the
+// generator), and the wide kernel computes all kNr padded columns anyway —
+// up to 15/16 of its FMAs are on zero lanes. These variants compute only the
+// live columns. Each (r, j) accumulator stays one sequential FMA chain over
+// p in the same order as the wide kernel (the half kernels are literally its
+// lower lane half; the narrow kernels vectorize over M with one fused
+// multiply-add per p per column), so every C element is bit-identical.
+
+/// Narrow kernels pay off while one vector FMA per live column beats the
+/// wide kernel's fixed 2*kMr per K step.
+constexpr std::size_t kNarrowCols = 4;
+
+void micro_kernel_narrow_portable_one(std::size_t kc, const float* ap, const float* bp,
+                                      float* acc, std::size_t cols) {
+  float local[kMr * kNr] = {};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMr;
+    const float* brow = bp + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      float* dst = local + r * kNr;
+      for (std::size_t j = 0; j < cols; ++j) dst[j] += av * brow[j];
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t j = 0; j < cols; ++j) acc[r * kNr + j] = local[r * kNr + j];
+  }
+}
+
+void micro_kernel_narrow_portable(std::size_t kc, const float* ap, const float* bp,
+                                  float* acc, std::size_t cols, std::size_t ntiles) {
+  for (std::size_t t = 0; t < ntiles; ++t) {
+    micro_kernel_narrow_portable_one(kc, ap + t * kc * kMr, bp, acc + t * kMr * kNr,
+                                     cols);
+  }
+}
+
+void micro_kernel_half_portable(std::size_t kc, const float* ap, const float* bp,
+                                float* acc) {
+  micro_kernel_narrow_portable_one(kc, ap, bp, acc, kNr / 2);
+}
+
+#if defined(__AVX512F__)
+/// The wide kernel's lower lane half: c1/b1 dropped, everything else
+/// identical — covers tiles of up to kNr/2 live columns.
+void micro_kernel_half_avx512(std::size_t kc, const float* ap, const float* bp,
+                              float* acc) {
+  __m512 c0[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) c0[r] = _mm512_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m512 b0 = _mm512_loadu_ps(bp + p * kNr);
+    const float* arow = ap + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      c0[r] = _mm512_fmadd_ps(_mm512_set1_ps(arow[r]), b0, c0[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) _mm512_storeu_ps(acc + r * kNr, c0[r]);
+}
+
+/// Vectorized over M: the A panel stores kMr (== 8) consecutive rows per K
+/// step, so one 256-bit load covers a whole row tile and each live column
+/// keeps its own accumulator chain. G consecutive row tiles are interleaved
+/// in the same pass over p — a single narrow tile has only COLS accumulator
+/// chains and stalls on the FMA latency; interleaving supplies independent
+/// chains (and shares the B broadcasts) without reordering any element's
+/// own chain, so the result stays bit-identical. COLS and G are
+/// compile-time so the loops fully unroll.
+template <int COLS, int G>
+void micro_kernel_narrow_avx512_cg(std::size_t kc, const float* ap, const float* bp,
+                                   float* acc) {
+  const std::size_t tstride = kc * kMr;
+  __m256 accv[G][COLS];
+  for (int g = 0; g < G; ++g) {
+    for (int j = 0; j < COLS; ++j) accv[g][j] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    __m256 bv[COLS];
+    for (int j = 0; j < COLS; ++j) bv[j] = _mm256_broadcast_ss(bp + p * kNr + j);
+    for (int g = 0; g < G; ++g) {
+      const __m256 av = _mm256_loadu_ps(ap + g * tstride + p * kMr);
+      for (int j = 0; j < COLS; ++j) {
+        accv[g][j] = _mm256_fmadd_ps(av, bv[j], accv[g][j]);
+      }
+    }
+  }
+  float tmp[kMr];
+  for (int g = 0; g < G; ++g) {
+    for (int j = 0; j < COLS; ++j) {
+      _mm256_storeu_ps(tmp, accv[g][j]);
+      for (std::size_t r = 0; r < kMr; ++r) acc[g * kMr * kNr + r * kNr + j] = tmp[r];
+    }
+  }
+}
+
+template <int COLS>
+void micro_kernel_narrow_avx512_c(std::size_t kc, const float* ap, const float* bp,
+                                  float* acc, std::size_t ntiles) {
+  const std::size_t tstride = kc * kMr;
+  std::size_t t = 0;
+  while (t < ntiles) {
+    const float* at = ap + t * tstride;
+    float* ac = acc + t * kMr * kNr;
+    const std::size_t g = ntiles - t;
+    if (g >= 4) {
+      micro_kernel_narrow_avx512_cg<COLS, 4>(kc, at, bp, ac);
+      t += 4;
+    } else if (g == 3) {
+      micro_kernel_narrow_avx512_cg<COLS, 3>(kc, at, bp, ac);
+      t += 3;
+    } else if (g == 2) {
+      micro_kernel_narrow_avx512_cg<COLS, 2>(kc, at, bp, ac);
+      t += 2;
+    } else {
+      micro_kernel_narrow_avx512_cg<COLS, 1>(kc, at, bp, ac);
+      t += 1;
+    }
+  }
+}
+
+void micro_kernel_narrow_avx512(std::size_t kc, const float* ap, const float* bp,
+                                float* acc, std::size_t cols, std::size_t ntiles) {
+  switch (cols) {
+    case 1: micro_kernel_narrow_avx512_c<1>(kc, ap, bp, acc, ntiles); break;
+    case 2: micro_kernel_narrow_avx512_c<2>(kc, ap, bp, acc, ntiles); break;
+    case 3: micro_kernel_narrow_avx512_c<3>(kc, ap, bp, acc, ntiles); break;
+    default: micro_kernel_narrow_avx512_c<4>(kc, ap, bp, acc, ntiles); break;
+  }
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+void micro_kernel_half_avx2(std::size_t kc, const float* ap, const float* bp,
+                            float* acc) {
+  __m256 c0[kMr];
+  for (std::size_t r = 0; r < kMr; ++r) c0[r] = _mm256_setzero_ps();
+  for (std::size_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNr);
+    const float* arow = ap + p * kMr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      c0[r] = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + r), b0, c0[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kMr; ++r) _mm256_storeu_ps(acc + r * kNr, c0[r]);
+}
+
+/// kMr == 6 here, so the 8-lane row-tile load reads 2 floats past the last K
+/// step's rows — packed_a_size reserves that slack and the extra lanes are
+/// never stored. As on AVX-512, G row tiles are interleaved per pass over p
+/// to feed the FMA pipeline independent chains without touching any
+/// element's own chain order; with 16 ymm registers the interleave is
+/// capped at 2 tiles once COLS needs more than 2 accumulators each.
+template <int COLS, int G>
+void micro_kernel_narrow_avx2_cg(std::size_t kc, const float* ap, const float* bp,
+                                 float* acc) {
+  const std::size_t tstride = kc * kMr;
+  __m256 accv[G][COLS];
+  for (int g = 0; g < G; ++g) {
+    for (int j = 0; j < COLS; ++j) accv[g][j] = _mm256_setzero_ps();
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    __m256 bv[COLS];
+    for (int j = 0; j < COLS; ++j) bv[j] = _mm256_broadcast_ss(bp + p * kNr + j);
+    for (int g = 0; g < G; ++g) {
+      const __m256 av = _mm256_loadu_ps(ap + g * tstride + p * kMr);
+      for (int j = 0; j < COLS; ++j) {
+        accv[g][j] = _mm256_fmadd_ps(av, bv[j], accv[g][j]);
+      }
+    }
+  }
+  float tmp[8];
+  for (int g = 0; g < G; ++g) {
+    for (int j = 0; j < COLS; ++j) {
+      _mm256_storeu_ps(tmp, accv[g][j]);
+      for (std::size_t r = 0; r < kMr; ++r) acc[g * kMr * kNr + r * kNr + j] = tmp[r];
+    }
+  }
+}
+
+template <int COLS>
+void micro_kernel_narrow_avx2_c(std::size_t kc, const float* ap, const float* bp,
+                                float* acc, std::size_t ntiles) {
+  const std::size_t tstride = kc * kMr;
+  std::size_t t = 0;
+  while (t < ntiles) {
+    const float* at = ap + t * tstride;
+    float* ac = acc + t * kMr * kNr;
+    const std::size_t g = ntiles - t;
+    if constexpr (COLS <= 2) {
+      if (g >= 4) {
+        micro_kernel_narrow_avx2_cg<COLS, 4>(kc, at, bp, ac);
+        t += 4;
+        continue;
+      }
+      if (g == 3) {
+        micro_kernel_narrow_avx2_cg<COLS, 3>(kc, at, bp, ac);
+        t += 3;
+        continue;
+      }
+    }
+    if (g >= 2) {
+      micro_kernel_narrow_avx2_cg<COLS, 2>(kc, at, bp, ac);
+      t += 2;
+    } else {
+      micro_kernel_narrow_avx2_cg<COLS, 1>(kc, at, bp, ac);
+      t += 1;
+    }
+  }
+}
+
+void micro_kernel_narrow_avx2(std::size_t kc, const float* ap, const float* bp,
+                              float* acc, std::size_t cols, std::size_t ntiles) {
+  switch (cols) {
+    case 1: micro_kernel_narrow_avx2_c<1>(kc, ap, bp, acc, ntiles); break;
+    case 2: micro_kernel_narrow_avx2_c<2>(kc, ap, bp, acc, ntiles); break;
+    case 3: micro_kernel_narrow_avx2_c<3>(kc, ap, bp, acc, ntiles); break;
+    default: micro_kernel_narrow_avx2_c<4>(kc, ap, bp, acc, ntiles); break;
+  }
+}
+#endif
+
+using NarrowMicroKernel = void (*)(std::size_t kc, const float* ap, const float* bp,
+                                   float* acc, std::size_t cols, std::size_t ntiles);
+
 /// Runtime dispatch, resolved once per process so every call sees the same
 /// kernel. The SIMD bodies are only compiled when the build targets the ISA
 /// (LITHOGAN_NATIVE on capable machines); the cpu_supports guard keeps a
@@ -207,7 +432,31 @@ MicroKernel select_micro_kernel() {
   return micro_kernel_portable;
 }
 
+MicroKernel select_micro_kernel_half() {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return micro_kernel_half_avx512;
+#elif defined(__AVX2__) && defined(__FMA__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return micro_kernel_half_avx2;
+  }
+#endif
+  return micro_kernel_half_portable;
+}
+
+NarrowMicroKernel select_micro_kernel_narrow() {
+#if defined(__AVX512F__)
+  if (__builtin_cpu_supports("avx512f")) return micro_kernel_narrow_avx512;
+#elif defined(__AVX2__) && defined(__FMA__)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return micro_kernel_narrow_avx2;
+  }
+#endif
+  return micro_kernel_narrow_portable;
+}
+
 const MicroKernel g_micro_kernel = select_micro_kernel();
+const MicroKernel g_micro_kernel_half = select_micro_kernel_half();
+const NarrowMicroKernel g_micro_kernel_narrow = select_micro_kernel_narrow();
 
 /// Mirrors select_micro_kernel()'s decision as a stable string for bench
 /// metadata (see math::simd_level()).
@@ -222,11 +471,34 @@ const char* select_simd_level() {
   return "portable";
 }
 
+/// Scalar epilogue step, formula-for-formula identical to the activation
+/// modules in nn/activations.cpp so a fused GEMM is bit-exact against the
+/// separate-sweeps reference.
+inline float apply_act(float v, Activation act, float slope) {
+  switch (act) {
+    case Activation::kRelu:
+      return v < 0.0f ? 0.0f : v;
+    case Activation::kLeakyRelu:
+      return v < 0.0f ? v * slope : v;
+    case Activation::kTanh:
+      return std::tanh(v);
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case Activation::kIdentity:
+      break;
+  }
+  return v;
+}
+
 /// Writes one register tile back to C over its valid extent. The first K
 /// block applies alpha/beta (beta == 0 never reads C — it may hold NaN
-/// poison); later blocks accumulate.
+/// poison); later blocks accumulate. On the last K block the optional
+/// epilogue (bias + activation) runs on the freshly final values while the
+/// tile is still hot; (row0, col0) locate the tile in C for bias indexing.
 void write_tile(const float* acc, std::size_t rows, std::size_t cols, float alpha,
-                float beta, bool first_block, float* c, std::size_t ldc) {
+                float beta, bool first_block, bool last_block, float* c,
+                std::size_t ldc, const Epilogue* epi, std::size_t row0,
+                std::size_t col0) {
   for (std::size_t r = 0; r < rows; ++r) {
     float* crow = c + r * ldc;
     const float* arow = acc + r * kNr;
@@ -242,6 +514,37 @@ void write_tile(const float* acc, std::size_t rows, std::size_t cols, float alph
       for (std::size_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
     }
   }
+  if (!last_block || epi == nullptr || epi->trivial()) return;
+  for (std::size_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    if (epi->bias != nullptr && epi->bias_per_row) {
+      const float b = epi->bias[row0 + r];
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += b;
+    } else if (epi->bias != nullptr) {
+      const float* b = epi->bias + col0;
+      for (std::size_t j = 0; j < cols; ++j) crow[j] += b[j];
+    }
+    if (epi->act != Activation::kIdentity) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        crow[j] = apply_act(crow[j], epi->act, epi->slope);
+      }
+    }
+  }
+}
+
+/// Epilogue over a full row-major C range — the degenerate-GEMM fallback
+/// (k == 0 or alpha == 0) so fused calls stay equivalent to
+/// gemm + bias + activation even when no micro-kernel ever runs.
+void epilogue_sweep(std::size_t m, std::size_t n, float* c, const Epilogue& epi) {
+  if (epi.trivial()) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = row[j];
+      if (epi.bias != nullptr) v += epi.bias_per_row ? epi.bias[i] : epi.bias[j];
+      row[j] = apply_act(v, epi.act, epi.slope);
+    }
+  }
 }
 
 /// Packed GEMM over the row range [r0, r1) of C. Per row, K blocks are
@@ -251,12 +554,13 @@ template <bool TransA>
 void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t n, std::size_t k,
                       float alpha, const float* a, std::size_t lda,
                       const float* packed_b, float beta, float* c,
-                      util::Workspace& ws) {
+                      util::Workspace& ws, const Epilogue* epi = nullptr) {
   auto& apanel = ws.floats(kAPanelSlot);
   const std::size_t jtiles = (n + kNr - 1) / kNr;
   for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
     const std::size_t kc = std::min(kBlockK, k - p0);
     const bool first_block = p0 == 0;
+    const bool last_block = p0 + kc == k;
     for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
       const std::size_t mc = std::min(kBlockM, r1 - i0);
       const std::size_t itiles = (mc + kMr - 1) / kMr;
@@ -270,7 +574,61 @@ void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t n, std::size_t
           g_micro_kernel(kc, apanel.data() + t * kc * kMr, bp, acc);
           const std::size_t row = i0 + t * kMr;
           write_tile(acc, std::min(kMr, r1 - row), cols, alpha, beta, first_block,
-                     c + row * n + jt * kNr, n);
+                     last_block, c + row * n + jt * kNr, n, epi, row, jt * kNr);
+        }
+      }
+    }
+  }
+}
+
+/// Same row loop against a pre-packed A (pack_a / pack_a_t). Row tiles are
+/// addressed globally — chunk starts are always multiples of kMr (row_grain
+/// rounds up), so (i0 / kMr) indexes the packed tile exactly and any row
+/// split reproduces the serial result bit for bit.
+void gemm_rows_prepacked(std::size_t r0, std::size_t r1, std::size_t m,
+                         std::size_t n, std::size_t k, float alpha,
+                         const float* packed_a, const float* packed_b, float beta,
+                         float* c, const Epilogue* epi) {
+  const std::size_t rt = (m + kMr - 1) / kMr;
+  const std::size_t jtiles = (n + kNr - 1) / kNr;
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t kc = std::min(kBlockK, k - p0);
+    const bool first_block = p0 == 0;
+    const bool last_block = p0 + kc == k;
+    const float* ablock = packed_a + p0 * rt * kMr;
+    for (std::size_t i0 = r0; i0 < r1; i0 += kBlockM) {
+      const std::size_t mc = std::min(kBlockM, r1 - i0);
+      const std::size_t itiles = (mc + kMr - 1) / kMr;
+      const std::size_t t0 = i0 / kMr;
+      for (std::size_t jt = 0; jt < jtiles; ++jt) {
+        const float* bp = packed_b + jt * k * kNr + p0 * kNr;
+        const std::size_t cols = std::min(kNr, n - jt * kNr);
+        // Thin C tiles take the narrow kernel (bit-identical, see above) so
+        // serving-path GEMMs with N << kNr don't pay for the padded
+        // columns. The whole block's row tiles go down in one call — the
+        // kernel interleaves them to keep the FMA pipeline full.
+        if (cols <= kNarrowCols) {
+          float acc[((kBlockM + kMr - 1) / kMr) * kMr * kNr];
+          g_micro_kernel_narrow(kc, ablock + t0 * kc * kMr, bp, acc, cols, itiles);
+          for (std::size_t t = 0; t < itiles; ++t) {
+            const std::size_t row = i0 + t * kMr;
+            write_tile(acc + t * kMr * kNr, std::min(kMr, r1 - row), cols, alpha,
+                       beta, first_block, last_block, c + row * n + jt * kNr, n, epi,
+                       row, jt * kNr);
+          }
+          continue;
+        }
+        for (std::size_t t = 0; t < itiles; ++t) {
+          float acc[kMr * kNr];
+          const float* ap = ablock + (t0 + t) * kc * kMr;
+          if (cols <= kNr / 2) {
+            g_micro_kernel_half(kc, ap, bp, acc);
+          } else {
+            g_micro_kernel(kc, ap, bp, acc);
+          }
+          const std::size_t row = i0 + t * kMr;
+          write_tile(acc, std::min(kMr, r1 - row), cols, alpha, beta, first_block,
+                     last_block, c + row * n + jt * kNr, n, epi, row, jt * kNr);
         }
       }
     }
@@ -280,16 +638,30 @@ void gemm_rows_packed(std::size_t r0, std::size_t r1, std::size_t n, std::size_t
 template <bool TransA>
 void gemm_driver(std::size_t m, std::size_t n, std::size_t k, float alpha,
                  const float* a, std::size_t lda, const float* packed_b, float beta,
-                 float* c, util::ExecContext* exec) {
+                 float* c, util::ExecContext* exec, const Epilogue* epi = nullptr) {
   if (exec == nullptr) {
     gemm_rows_packed<TransA>(0, m, n, k, alpha, a, lda, packed_b, beta, c,
-                             local_workspace());
+                             local_workspace(), epi);
     return;
   }
   exec->parallel_for(0, m, row_grain(exec, m, n * k), 2 * m * n * k,
                      [&](std::size_t i0, std::size_t i1, util::Workspace& ws) {
                        gemm_rows_packed<TransA>(i0, i1, n, k, alpha, a, lda, packed_b,
-                                                beta, c, ws);
+                                                beta, c, ws, epi);
+                     });
+}
+
+void gemm_driver_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                           const float* packed_a, const float* packed_b, float beta,
+                           float* c, util::ExecContext* exec, const Epilogue* epi) {
+  if (exec == nullptr) {
+    gemm_rows_prepacked(0, m, m, n, k, alpha, packed_a, packed_b, beta, c, epi);
+    return;
+  }
+  exec->parallel_for(0, m, row_grain(exec, m, n * k), 2 * m * n * k,
+                     [&](std::size_t i0, std::size_t i1, util::Workspace&) {
+                       gemm_rows_prepacked(i0, i1, m, n, k, alpha, packed_a, packed_b,
+                                           beta, c, epi);
                      });
 }
 
@@ -317,6 +689,19 @@ void gemm_entry(std::size_t m, std::size_t n, std::size_t k, float alpha,
   bbuf.resize(packed_b_size(n, k));
   pack_b_impl<TransB>(k, n, b, TransB ? k : n, bbuf.data());
   gemm_driver<TransA>(m, n, k, alpha, a, TransA ? m : k, bbuf.data(), beta, c, exec);
+}
+
+/// Packs all of logical A(m x k) into the pre-packed panel layout: K blocks
+/// ascending, each holding every row tile at the offsets gemm_rows_prepacked
+/// expects. Identical tile contents to what the on-the-fly path packs.
+template <bool TransA>
+void pack_a_full(std::size_t m, std::size_t k, const float* a, std::size_t lda,
+                 float* packed) {
+  const std::size_t rt = (m + kMr - 1) / kMr;
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t kc = std::min(kBlockK, k - p0);
+    pack_a_block<TransA>(0, m, p0, kc, a, lda, packed + p0 * rt * kMr);
+  }
 }
 
 }  // namespace
@@ -364,6 +749,74 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
   }
   count_gemm_flops(m, n, k);
   gemm_driver<false>(m, n, k, alpha, a, k, packed_b, beta, c, exec);
+}
+
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* packed_b, float beta, float* c,
+                 const Epilogue& epi, util::ExecContext* exec) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c);
+    epilogue_sweep(m, n, c, epi);
+    return;
+  }
+  count_gemm_flops(m, n, k);
+  gemm_driver<false>(m, n, k, alpha, a, k, packed_b, beta, c, exec,
+                     epi.trivial() ? nullptr : &epi);
+}
+
+std::size_t gemm_mr() { return kMr; }
+
+std::size_t packed_a_size(std::size_t m, std::size_t k) {
+  // + 8 floats of tail slack: the narrow micro-kernels load a full 8-lane
+  // vector per K step, which on ISAs with kMr < 8 reads past the final row
+  // tile (the extra lanes are computed but never stored).
+  return (m + kMr - 1) / kMr * kMr * k + 8;
+}
+
+void pack_a(std::size_t m, std::size_t k, const float* a, float* packed) {
+  pack_a_full<false>(m, k, a, k, packed);
+  std::memset(packed + packed_a_size(m, k) - 8, 0, 8 * sizeof(float));
+}
+
+void pack_a_t(std::size_t m, std::size_t k, const float* a, float* packed) {
+  pack_a_full<true>(m, k, a, m, packed);
+  std::memset(packed + packed_a_size(m, k) - 8, 0, 8 * sizeof(float));
+}
+
+void pack_b_t(std::size_t k, std::size_t n, const float* b, float* packed) {
+  pack_b_impl<true>(k, n, b, k, packed);
+}
+
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const float* packed_a, const float* b, float beta, float* c,
+                    const Epilogue& epi, util::ExecContext* exec) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c);
+    epilogue_sweep(m, n, c, epi);
+    return;
+  }
+  count_gemm_flops(m, n, k);
+  auto& bbuf = local_workspace().floats(kBPanelSlot);
+  bbuf.resize(packed_b_size(n, k));
+  pack_b_impl<false>(k, n, b, n, bbuf.data());
+  gemm_driver_prepacked(m, n, k, alpha, packed_a, bbuf.data(), beta, c, exec,
+                        epi.trivial() ? nullptr : &epi);
+}
+
+void gemm_prepacked_pb(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                       const float* packed_a, const float* packed_b, float beta,
+                       float* c, const Epilogue& epi, util::ExecContext* exec) {
+  if (m == 0 || n == 0) return;
+  if (alpha == 0.0f || k == 0) {
+    scale_c(m, n, beta, c);
+    epilogue_sweep(m, n, c, epi);
+    return;
+  }
+  count_gemm_flops(m, n, k);
+  gemm_driver_prepacked(m, n, k, alpha, packed_a, packed_b, beta, c, exec,
+                        epi.trivial() ? nullptr : &epi);
 }
 
 }  // namespace lithogan::math

@@ -62,6 +62,77 @@ void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
                  const float* a, const float* packed_b, float beta, float* c,
                  util::ExecContext* exec = nullptr);
 
+// --- Fused epilogue ---------------------------------------------------------
+//
+// A forward-only GEMM is almost always followed by a bias broadcast and an
+// activation; running those as separate sweeps re-streams C through the
+// cache twice. The Epilogue describes that tail so the kernel can apply it
+// to each C tile during the final K block's writeback, while the tile is
+// still hot. The scalar formulas match nn/activations.cpp exactly, and the
+// bias add happens after the full alpha/beta accumulation, so a fused call
+// is bit-identical to gemm + bias sweep + activation sweep.
+
+enum class Activation { kIdentity, kRelu, kLeakyRelu, kTanh, kSigmoid };
+
+struct Epilogue {
+  const float* bias = nullptr;  ///< broadcast add, or nullptr for none
+  bool bias_per_row = true;     ///< bias indexed by C row (conv) vs column (linear)
+  Activation act = Activation::kIdentity;
+  float slope = 0.2f;  ///< LeakyReLU negative slope
+  bool trivial() const { return bias == nullptr && act == Activation::kIdentity; }
+};
+
+/// gemm_packed with a fused epilogue (A packed on the fly per call — the
+/// per-sample activations path, e.g. Linear where A is the input batch).
+void gemm_packed(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                 const float* a, const float* packed_b, float beta, float* c,
+                 const Epilogue& epi, util::ExecContext* exec = nullptr);
+
+// --- Pre-packed A interface -------------------------------------------------
+//
+// Constant weights (conv / linear parameters at inference time) can be
+// packed into the micro-kernel's A-panel layout once instead of per call.
+// The layout mirrors what the kernel packs on the fly: logical A(m x k) is
+// split into K blocks of up to kBlockK (=256) columns; the block starting
+// at column p0 occupies packed[p0 * rt * MR, ...) where rt = ceil(m / MR)
+// is the row-tile count. Within a block of depth kc, row tile t is the
+// contiguous kc * MR range at t * kc * MR, laid out p-major (element
+// (p0 + p, t*MR + r) at offset p*MR + r); rows past m are zero-filled.
+
+/// Height of one packed-A row tile (MR of the micro-kernel).
+std::size_t gemm_mr();
+
+/// Number of floats a packed A of logical shape (m x k) occupies (includes
+/// a small zeroed tail the thin-tile kernels may load past the last tile).
+std::size_t packed_a_size(std::size_t m, std::size_t k);
+
+/// Packs row-major A (m x k) into the panel layout described above.
+void pack_a(std::size_t m, std::size_t k, const float* a, float* packed);
+
+/// Packs A stored k x m row-major (used as its transpose, logical m x k) —
+/// the gemm_at operand convention (e.g. deconv weights).
+void pack_a_t(std::size_t m, std::size_t k, const float* a, float* packed);
+
+/// Packs B stored n x k row-major (used as its transpose, logical k x n)
+/// into the packed-B panel layout — the gemm_bt operand convention (e.g.
+/// linear weights, stored out x in).
+void pack_b_t(std::size_t k, std::size_t n, const float* b, float* packed);
+
+/// C = alpha * A * B(k x n row-major) + beta * C with A pre-packed
+/// (pack_a / pack_a_t); B is packed per call on the calling thread.
+/// Bit-identical to gemm()/gemm_at() on the same logical operands.
+void gemm_prepacked(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                    const float* packed_a, const float* b, float beta, float* c,
+                    const Epilogue& epi = {}, util::ExecContext* exec = nullptr);
+
+/// Fully pre-packed variant: A from pack_a / pack_a_t, B from
+/// pack_b / pack_b_t / im2col_packed. The steady-state inference kernel —
+/// no packing work at all on the call path.
+void gemm_prepacked_pb(std::size_t m, std::size_t n, std::size_t k, float alpha,
+                       const float* packed_a, const float* packed_b, float beta,
+                       float* c, const Epilogue& epi = {},
+                       util::ExecContext* exec = nullptr);
+
 /// Name of the micro-kernel the runtime dispatch selected for this process:
 /// "avx512f", "avx2-fma" or "portable". Recorded in bench JSON host
 /// metadata so BENCH_*.json trajectories are comparable across machines.

@@ -25,7 +25,7 @@ void elementwise(util::ExecContext* exec, std::size_t n, std::size_t ops_per_ele
 }  // namespace
 
 Tensor ReLU::forward(const Tensor& input) {
-  input_ = input;
+  input_ = grad_enabled_ ? input : Tensor();
   Tensor out = input;
   float* v = out.raw();
   elementwise(exec_, out.size(), 2, [&](std::size_t b, std::size_t e) {
@@ -50,7 +50,7 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 }
 
 Tensor LeakyReLU::forward(const Tensor& input) {
-  input_ = input;
+  input_ = grad_enabled_ ? input : Tensor();
   Tensor out = input;
   float* v = out.raw();
   elementwise(exec_, out.size(), 2, [&](std::size_t b, std::size_t e) {
@@ -80,7 +80,7 @@ Tensor Tanh::forward(const Tensor& input) {
   elementwise(exec_, out.size(), 32, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) v[i] = std::tanh(v[i]);
   });
-  output_ = out;
+  output_ = grad_enabled_ ? out : Tensor();
   return out;
 }
 
@@ -101,7 +101,7 @@ Tensor Sigmoid::forward(const Tensor& input) {
   elementwise(exec_, out.size(), 32, [&](std::size_t b, std::size_t e) {
     for (std::size_t i = b; i < e; ++i) v[i] = 1.0f / (1.0f + std::exp(-v[i]));
   });
-  output_ = out;
+  output_ = grad_enabled_ ? out : Tensor();
   return out;
 }
 

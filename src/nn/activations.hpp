@@ -23,6 +23,7 @@ class LeakyReLU : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "LeakyReLU"; }
+  float slope() const { return slope_; }
 
  private:
   float slope_;

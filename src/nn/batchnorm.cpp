@@ -27,8 +27,11 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
   cached_training_ = training_;
 
   Tensor output(input.shape());
-  xhat_ = Tensor(input.shape());
-  inv_std_.assign(channels_, 0.0f);
+  // xhat / inv_std only feed backward(); no-grad forward computes the
+  // normalized value in a local instead of materializing a full cache.
+  const bool keep_cache = grad_enabled_;
+  xhat_ = keep_cache ? Tensor(input.shape()) : Tensor();
+  inv_std_.assign(keep_cache ? channels_ : 0, 0.0f);
 
   // All per-channel state (batch statistics, running estimates, xhat) is
   // disjoint across channels, and each channel keeps its sequential
@@ -70,16 +73,23 @@ Tensor BatchNorm2d::forward(const Tensor& input) {
     }
 
     const float inv_std = 1.0f / std::sqrt(var + eps_);
-    inv_std_[c] = inv_std;
+    if (keep_cache) inv_std_[c] = inv_std;
     const float g = gamma_.value[c];
     const float b = beta_.value[c];
     for (std::size_t n = 0; n < batch; ++n) {
       const float* x = input.raw() + (n * channels_ + c) * plane;
-      float* xh = xhat_.raw() + (n * channels_ + c) * plane;
       float* y = output.raw() + (n * channels_ + c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) {
-        xh[i] = (x[i] - mean) * inv_std;
-        y[i] = g * xh[i] + b;
+      if (keep_cache) {
+        float* xh = xhat_.raw() + (n * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          xh[i] = (x[i] - mean) * inv_std;
+          y[i] = g * xh[i] + b;
+        }
+      } else {
+        for (std::size_t i = 0; i < plane; ++i) {
+          const float xh = (x[i] - mean) * inv_std;
+          y[i] = g * xh + b;
+        }
       }
     }
   }

@@ -16,6 +16,9 @@ class BatchNorm2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<const Parameter*> parameters() const override {
+    return {&gamma_, &beta_};
+  }
   std::string kind() const override { return "BatchNorm2d"; }
 
   /// Running statistics are persistent (non-learnable) state.
@@ -24,6 +27,10 @@ class BatchNorm2d : public Module {
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+  std::size_t channels() const { return channels_; }
+  float eps() const { return eps_; }
 
  private:
   std::size_t channels_;

@@ -51,7 +51,9 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
 Tensor Conv2d::forward(const Tensor& input) {
   LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
                    "Conv2d input shape " + input.shape_string());
-  input_ = input;
+  // The cached input only feeds backward(); forward-only (no-grad) callers
+  // must not pay one retained activation copy per call.
+  input_ = grad_enabled_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
   const std::size_t h = input.dim(2);
   const std::size_t w = input.dim(3);
@@ -175,7 +177,7 @@ ConvTranspose2d::ConvTranspose2d(std::size_t in_channels, std::size_t out_channe
 Tensor ConvTranspose2d::forward(const Tensor& input) {
   LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == in_channels_,
                    "ConvTranspose2d input shape " + input.shape_string());
-  input_ = input;
+  input_ = grad_enabled_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
   const std::size_t in_h = input.dim(2);
   const std::size_t in_w = input.dim(3);

@@ -23,10 +23,18 @@ class Conv2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<const Parameter*> parameters() const override {
+    return {&weight_, &bias_};
+  }
   std::string kind() const override { return "Conv2d"; }
 
   std::size_t in_channels() const { return in_channels_; }
   std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t pad() const { return pad_; }
+  const Tensor& weight() const { return weight_.value; }
+  const Tensor& bias() const { return bias_.value; }
 
  private:
   std::size_t in_channels_;
@@ -53,7 +61,19 @@ class ConvTranspose2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<const Parameter*> parameters() const override {
+    return {&weight_, &bias_};
+  }
   std::string kind() const override { return "ConvTranspose2d"; }
+
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t pad() const { return pad_; }
+  std::size_t output_pad() const { return output_pad_; }
+  const Tensor& weight() const { return weight_.value; }
+  const Tensor& bias() const { return bias_.value; }
 
  private:
   std::size_t in_channels_;

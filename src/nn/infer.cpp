@@ -1,0 +1,759 @@
+#include "nn/infer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv.hpp"
+#include "nn/dropout.hpp"
+#include "nn/im2col.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/exec_context.hpp"
+
+namespace lithogan::nn {
+
+namespace {
+
+/// Scalar activation, formula-for-formula the eval path of the activation
+/// modules (and of math::Epilogue) so every execution route rounds alike.
+inline float act_eval(math::Activation act, float v, float slope) {
+  switch (act) {
+    case math::Activation::kRelu:
+      return v < 0.0f ? 0.0f : v;
+    case math::Activation::kLeakyRelu:
+      return v < 0.0f ? v * slope : v;
+    case math::Activation::kTanh:
+      return std::tanh(v);
+    case math::Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+    case math::Activation::kIdentity:
+      break;
+  }
+  return v;
+}
+
+std::size_t shape_elems(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+
+/// Builds one axis of a deconv col2im-gather table: for each output
+/// coordinate o, the taps (k, i) satisfying o = i*stride + k - pad with
+/// 0 <= i < in_dim, stored as column-matrix offsets k*k_step + i*i_step in
+/// ascending k — the order col2im's scatter visits them. Valid k for a
+/// fixed o are spaced exactly `stride` apart, so each coordinate has at
+/// most ceil(kernel / stride) taps; that bound is the table row stride and
+/// the return value.
+std::size_t build_gather_axis(std::size_t out_dim, std::size_t in_dim,
+                              std::size_t kernel, std::size_t stride, std::size_t pad,
+                              std::size_t k_step, std::size_t i_step,
+                              std::vector<std::uint32_t>& taps,
+                              std::vector<std::uint8_t>& counts) {
+  const std::size_t max_taps = (kernel + stride - 1) / stride;
+  taps.assign(out_dim * max_taps, 0);
+  counts.assign(out_dim, 0);
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    std::size_t cnt = 0;
+    for (std::size_t k = 0; k < kernel; ++k) {
+      if (o + pad < k) continue;
+      const std::size_t num = o + pad - k;
+      if (num % stride != 0) continue;
+      const std::size_t i = num / stride;
+      if (i >= in_dim) continue;
+      taps[o * max_taps + cnt++] = static_cast<std::uint32_t>(k * k_step + i * i_step);
+    }
+    counts[o] = static_cast<std::uint8_t>(cnt);
+  }
+  return max_taps;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+InferencePlan::BufId InferencePlan::new_buffer(std::vector<std::size_t> sample_shape) {
+  BufferInfo info;
+  info.sample_elems = shape_elems(sample_shape);
+  info.sample_shape = std::move(sample_shape);
+  buffers_.push_back(std::move(info));
+  return buffers_.size() - 1;
+}
+
+InferencePlan::BufId InferencePlan::add_input(
+    const std::vector<std::size_t>& sample_shape) {
+  LITHOGAN_REQUIRE(!finalized_ && !has_input_, "InferencePlan: input already declared");
+  LITHOGAN_REQUIRE(!sample_shape.empty(), "InferencePlan: empty input shape");
+  input_id_ = new_buffer(sample_shape);
+  buffers_[input_id_].external = true;
+  has_input_ = true;
+  return input_id_;
+}
+
+InferencePlan::BufId InferencePlan::add_elementwise(math::Activation act, float slope,
+                                                    std::size_t cost, BufId in) {
+  Step s;
+  s.op = Op::kActivation;
+  s.act = act;
+  s.slope = slope;
+  s.act_cost = cost;
+  s.in0 = in;
+  // Elementwise steps run in place except on the caller-owned input tensor,
+  // which the plan must never write.
+  s.out = buffers_[in].external ? new_buffer(buffers_[in].sample_shape) : in;
+  s.in_elems = buffers_[in].sample_elems;
+  s.out_elems = buffers_[s.out].sample_elems;
+  const BufId out = s.out;
+  steps_.push_back(std::move(s));
+  return out;
+}
+
+InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
+  LITHOGAN_REQUIRE(!finalized_, "InferencePlan: add_module after finalize");
+  LITHOGAN_REQUIRE(has_input_ && in < buffers_.size(),
+                   "InferencePlan: unknown input buffer");
+
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) return add_layers(*seq, in);
+
+  const std::vector<std::size_t> shape = buffers_[in].sample_shape;
+
+  if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+    LITHOGAN_REQUIRE(shape.size() == 3 && shape[0] == conv->in_channels(),
+                     "InferencePlan: Conv2d input mismatch");
+    Step s;
+    s.op = Op::kConv;
+    s.in0 = in;
+    s.in_c = shape[0];
+    s.in_h = shape[1];
+    s.in_w = shape[2];
+    s.kernel = conv->kernel();
+    s.stride = conv->stride();
+    s.pad = conv->pad();
+    s.out_c = conv->out_channels();
+    s.out_h = conv_out_size(s.in_h, s.kernel, s.stride, s.pad);
+    s.out_w = conv_out_size(s.in_w, s.kernel, s.stride, s.pad);
+    const std::size_t rows = s.in_c * s.kernel * s.kernel;
+    s.packed_w.resize(math::packed_a_size(s.out_c, rows));
+    math::pack_a(s.out_c, rows, conv->weight().raw(), s.packed_w.data());
+    s.bias.assign(conv->bias().raw(), conv->bias().raw() + s.out_c);
+    s.out = new_buffer({s.out_c, s.out_h, s.out_w});
+    s.in_elems = buffers_[in].sample_elems;
+    s.out_elems = buffers_[s.out].sample_elems;
+    const BufId out = s.out;
+    steps_.push_back(std::move(s));
+    return out;
+  }
+
+  if (auto* deconv = dynamic_cast<ConvTranspose2d*>(&layer)) {
+    LITHOGAN_REQUIRE(shape.size() == 3 && shape[0] == deconv->in_channels(),
+                     "InferencePlan: ConvTranspose2d input mismatch");
+    Step s;
+    s.op = Op::kDeconv;
+    s.in0 = in;
+    s.in_c = shape[0];
+    s.in_h = shape[1];
+    s.in_w = shape[2];
+    s.kernel = deconv->kernel();
+    s.stride = deconv->stride();
+    s.pad = deconv->pad();
+    s.out_c = deconv->out_channels();
+    s.out_h = deconv_out_size(s.in_h, s.kernel, s.stride, s.pad, deconv->output_pad());
+    s.out_w = deconv_out_size(s.in_w, s.kernel, s.stride, s.pad, deconv->output_pad());
+    LITHOGAN_REQUIRE(conv_out_size(s.out_h, s.kernel, s.stride, s.pad) == s.in_h &&
+                         conv_out_size(s.out_w, s.kernel, s.stride, s.pad) == s.in_w,
+                     "InferencePlan: inconsistent deconv geometry");
+    // The deconv GEMM is Col = W^T * X; the weight (in, out*k*k) is packed
+    // as the transposed A operand once instead of per call (gemm_at's
+    // on-the-fly gather).
+    const std::size_t rows = s.out_c * s.kernel * s.kernel;
+    s.packed_w.resize(math::packed_a_size(rows, s.in_c));
+    math::pack_a_t(rows, s.in_c, deconv->weight().raw(), s.packed_w.data());
+    s.bias.assign(deconv->bias().raw(), deconv->bias().raw() + s.out_c);
+    s.out = new_buffer({s.out_c, s.out_h, s.out_w});
+    s.in_elems = buffers_[in].sample_elems;
+    s.out_elems = buffers_[s.out].sample_elems;
+    const BufId out = s.out;
+    steps_.push_back(std::move(s));
+    return out;
+  }
+
+  if (auto* linear = dynamic_cast<Linear*>(&layer)) {
+    LITHOGAN_REQUIRE(shape.size() == 1 && shape[0] == linear->in_features(),
+                     "InferencePlan: Linear input mismatch (flatten first)");
+    Step s;
+    s.op = Op::kLinear;
+    s.in0 = in;
+    s.in_c = linear->in_features();
+    s.out_c = linear->out_features();
+    // y = x W^T: the (out, in) weight is the transposed-B operand of
+    // gemm_bt; pre-pack its panels once.
+    s.packed_w.resize(math::packed_b_size(s.out_c, s.in_c));
+    math::pack_b_t(s.in_c, s.out_c, linear->weight().raw(), s.packed_w.data());
+    s.bias.assign(linear->bias().raw(), linear->bias().raw() + s.out_c);
+    s.out = new_buffer({s.out_c});
+    s.in_elems = buffers_[in].sample_elems;
+    s.out_elems = buffers_[s.out].sample_elems;
+    const BufId out = s.out;
+    steps_.push_back(std::move(s));
+    return out;
+  }
+
+  if (auto* bn = dynamic_cast<BatchNorm2d*>(&layer)) {
+    LITHOGAN_REQUIRE(shape.size() == 3 && shape[0] == bn->channels(),
+                     "InferencePlan: BatchNorm2d input mismatch");
+    Step s;
+    s.op = Op::kBatchNorm;
+    s.in0 = in;
+    s.in_c = shape[0];
+    s.in_h = shape[1];
+    s.in_w = shape[2];
+    s.out_c = s.in_c;
+    s.out_h = s.in_h;
+    s.out_w = s.in_w;
+    const std::size_t channels = bn->channels();
+    s.bn_mean.assign(bn->running_mean().raw(), bn->running_mean().raw() + channels);
+    s.bn_gamma.assign(bn->gamma().raw(), bn->gamma().raw() + channels);
+    s.bn_beta.assign(bn->beta().raw(), bn->beta().raw() + channels);
+    // Same expression the eval forward evaluates per call, hoisted to plan
+    // time — identical floats, computed once.
+    s.bn_inv_std.resize(channels);
+    for (std::size_t c = 0; c < channels; ++c) {
+      s.bn_inv_std[c] = 1.0f / std::sqrt(bn->running_var()[c] + bn->eps());
+    }
+    s.out = buffers_[in].external ? new_buffer(shape) : in;
+    s.in_elems = buffers_[in].sample_elems;
+    s.out_elems = buffers_[s.out].sample_elems;
+    const BufId out = s.out;
+    steps_.push_back(std::move(s));
+    return out;
+  }
+
+  if (dynamic_cast<ReLU*>(&layer) != nullptr) {
+    return add_elementwise(math::Activation::kRelu, 0.0f, 2, in);
+  }
+  if (auto* lrelu = dynamic_cast<LeakyReLU*>(&layer)) {
+    return add_elementwise(math::Activation::kLeakyRelu, lrelu->slope(), 2, in);
+  }
+  if (dynamic_cast<Tanh*>(&layer) != nullptr) {
+    return add_elementwise(math::Activation::kTanh, 0.0f, 32, in);
+  }
+  if (dynamic_cast<Sigmoid*>(&layer) != nullptr) {
+    return add_elementwise(math::Activation::kSigmoid, 0.0f, 32, in);
+  }
+
+  if (auto* pool = dynamic_cast<MaxPool2d*>(&layer)) {
+    LITHOGAN_REQUIRE(shape.size() == 3, "InferencePlan: MaxPool2d input mismatch");
+    Step s;
+    s.op = Op::kMaxPool;
+    s.in0 = in;
+    s.in_c = shape[0];
+    s.in_h = shape[1];
+    s.in_w = shape[2];
+    s.kernel = pool->kernel();
+    s.stride = pool->stride();
+    s.out_c = s.in_c;
+    s.out_h = conv_out_size(s.in_h, s.kernel, s.stride, 0);
+    s.out_w = conv_out_size(s.in_w, s.kernel, s.stride, 0);
+    s.out = new_buffer({s.out_c, s.out_h, s.out_w});
+    s.in_elems = buffers_[in].sample_elems;
+    s.out_elems = buffers_[s.out].sample_elems;
+    const BufId out = s.out;
+    steps_.push_back(std::move(s));
+    return out;
+  }
+
+  if (dynamic_cast<Flatten*>(&layer) != nullptr) {
+    // Shape-only: collapse the buffer's logical sample shape in place.
+    buffers_[in].sample_shape = {buffers_[in].sample_elems};
+    return in;
+  }
+  if (dynamic_cast<Dropout*>(&layer) != nullptr) {
+    return in;  // identity at inference (pix2pix predict convention)
+  }
+
+  LITHOGAN_REQUIRE(false, "InferencePlan: unsupported layer kind " + layer.kind());
+  return in;
+}
+
+InferencePlan::BufId InferencePlan::add_layers(Sequential& net, BufId in) {
+  BufId x = in;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) x = add_module(net.layer(i), x);
+  return x;
+}
+
+InferencePlan::BufId InferencePlan::add_concat(BufId a, BufId b) {
+  LITHOGAN_REQUIRE(!finalized_ && a < buffers_.size() && b < buffers_.size(),
+                   "InferencePlan: bad concat operands");
+  const auto& sa = buffers_[a].sample_shape;
+  const auto& sb = buffers_[b].sample_shape;
+  LITHOGAN_REQUIRE(sa.size() == 3 && sb.size() == 3 && sa[1] == sb[1] && sa[2] == sb[2],
+                   "InferencePlan: concat shape mismatch");
+  Step s;
+  s.op = Op::kConcat;
+  s.in0 = a;
+  s.in1 = b;
+  s.in_c = sa[0];
+  s.in_h = sa[1];
+  s.in_w = sa[2];
+  s.out_c = sa[0] + sb[0];
+  s.out_h = sa[1];
+  s.out_w = sa[2];
+  s.out = new_buffer({s.out_c, s.out_h, s.out_w});
+  s.in_elems = buffers_[a].sample_elems;
+  s.in1_elems = buffers_[b].sample_elems;
+  s.out_elems = buffers_[s.out].sample_elems;
+  const BufId out = s.out;
+  steps_.push_back(std::move(s));
+  return out;
+}
+
+void InferencePlan::set_output(BufId out) {
+  LITHOGAN_REQUIRE(!finalized_ && out < buffers_.size(), "InferencePlan: bad output");
+  LITHOGAN_REQUIRE(!buffers_[out].external, "InferencePlan: output cannot be the input");
+  output_id_ = out;
+  buffers_[out].is_output = true;
+  has_output_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Finalization: epilogue fusion + liveness-based arena assignment
+// ---------------------------------------------------------------------------
+
+void InferencePlan::fuse_epilogues() {
+  for (std::size_t i = 0; i + 1 < steps_.size();) {
+    Step& s = steps_[i];
+    const Step& nxt = steps_[i + 1];
+    // GEMM-like steps absorb the activation into their writeback epilogue;
+    // a BatchNorm absorbs it into its per-channel affine sweep (the fused
+    // element is act(g*xh + b) — the exact expression the two separate
+    // passes compute, so fusion preserves bit-identity).
+    const bool fusable = s.op == Op::kConv || s.op == Op::kDeconv ||
+                         s.op == Op::kLinear || s.op == Op::kBatchNorm;
+    if (fusable && s.act == math::Activation::kIdentity &&
+        nxt.op == Op::kActivation && nxt.in0 == s.out) {
+      s.act = nxt.act;
+      s.slope = nxt.slope;
+      s.out = nxt.out;
+      s.out_elems = nxt.out_elems;
+      steps_.erase(steps_.begin() + i + 1);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void InferencePlan::assign_slots() {
+  for (BufferInfo& b : buffers_) b.last_use = 0;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    buffers_[steps_[i].in0].last_use = i;
+    if (steps_[i].op == Op::kConcat) buffers_[steps_[i].in1].last_use = i;
+  }
+  // Pin the result past the last step and route it to the output tensor;
+  // the input aliases the caller's tensor.
+  buffers_[output_id_].last_use = steps_.size();
+  buffers_[input_id_].slot = kSlotInput;
+  buffers_[output_id_].slot = kSlotOutput;
+
+  slot_elems_.clear();
+  std::vector<int> free_list;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    BufferInfo& out = buffers_[s.out];
+    if (out.slot == kUnassigned) {
+      if (!free_list.empty()) {
+        out.slot = free_list.back();
+        free_list.pop_back();
+      } else {
+        out.slot = static_cast<int>(slot_elems_.size());
+        slot_elems_.push_back(0);
+      }
+    }
+    if (out.slot >= 0) {
+      slot_elems_[out.slot] = std::max(slot_elems_[out.slot], out.sample_elems);
+    }
+    // Release operands after their last read (keeping their slot id for
+    // execution — a slot on the free list is reused, not invalidated).
+    // Outputs never take a slot freed at the same step: conv/linear/concat
+    // read whole samples while writing, so src/dst aliasing would corrupt
+    // them.
+    auto release = [&](BufId id) {
+      BufferInfo& b = buffers_[id];
+      if (b.slot >= 0 && b.last_use == i && id != s.out) free_list.push_back(b.slot);
+    };
+    release(s.in0);
+    if (s.op == Op::kConcat && s.in1 != s.in0) release(s.in1);
+  }
+
+  scratch_elems_ = 0;
+  for (const Step& s : steps_) {
+    if (s.op == Op::kConv) {
+      const std::size_t rows = s.in_c * s.kernel * s.kernel;
+      scratch_elems_ =
+          std::max(scratch_elems_, math::packed_b_size(s.out_h * s.out_w, rows));
+    } else if (s.op == Op::kDeconv) {
+      const std::size_t rows = s.out_c * s.kernel * s.kernel;
+      scratch_elems_ = std::max(scratch_elems_, rows * s.in_h * s.in_w);
+    }
+  }
+}
+
+void InferencePlan::finalize() {
+  LITHOGAN_REQUIRE(!finalized_, "InferencePlan: already finalized");
+  LITHOGAN_REQUIRE(has_input_ && has_output_, "InferencePlan: incomplete graph");
+  const obs::Span span("infer.plan");
+  fuse_epilogues();
+  assign_slots();
+  // Deconv writeback gather tables (see run_deconv); geometry-only, so the
+  // order relative to fusion doesn't matter.
+  for (Step& s : steps_) {
+    if (s.op != Op::kDeconv) continue;
+    const std::size_t in_plane = s.in_h * s.in_w;
+    s.gather_ty = build_gather_axis(s.out_h, s.in_h, s.kernel, s.stride, s.pad,
+                                    s.kernel * in_plane, s.in_w, s.gather_y,
+                                    s.gather_ycnt);
+    s.gather_tx = build_gather_axis(s.out_w, s.in_w, s.kernel, s.stride, s.pad,
+                                    in_plane, 1, s.gather_x, s.gather_xcnt);
+  }
+  finalized_ = true;
+}
+
+void InferencePlan::compile(Sequential& net,
+                            const std::vector<std::size_t>& sample_shape) {
+  const BufId in = add_input(sample_shape);
+  set_output(add_layers(net, in));
+  finalize();
+}
+
+const std::vector<std::size_t>& InferencePlan::output_sample_shape() const {
+  LITHOGAN_REQUIRE(has_output_, "InferencePlan: no output declared");
+  return buffers_[output_id_].sample_shape;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+const float* InferencePlan::src_ptr(BufId id, const Tensor& input) const {
+  const BufferInfo& b = buffers_[id];
+  if (b.slot == kSlotInput) return input.raw();
+  if (b.slot == kSlotOutput) return output_.raw();
+  return slots_[static_cast<std::size_t>(b.slot)].data();
+}
+
+float* InferencePlan::dst_ptr(BufId id) {
+  const BufferInfo& b = buffers_[id];
+  LITHOGAN_REQUIRE(b.slot != kSlotInput, "InferencePlan: write to input buffer");
+  if (b.slot == kSlotOutput) return output_.raw();
+  return slots_[static_cast<std::size_t>(b.slot)].data();
+}
+
+void InferencePlan::ensure_capacity(std::size_t batch) {
+  if (slots_.size() < slot_elems_.size()) {
+    slots_.resize(slot_elems_.size());
+    ++stats_.allocations;
+  }
+  for (std::size_t s = 0; s < slot_elems_.size(); ++s) {
+    const std::size_t need = slot_elems_[s] * batch;
+    if (need > slots_[s].capacity()) ++stats_.allocations;
+    slots_[s].resize(need);
+  }
+  const std::size_t workers = exec_ != nullptr ? exec_->threads() : 1;
+  if (scratch_.size() < workers) {
+    scratch_.resize(workers);
+    ++stats_.allocations;
+  }
+  for (auto& buf : scratch_) {
+    if (scratch_elems_ > buf.capacity()) ++stats_.allocations;
+    buf.resize(scratch_elems_);
+  }
+  if (output_.empty() || output_.dim(0) != batch) {
+    std::vector<std::size_t> shape{batch};
+    const auto& out_shape = buffers_[output_id_].sample_shape;
+    shape.insert(shape.end(), out_shape.begin(), out_shape.end());
+    output_ = Tensor(shape);
+    ++stats_.allocations;
+  }
+}
+
+void InferencePlan::run_conv(const Step& s, std::size_t batch, const float* src,
+                             float* dst) {
+  const std::size_t cols = s.out_h * s.out_w;
+  const std::size_t rows = s.in_c * s.kernel * s.kernel;
+  math::Epilogue epi;
+  epi.bias = s.bias.data();
+  epi.bias_per_row = true;
+  epi.act = s.act;
+  epi.slope = s.slope;
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  auto sample = [&](std::size_t n0, std::size_t n1, std::size_t worker) {
+    float* col = scratch_[worker].data();
+    for (std::size_t n = n0; n < n1; ++n) {
+      im2col_packed(src + n * s.in_elems, s.in_c, s.in_h, s.in_w, s.kernel, s.stride,
+                    s.pad, col);
+      math::gemm_prepacked_pb(s.out_c, cols, rows, 1.0f, s.packed_w.data(), col, 0.0f,
+                              dst + n * s.out_elems, epi, inner);
+    }
+  };
+  if (batch_parallel) {
+    exec_->pool().parallel_for(0, batch, 1, batch * 2 * s.out_c * rows * cols,
+                               [&](std::size_t n0, std::size_t n1,
+                                   std::size_t worker) { sample(n0, n1, worker); });
+  } else {
+    sample(0, batch, 0);
+  }
+}
+
+void InferencePlan::run_deconv(const Step& s, std::size_t batch, const float* src,
+                               float* dst) {
+  const std::size_t cols = s.in_h * s.in_w;
+  const std::size_t rows = s.out_c * s.kernel * s.kernel;
+  const std::size_t out_plane = s.out_h * s.out_w;
+  const bool batch_parallel = exec_ != nullptr && batch > 1;
+  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
+  const std::size_t kk = s.kernel * s.kernel;
+  auto sample = [&](std::size_t n0, std::size_t n1, std::size_t worker) {
+    float* col = scratch_[worker].data();
+    for (std::size_t n = n0; n < n1; ++n) {
+      const float* x = src + n * s.in_elems;
+      float* y = dst + n * s.out_elems;
+      math::gemm_prepacked(rows, cols, s.in_c, 1.0f, s.packed_w.data(), x, 0.0f, col,
+                           {}, inner);
+      // col holds (out_c*k*k, in_h*in_w). Instead of memset + col2im
+      // scatter + a separate bias/activation sweep, gather each output
+      // pixel's taps directly from col (tables built in finalize). Taps are
+      // visited ascending in (ky, kx) — exactly the order col2im's scatter
+      // adds them — and bias lands after the full accumulation, so this
+      // writeback is bit-identical to the three-pass form while streaming
+      // the output once.
+      for (std::size_t oc = 0; oc < s.out_c; ++oc) {
+        const float* cbase = col + oc * kk * cols;
+        const float b = s.bias[oc];
+        float* yplane = y + oc * out_plane;
+        for (std::size_t oy = 0; oy < s.out_h; ++oy) {
+          const std::uint32_t* ty = s.gather_y.data() + oy * s.gather_ty;
+          const std::size_t nty = s.gather_ycnt[oy];
+          float* yrow = yplane + oy * s.out_w;
+          for (std::size_t ox = 0; ox < s.out_w; ++ox) {
+            const std::uint32_t* tx = s.gather_x.data() + ox * s.gather_tx;
+            const std::size_t ntx = s.gather_xcnt[ox];
+            float acc = 0.0f;
+            for (std::size_t a = 0; a < nty; ++a) {
+              const float* r = cbase + ty[a];
+              for (std::size_t c = 0; c < ntx; ++c) acc += r[tx[c]];
+            }
+            yrow[ox] = act_eval(s.act, acc + b, s.slope);
+          }
+        }
+      }
+    }
+  };
+  if (batch_parallel) {
+    exec_->pool().parallel_for(0, batch, 1, batch * 2 * s.in_c * rows * cols,
+                               [&](std::size_t n0, std::size_t n1,
+                                   std::size_t worker) { sample(n0, n1, worker); });
+  } else {
+    sample(0, batch, 0);
+  }
+}
+
+void InferencePlan::run_linear(const Step& s, std::size_t batch, const float* src,
+                               float* dst) {
+  math::Epilogue epi;
+  epi.bias = s.bias.data();
+  epi.bias_per_row = false;  // linear bias broadcasts along C's columns
+  epi.act = s.act;
+  epi.slope = s.slope;
+  math::gemm_packed(batch, s.out_c, s.in_c, 1.0f, src, s.packed_w.data(), 0.0f, dst,
+                    epi, exec_);
+}
+
+void InferencePlan::run_batchnorm(const Step& s, std::size_t batch, const float* src,
+                                  float* dst) {
+  const std::size_t plane = s.in_h * s.in_w;
+  const std::size_t per_channel = batch * plane;
+  auto channel_range = [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const float mean = s.bn_mean[c];
+      const float inv_std = s.bn_inv_std[c];
+      const float g = s.bn_gamma[c];
+      const float b = s.bn_beta[c];
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* x = src + n * s.in_elems + c * plane;
+        float* y = dst + n * s.out_elems + c * plane;
+        // The fused trailing activation (see fuse_epilogues) is dispatched
+        // once per plane, not per element: each specialized loop body is
+        // branch-free on the activation kind so it auto-vectorizes, and
+        // each formula matches act_eval character for character, so fusion
+        // stays bit-identical to the two separate sweeps.
+        switch (s.act) {
+          case math::Activation::kIdentity:
+            for (std::size_t i = 0; i < plane; ++i) {
+              const float xh = (x[i] - mean) * inv_std;
+              y[i] = g * xh + b;
+            }
+            break;
+          case math::Activation::kRelu:
+            for (std::size_t i = 0; i < plane; ++i) {
+              const float xh = (x[i] - mean) * inv_std;
+              const float v = g * xh + b;
+              y[i] = v < 0.0f ? 0.0f : v;
+            }
+            break;
+          case math::Activation::kLeakyRelu: {
+            const float slope = s.slope;
+            for (std::size_t i = 0; i < plane; ++i) {
+              const float xh = (x[i] - mean) * inv_std;
+              const float v = g * xh + b;
+              y[i] = v < 0.0f ? v * slope : v;
+            }
+            break;
+          }
+          default:
+            for (std::size_t i = 0; i < plane; ++i) {
+              const float xh = (x[i] - mean) * inv_std;
+              y[i] = act_eval(s.act, g * xh + b, s.slope);
+            }
+            break;
+        }
+      }
+    }
+  };
+  if (exec_ != nullptr) {
+    exec_->parallel_for(0, s.in_c, 1, s.in_c * per_channel * 8,
+                        [&](std::size_t c0, std::size_t c1, util::Workspace&) {
+                          channel_range(c0, c1);
+                        });
+  } else {
+    channel_range(0, s.in_c);
+  }
+}
+
+void InferencePlan::run_activation(const Step& s, std::size_t batch, const float* src,
+                                   float* dst) {
+  const std::size_t total = batch * s.out_elems;
+  auto range = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) dst[i] = act_eval(s.act, src[i], s.slope);
+  };
+  if (exec_ != nullptr) {
+    exec_->parallel_for(0, total, exec_->grain_for(total, 1024), total * s.act_cost,
+                        [&](std::size_t b, std::size_t e, util::Workspace&) {
+                          range(b, e);
+                        });
+  } else {
+    range(0, total);
+  }
+}
+
+void InferencePlan::run_maxpool(const Step& s, std::size_t batch, const float* src,
+                                float* dst) {
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < s.in_c; ++c) {
+      const float* plane = src + n * s.in_elems + c * s.in_h * s.in_w;
+      float* out = dst + n * s.out_elems + c * s.out_h * s.out_w;
+      std::size_t out_idx = 0;
+      for (std::size_t oy = 0; oy < s.out_h; ++oy) {
+        for (std::size_t ox = 0; ox < s.out_w; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::size_t ky = 0; ky < s.kernel; ++ky) {
+            const std::size_t iy = oy * s.stride + ky;
+            if (iy >= s.in_h) break;
+            for (std::size_t kx = 0; kx < s.kernel; ++kx) {
+              const std::size_t ix = ox * s.stride + kx;
+              if (ix >= s.in_w) break;
+              const float v = plane[iy * s.in_w + ix];
+              if (v > best) best = v;
+            }
+          }
+          out[out_idx] = best;
+        }
+      }
+    }
+  }
+}
+
+void InferencePlan::run_step(const Step& s, std::size_t batch, const Tensor& input) {
+  const float* src = src_ptr(s.in0, input);
+  float* dst = dst_ptr(s.out);
+  switch (s.op) {
+    case Op::kConv: {
+      const obs::Span span("infer.step.conv");
+      run_conv(s, batch, src, dst);
+      break;
+    }
+    case Op::kDeconv: {
+      const obs::Span span("infer.step.deconv");
+      run_deconv(s, batch, src, dst);
+      break;
+    }
+    case Op::kLinear: {
+      const obs::Span span("infer.step.linear");
+      run_linear(s, batch, src, dst);
+      break;
+    }
+    case Op::kBatchNorm: {
+      const obs::Span span("infer.step.bn");
+      run_batchnorm(s, batch, src, dst);
+      break;
+    }
+    case Op::kActivation: {
+      const obs::Span span("infer.step.act");
+      run_activation(s, batch, src, dst);
+      break;
+    }
+    case Op::kMaxPool: {
+      const obs::Span span("infer.step.pool");
+      run_maxpool(s, batch, src, dst);
+      break;
+    }
+    case Op::kConcat: {
+      const obs::Span span("infer.step.concat");
+      const float* src1 = src_ptr(s.in1, input);
+      for (std::size_t n = 0; n < batch; ++n) {
+        float* out = dst + n * s.out_elems;
+        std::memcpy(out, src + n * s.in_elems, s.in_elems * sizeof(float));
+        std::memcpy(out + s.in_elems, src1 + n * s.in1_elems,
+                    s.in1_elems * sizeof(float));
+      }
+      break;
+    }
+  }
+}
+
+const Tensor& InferencePlan::infer(const Tensor& input) {
+  LITHOGAN_REQUIRE(finalized_, "InferencePlan::infer before finalize");
+  const BufferInfo& in = buffers_[input_id_];
+  LITHOGAN_REQUIRE(input.rank() == in.sample_shape.size() + 1,
+                   "InferencePlan: input rank mismatch " + input.shape_string());
+  for (std::size_t d = 0; d < in.sample_shape.size(); ++d) {
+    LITHOGAN_REQUIRE(input.dim(d + 1) == in.sample_shape[d],
+                     "InferencePlan: input shape mismatch " + input.shape_string());
+  }
+  const std::size_t batch = input.dim(0);
+  LITHOGAN_REQUIRE(batch > 0, "InferencePlan: empty batch");
+  ensure_capacity(batch);
+  for (const Step& s : steps_) run_step(s, batch, input);
+  return output_;
+}
+
+InferencePlan::ArenaStats InferencePlan::arena_stats() const {
+  ArenaStats st = stats_;
+  st.slots = slot_elems_.size();
+  st.buffers = buffers_.size();
+  std::size_t floats = 0;
+  for (const auto& v : slots_) floats += v.size();
+  for (const auto& v : scratch_) floats += v.size();
+  st.arena_floats = floats;
+  return st;
+}
+
+}  // namespace lithogan::nn

@@ -19,6 +19,11 @@ std::vector<Parameter*> InstanceNorm2d::parameters() {
   return {&gamma_, &beta_};
 }
 
+std::vector<const Parameter*> InstanceNorm2d::parameters() const {
+  if (!affine_) return {};
+  return {&gamma_, &beta_};
+}
+
 Tensor InstanceNorm2d::forward(const Tensor& input) {
   LITHOGAN_REQUIRE(input.rank() == 4 && input.dim(1) == channels_,
                    "InstanceNorm2d input shape " + input.shape_string());

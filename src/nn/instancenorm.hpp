@@ -17,6 +17,7 @@ class InstanceNorm2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<const Parameter*> parameters() const override;
   std::string kind() const override { return "InstanceNorm2d"; }
 
  private:

@@ -19,7 +19,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng
 Tensor Linear::forward(const Tensor& input) {
   LITHOGAN_REQUIRE(input.rank() == 2 && input.dim(1) == in_features_,
                    "Linear input shape " + input.shape_string());
-  input_ = input;
+  input_ = grad_enabled_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
   Tensor output({batch, out_features_});
   // y = x W^T : (N, in) x (out, in)^T

@@ -18,10 +18,15 @@ class Linear : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<const Parameter*> parameters() const override {
+    return {&weight_, &bias_};
+  }
   std::string kind() const override { return "Linear"; }
 
   std::size_t in_features() const { return in_features_; }
   std::size_t out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_.value; }
+  const Tensor& bias() const { return bias_.value; }
 
  private:
   std::size_t in_features_;

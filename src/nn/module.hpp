@@ -46,10 +46,21 @@ class Module {
   /// module's lifetime.
   virtual std::vector<Parameter*> parameters() { return {}; }
 
+  /// Read-only view of the same parameters, for logically-const callers
+  /// (serialization, statistics). Overridden alongside parameters().
+  virtual std::vector<const Parameter*> parameters() const { return {}; }
+
   /// Switches between training behaviour (batch statistics, dropout on) and
   /// inference behaviour. Default: no-op.
   virtual void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
+
+  /// When disabled, forward() skips (and releases) the activation caches
+  /// that only backward() consumes — the no-grad mode of the predict paths.
+  /// Calling backward() after a grad-disabled forward() is a programming
+  /// error. Containers propagate to their children. Default: enabled.
+  virtual void set_grad_enabled(bool enabled) { grad_enabled_ = enabled; }
+  bool grad_enabled() const { return grad_enabled_; }
 
   /// Attaches the execution context (thread pool + workspace arenas) used
   /// by this layer's hot loops. Containers propagate it to their children.
@@ -68,7 +79,26 @@ class Module {
 
  protected:
   bool training_ = true;
+  bool grad_enabled_ = true;
   util::ExecContext* exec_ = nullptr;
+};
+
+/// Scoped no-grad guard: disables cache retention on `module` for the
+/// lifetime of the guard, then restores the previous setting. Used by the
+/// predict paths around forward-only evaluations.
+class NoGradGuard {
+ public:
+  explicit NoGradGuard(Module& module)
+      : module_(module), previous_(module.grad_enabled()) {
+    module_.set_grad_enabled(false);
+  }
+  ~NoGradGuard() { module_.set_grad_enabled(previous_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  Module& module_;
+  bool previous_;
 };
 
 /// Zeroes the gradients of every parameter in `params`.

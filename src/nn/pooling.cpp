@@ -24,7 +24,9 @@ Tensor MaxPool2d::forward(const Tensor& input) {
   input_shape_ = input.shape();
   output_shape_ = {batch, channels, out_h, out_w};
   Tensor output(output_shape_);
-  argmax_.assign(output.size(), 0);
+  // argmax indices only route gradients; no-grad forward skips the cache.
+  const bool keep_argmax = grad_enabled_;
+  argmax_.assign(keep_argmax ? output.size() : 0, 0);
 
   std::size_t out_idx = 0;
   for (std::size_t n = 0; n < batch; ++n) {
@@ -49,7 +51,9 @@ Tensor MaxPool2d::forward(const Tensor& input) {
             }
           }
           output[out_idx] = best;
-          argmax_[out_idx] = static_cast<std::uint32_t>(plane_base + best_idx);
+          if (keep_argmax) {
+            argmax_[out_idx] = static_cast<std::uint32_t>(plane_base + best_idx);
+          }
         }
       }
     }
@@ -59,6 +63,8 @@ Tensor MaxPool2d::forward(const Tensor& input) {
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(!input_shape_.empty(), "MaxPool2d::backward before forward");
+  LITHOGAN_REQUIRE(argmax_.size() == grad_output.size(),
+                   "MaxPool2d::backward after a no-grad forward");
   LITHOGAN_REQUIRE(grad_output.shape() == output_shape_,
                    "MaxPool2d grad shape " + grad_output.shape_string());
   Tensor grad_input(input_shape_);

@@ -15,6 +15,8 @@ class MaxPool2d : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string kind() const override { return "MaxPool2d"; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
 
  private:
   std::size_t kernel_;

@@ -41,9 +41,23 @@ std::vector<Parameter*> Sequential::parameters() {
   return out;
 }
 
+std::vector<const Parameter*> Sequential::parameters() const {
+  std::vector<const Parameter*> out;
+  for (const auto& layer : layers_) {
+    const auto ps = static_cast<const Module&>(*layer).parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
 void Sequential::set_training(bool training) {
   Module::set_training(training);
   for (auto& layer : layers_) layer->set_training(training);
+}
+
+void Sequential::set_grad_enabled(bool enabled) {
+  Module::set_grad_enabled(enabled);
+  for (auto& layer : layers_) layer->set_grad_enabled(enabled);
 }
 
 void Sequential::set_exec_context(util::ExecContext* exec) {
@@ -60,6 +74,11 @@ void Sequential::load_state(std::istream& is) {
 }
 
 Module& Sequential::layer(std::size_t i) {
+  LITHOGAN_REQUIRE(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+const Module& Sequential::layer(std::size_t i) const {
   LITHOGAN_REQUIRE(i < layers_.size(), "layer index out of range");
   return *layers_[i];
 }

@@ -25,7 +25,9 @@ class Sequential : public Module {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<const Parameter*> parameters() const override;
   void set_training(bool training) override;
+  void set_grad_enabled(bool enabled) override;
   void set_exec_context(util::ExecContext* exec) override;
   std::string kind() const override { return "Sequential"; }
 
@@ -34,6 +36,7 @@ class Sequential : public Module {
 
   std::size_t layer_count() const { return layers_.size(); }
   Module& layer(std::size_t i);
+  const Module& layer(std::size_t i) const;
 
  private:
   std::vector<std::unique_ptr<Module>> layers_;

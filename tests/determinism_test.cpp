@@ -21,8 +21,12 @@
 #include "litho/simulator.hpp"
 #include "math/fft.hpp"
 #include "math/gemm.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
+#include "nn/infer.hpp"
 #include "nn/loss.hpp"
+#include "nn/sequential.hpp"
 #include "util/exec_context.hpp"
 #include "util/rng.hpp"
 
@@ -355,5 +359,31 @@ TEST(Determinism, AugmentDatasetMatchesSerialAtAnyThreadCount) {
       EXPECT_EQ(got.samples[i].center_px.x, ref.samples[i].center_px.x);
       EXPECT_EQ(got.samples[i].center_px.y, ref.samples[i].center_px.y);
     }
+  }
+}
+
+TEST(Determinism, InferencePlanMatchesSerialAtAnyThreadCount) {
+  lu::Rng rng(4242);
+  ln::Sequential net;
+  net.emplace<ln::Conv2d>(2, 8, 3, 2, 1, rng);
+  net.emplace<ln::BatchNorm2d>(8);
+  net.emplace<ln::LeakyReLU>(0.2f);
+  net.emplace<ln::ConvTranspose2d>(8, 1, 3, 2, 1, 1, rng);
+  net.emplace<ln::Tanh>();
+  net.set_training(false);
+
+  ln::InferencePlan plan;
+  plan.compile(net, {2, 16, 16});
+
+  ln::Tensor x({4, 2, 16, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = synth(i + 424242);
+
+  // Serial reference; copy out of the plan's reused output storage.
+  const ln::Tensor ref = plan.infer(x);
+  for (const std::size_t threads : kThreadCounts) {
+    lu::ExecContext exec(threads);
+    plan.set_exec_context(&exec);
+    EXPECT_TRUE(bit_equal(plan.infer(x), ref)) << "plan infer, threads=" << threads;
+    plan.set_exec_context(nullptr);
   }
 }
