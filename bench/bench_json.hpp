@@ -13,8 +13,9 @@
 // >1 means scaling helps — and 0 when no baseline was benched. The host
 // block pins what machine a trajectory was measured on, so cross-machine
 // diffs are recognizable as such. A trailing "metrics" block snapshots the
-// process-wide obs::Registry counters that explain perf deltas: FFT plan
-// cache hits/misses and the thread pool's inline-vs-dispatch decisions.
+// process-wide obs::Registry counters that explain perf deltas: FFT and
+// conv plan cache hits/misses, the conv engine's per-algorithm execution
+// mix (conv.algo.*), and the thread pool's inline-vs-dispatch decisions.
 #pragma once
 
 #include <cstdio>
@@ -68,10 +69,18 @@ inline bool write_bench_json(const std::string& path,
   const obs::Registry& reg = obs::Registry::global();
   std::fprintf(f,
                "  ],\n  \"metrics\": {\"fft.plan_cache.hit\": %llu, "
-               "\"fft.plan_cache.miss\": %llu, \"threadpool.jobs_inlined\": %llu, "
+               "\"fft.plan_cache.miss\": %llu, \"conv.plan_cache.hit\": %llu, "
+               "\"conv.plan_cache.miss\": %llu, \"conv.algo.im2col\": %llu, "
+               "\"conv.algo.direct\": %llu, \"conv.algo.fft\": %llu, "
+               "\"threadpool.jobs_inlined\": %llu, "
                "\"threadpool.jobs_dispatched\": %llu}\n}\n",
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.hit")),
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.miss")),
+               static_cast<unsigned long long>(reg.counter_value("conv.plan_cache.hit")),
+               static_cast<unsigned long long>(reg.counter_value("conv.plan_cache.miss")),
+               static_cast<unsigned long long>(reg.counter_value("conv.algo.im2col")),
+               static_cast<unsigned long long>(reg.counter_value("conv.algo.direct")),
+               static_cast<unsigned long long>(reg.counter_value("conv.algo.fft")),
                static_cast<unsigned long long>(reg.counter_value("threadpool.jobs_inlined")),
                static_cast<unsigned long long>(
                    reg.counter_value("threadpool.jobs_dispatched")));

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "math/conv.hpp"
 #include "math/fft.hpp"
 #include "math/gemm.hpp"
 #include "nn/activations.hpp"
@@ -34,6 +35,7 @@
 #include "util/exec_context.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/workspace.hpp"
 
 using namespace lithogan;
 
@@ -104,6 +106,31 @@ int main() {
   infer_plan.compile(infer_net, {4, 32, 32});
   const auto infer_x = nn::Tensor::randn({8, 4, 32, 32}, rng);
 
+  // Conv engine via a cost-model plan (batch 8, 3->64 at 64x64): the
+  // engine's own two-level dispatch — batch-parallel outer, serial inner —
+  // exercised directly at the math layer rather than through a module.
+  const std::size_t ce_in_c = 3, ce_hw = 64, ce_out_c = 64, ce_k = 5;
+  math::ConvKey ce_key;
+  ce_key.in_c = ce_in_c;
+  ce_key.in_h = ce_hw;
+  ce_key.in_w = ce_hw;
+  ce_key.out_c = ce_out_c;
+  ce_key.kernel = ce_k;
+  ce_key.stride = 2;
+  ce_key.pad = 2;
+  const auto ce_plan = math::conv_plan(ce_key);
+  std::vector<float> ce_src(8 * ce_in_c * ce_hw * ce_hw);
+  std::vector<float> ce_w(ce_out_c * ce_in_c * ce_k * ce_k);
+  std::vector<float> ce_bias(ce_out_c);
+  for (auto& v : ce_src) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : ce_w) v = static_cast<float>(rng.uniform(-1, 1));
+  math::Epilogue ce_epi;
+  ce_epi.bias = ce_bias.data();
+  ce_epi.bias_per_row = true;
+  ce_epi.act = math::Activation::kLeakyRelu;
+  std::vector<float> ce_dst(8 * ce_out_c * ce_plan->out_h * ce_plan->out_w);
+  util::Workspace ce_ws;
+
   std::vector<Op> ops;
   ops.push_back({"gemm_192", 16, [&](util::ExecContext* exec) {
                    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec);
@@ -119,6 +146,10 @@ int main() {
   ops.push_back({"conv2d_small", 4, [&](util::ExecContext* exec) {
                    conv.set_exec_context(exec);
                    auto y = conv.forward(conv_x);
+                 }});
+  ops.push_back({"conv_plan", 4, [&](util::ExecContext* exec) {
+                   math::conv2d_forward(*ce_plan, 8, ce_src.data(), ce_w.data(),
+                                        nullptr, ce_epi, ce_dst.data(), exec, ce_ws);
                  }});
   ops.push_back({"infer_plan_b8", 4, [&](util::ExecContext* exec) {
                    infer_plan.set_exec_context(exec);

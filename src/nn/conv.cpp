@@ -1,7 +1,6 @@
 #include "nn/conv.hpp"
 
-#include "math/gemm.hpp"
-#include "nn/im2col.hpp"
+#include "math/conv.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
 #include "util/rng.hpp"
@@ -11,15 +10,10 @@ namespace lithogan::nn {
 namespace {
 constexpr float kInitStddev = 0.02f;  // DCGAN / pix2pix weight initialization
 
-// Workspace float-slot layout shared by conv and deconv. Per-thread slots
-// hold im2col/gradient columns; per-sample gradient partials live in the
-// module's own arena so they survive until the fixed-order reduction after
-// the parallel section.
-constexpr std::size_t kColSlot = 0;
-constexpr std::size_t kGradColSlot = 1;
-// Module-arena slots for per-sample gradient partials. Distinct from the
-// per-thread slots above: on the serial path the module arena doubles as the
-// lambda's workspace, so the slot ranges must not overlap.
+// Module-arena slots for per-sample gradient partials. The math::conv
+// engine owns float slots 0-1 of whatever workspace a chunk runs with —
+// and on the serial path the module arena IS that workspace — so the
+// partials live above the engine's range.
 constexpr std::size_t kWgradSlot = 2;
 constexpr std::size_t kBgradSlot = 3;
 
@@ -29,6 +23,10 @@ constexpr std::size_t kBgradSlot = 3;
 // the reduction is bit-identical to the seed's sequential accumulation.
 void accumulate(float* acc, const float* contribution, std::size_t count) {
   for (std::size_t i = 0; i < count; ++i) acc[i] += contribution[i];
+}
+
+std::size_t thread_budget(util::ExecContext* exec) {
+  return exec != nullptr ? exec->threads() : 1;
 }
 }  // namespace
 
@@ -55,57 +53,42 @@ Tensor Conv2d::forward(const Tensor& input) {
   // must not pay one retained activation copy per call.
   input_ = grad_enabled_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
-  const std::size_t h = input.dim(2);
-  const std::size_t w = input.dim(3);
-  const std::size_t out_h = conv_out_size(h, kernel_, stride_, pad_);
-  const std::size_t out_w = conv_out_size(w, kernel_, stride_, pad_);
-  const std::size_t cols = out_h * out_w;
-  const std::size_t rows = in_channels_ * kernel_ * kernel_;
 
-  Tensor output({batch, out_channels_, out_h, out_w});
-  // Per-sample work is fully independent; with a single sample the inner
-  // GEMM is parallelized instead so inference also scales.
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
-    // im2col emits the packed-B panel layout directly, so the GEMM consumes
-    // it without a second packing copy of the column matrix.
-    auto& col = ws.floats(kColSlot);
-    col.resize(math::packed_b_size(cols, rows));
-    for (std::size_t n = n0; n < n1; ++n) {
-      const float* x = input.raw() + n * in_channels_ * h * w;
-      float* y = output.raw() + n * out_channels_ * cols;
-      im2col_packed(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
-      math::gemm_packed(out_channels_, cols, rows, 1.0f, weight_.value.raw(),
-                        col.data(), 0.0f, y, inner);
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[oc];
-        float* plane = y + oc * cols;
-        for (std::size_t i = 0; i < cols; ++i) plane[i] += b;
-      }
-    }
-  };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
-                     batch * 2 * out_channels_ * rows * cols, sample);
+  // Per-shape plan from the engine's process-wide cache; the algorithm is a
+  // pure function of the geometry, so repeated steps pay one lookup.
+  const math::ConvKey key{math::ConvDir::kForward, in_channels_, input.dim(2),
+                          input.dim(3),            out_channels_, kernel_,
+                          stride_,                 pad_,          1,
+                          0,                       false,         thread_budget(exec_)};
+  const auto plan = math::conv_plan(key);
+
+  Tensor output({batch, out_channels_, plan->out_h, plan->out_w});
+  math::Epilogue epi;
+  epi.bias = bias_.value.raw();
+  epi.bias_per_row = true;
+  math::conv2d_forward(*plan, batch, input.raw(), weight_.value.raw(), nullptr, epi,
+                       output.raw(), exec_, arena_);
   return output;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(!input_.empty(), "Conv2d::backward before forward");
   const std::size_t batch = input_.dim(0);
-  const std::size_t h = input_.dim(2);
-  const std::size_t w = input_.dim(3);
-  const std::size_t out_h = conv_out_size(h, kernel_, stride_, pad_);
-  const std::size_t out_w = conv_out_size(w, kernel_, stride_, pad_);
-  const std::size_t cols = out_h * out_w;
-  const std::size_t rows = in_channels_ * kernel_ * kernel_;
+  math::ConvKey key{math::ConvDir::kBwdData, in_channels_, input_.dim(2),
+                    input_.dim(3),           out_channels_, kernel_,
+                    stride_,                 pad_,          1,
+                    0,                       false,         thread_budget(exec_)};
+  const auto data_plan = math::conv_plan(key);
+  key.dir = math::ConvDir::kBwdWeight;
+  const auto weight_plan = math::conv_plan(key);
   LITHOGAN_REQUIRE(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
                        grad_output.dim(1) == out_channels_ &&
-                       grad_output.dim(2) == out_h && grad_output.dim(3) == out_w,
+                       grad_output.dim(2) == data_plan->out_h &&
+                       grad_output.dim(3) == data_plan->out_w,
                    "Conv2d grad shape " + grad_output.shape_string());
 
   Tensor grad_input(input_.shape());
-  const std::size_t wgrad_size = out_channels_ * rows;
+  const std::size_t wgrad_size = out_channels_ * data_plan->rows;
   // Per-sample weight/bias gradient partials, reduced in sample order below
   // so the result is independent of how samples were scheduled.
   auto& wgrad_partials = arena_.floats(kWgradSlot);
@@ -113,40 +96,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   wgrad_partials.resize(batch * wgrad_size);
   bgrad_partials.resize(batch * out_channels_);
 
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
-    auto& col = ws.floats(kColSlot);
-    auto& grad_col = ws.floats(kGradColSlot);
-    col.resize(rows * cols);
-    grad_col.resize(rows * cols);
-    for (std::size_t n = n0; n < n1; ++n) {
-      const float* x = input_.raw() + n * in_channels_ * h * w;
-      const float* gy = grad_output.raw() + n * out_channels_ * cols;
-      float* gx = grad_input.raw() + n * in_channels_ * h * w;
-
-      // Weight gradient partial: dW_n = dY_n * Col_n^T (Col is recomputed,
-      // trading FLOPs for not caching one col matrix per sample).
-      im2col(x, in_channels_, h, w, kernel_, stride_, pad_, col.data());
-      math::gemm_bt(out_channels_, rows, cols, 1.0f, gy, col.data(), 0.0f,
-                    wgrad_partials.data() + n * wgrad_size, inner);
-
-      // Bias gradient partial: channel-wise sums of dY_n.
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float* plane = gy + oc * cols;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < cols; ++i) acc += plane[i];
-        bgrad_partials[n * out_channels_ + oc] = acc;
-      }
-
-      // Data gradient: dCol = W^T * dY, then scatter back.
-      math::gemm_at(rows, cols, out_channels_, 1.0f, weight_.value.raw(), gy, 0.0f,
-                    grad_col.data(), inner);
-      col2im(grad_col.data(), in_channels_, h, w, kernel_, stride_, pad_, gx);
-    }
-  };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
-                     batch * 4 * out_channels_ * rows * cols, sample);
+  math::conv2d_backward(*data_plan, *weight_plan, batch, input_.raw(),
+                        grad_output.raw(), weight_.value.raw(), grad_input.raw(),
+                        wgrad_partials.data(), bgrad_partials.data(), exec_, arena_);
 
   for (std::size_t n = 0; n < batch; ++n) {
     accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);
@@ -179,94 +131,49 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
                    "ConvTranspose2d input shape " + input.shape_string());
   input_ = grad_enabled_ ? input : Tensor();
   const std::size_t batch = input.dim(0);
-  const std::size_t in_h = input.dim(2);
-  const std::size_t in_w = input.dim(3);
-  out_h_ = deconv_out_size(in_h, kernel_, stride_, pad_, output_pad_);
-  out_w_ = deconv_out_size(in_w, kernel_, stride_, pad_, output_pad_);
-  // The transposed conv is the adjoint of a conv with identical geometry
-  // mapping the (out_h_, out_w_) grid down to (in_h, in_w).
-  LITHOGAN_REQUIRE(conv_out_size(out_h_, kernel_, stride_, pad_) == in_h &&
-                       conv_out_size(out_w_, kernel_, stride_, pad_) == in_w,
-                   "inconsistent deconv geometry");
 
-  const std::size_t cols = in_h * in_w;                         // columns of Col
-  const std::size_t rows = out_channels_ * kernel_ * kernel_;   // rows of Col
-  const std::size_t out_plane = out_h_ * out_w_;
+  const math::ConvKey key{math::ConvDir::kDeconvForward, in_channels_, input.dim(2),
+                          input.dim(3),                  out_channels_, kernel_,
+                          stride_,                       pad_,          1,
+                          output_pad_,                   false,
+                          thread_budget(exec_)};
+  const auto plan = math::conv_plan(key);
+  out_h_ = plan->out_h;
+  out_w_ = plan->out_w;
 
   Tensor output({batch, out_channels_, out_h_, out_w_});
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
-    auto& col = ws.floats(kColSlot);
-    col.resize(rows * cols);
-    for (std::size_t n = n0; n < n1; ++n) {
-      const float* x = input.raw() + n * in_channels_ * cols;
-      float* y = output.raw() + n * out_channels_ * out_plane;
-      // Col = W^T * X, then scatter-add into the enlarged output grid.
-      math::gemm_at(rows, cols, in_channels_, 1.0f, weight_.value.raw(), x, 0.0f,
-                    col.data(), inner);
-      col2im(col.data(), out_channels_, out_h_, out_w_, kernel_, stride_, pad_, y);
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[oc];
-        float* plane = y + oc * out_plane;
-        for (std::size_t i = 0; i < out_plane; ++i) plane[i] += b;
-      }
-    }
-  };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
-                     batch * 2 * in_channels_ * rows * cols, sample);
+  math::Epilogue epi;
+  epi.bias = bias_.value.raw();
+  epi.bias_per_row = true;
+  math::deconv2d_forward(*plan, batch, input.raw(), weight_.value.raw(), nullptr, epi,
+                         output.raw(), exec_, arena_);
   return output;
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   LITHOGAN_REQUIRE(!input_.empty(), "ConvTranspose2d::backward before forward");
   const std::size_t batch = input_.dim(0);
-  const std::size_t in_h = input_.dim(2);
-  const std::size_t in_w = input_.dim(3);
-  const std::size_t cols = in_h * in_w;
-  const std::size_t rows = out_channels_ * kernel_ * kernel_;
-  const std::size_t out_plane = out_h_ * out_w_;
+  const math::ConvKey key{math::ConvDir::kDeconvBackward, in_channels_, input_.dim(2),
+                          input_.dim(3),                  out_channels_, kernel_,
+                          stride_,                        pad_,          1,
+                          output_pad_,                    false,
+                          thread_budget(exec_)};
+  const auto plan = math::conv_plan(key);
   LITHOGAN_REQUIRE(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
                        grad_output.dim(1) == out_channels_ &&
                        grad_output.dim(2) == out_h_ && grad_output.dim(3) == out_w_,
                    "ConvTranspose2d grad shape " + grad_output.shape_string());
 
   Tensor grad_input(input_.shape());
-  const std::size_t wgrad_size = in_channels_ * rows;
+  const std::size_t wgrad_size = in_channels_ * plan->rows;
   auto& wgrad_partials = arena_.floats(kWgradSlot);
   auto& bgrad_partials = arena_.floats(kBgradSlot);
   wgrad_partials.resize(batch * wgrad_size);
   bgrad_partials.resize(batch * out_channels_);
 
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  auto sample = [&](std::size_t n0, std::size_t n1, util::Workspace& ws) {
-    auto& grad_col = ws.floats(kGradColSlot);
-    grad_col.resize(rows * cols);
-    for (std::size_t n = n0; n < n1; ++n) {
-      const float* x = input_.raw() + n * in_channels_ * cols;
-      const float* gy = grad_output.raw() + n * out_channels_ * out_plane;
-      float* gx = grad_input.raw() + n * in_channels_ * cols;
-
-      // Gather the output gradient into column form (the adjoint of the
-      // forward col2im), then one GEMM each for data and weight gradients.
-      im2col(gy, out_channels_, out_h_, out_w_, kernel_, stride_, pad_,
-             grad_col.data());
-      math::gemm(in_channels_, cols, rows, 1.0f, weight_.value.raw(), grad_col.data(),
-                 0.0f, gx, inner);
-      math::gemm_bt(in_channels_, rows, cols, 1.0f, x, grad_col.data(), 0.0f,
-                    wgrad_partials.data() + n * wgrad_size, inner);
-
-      for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-        const float* plane = gy + oc * out_plane;
-        float acc = 0.0f;
-        for (std::size_t i = 0; i < out_plane; ++i) acc += plane[i];
-        bgrad_partials[n * out_channels_ + oc] = acc;
-      }
-    }
-  };
-  util::parallel_for(batch_parallel ? exec_ : nullptr, arena_, 0, batch, 1,
-                     batch * 4 * in_channels_ * rows * cols, sample);
+  math::deconv2d_backward(*plan, batch, input_.raw(), grad_output.raw(),
+                          weight_.value.raw(), grad_input.raw(), wgrad_partials.data(),
+                          bgrad_partials.data(), exec_, arena_);
 
   for (std::size_t n = 0; n < batch; ++n) {
     accumulate(weight_.grad.raw(), wgrad_partials.data() + n * wgrad_size, wgrad_size);

@@ -1,45 +1,18 @@
 // im2col / col2im lowering shared by Conv2d and ConvTranspose2d.
 //
-// im2col unrolls every receptive field of a (C, H, W) plane into a column of
-// a (C*k*k, Ho*Wo) matrix so convolution becomes one GEMM; col2im is its
-// adjoint (scatter-add), which is exactly the data-gradient of convolution
-// and the forward pass of transposed convolution.
+// The implementations moved into the math::conv engine (math/conv.hpp),
+// which is the single owner of every lowering primitive; this header keeps
+// the nn-namespace spellings alive so layer code and tests read naturally.
 #pragma once
 
-#include <cstddef>
+#include "math/conv.hpp"
 
 namespace lithogan::nn {
 
-/// Output spatial extent of a convolution along one axis.
-/// Requires in + 2*pad >= kernel.
-std::size_t conv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
-                          std::size_t pad);
-
-/// Output spatial extent of a transposed convolution along one axis:
-/// (in-1)*stride - 2*pad + kernel + output_pad.
-std::size_t deconv_out_size(std::size_t in, std::size_t kernel, std::size_t stride,
-                            std::size_t pad, std::size_t output_pad);
-
-/// src: (C, H, W) contiguous. col: (C*k*k, Ho*Wo) contiguous, fully written.
-/// Out-of-bounds taps read as zero.
-void im2col(const float* src, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kernel, std::size_t stride, std::size_t pad,
-            float* col);
-
-/// im2col directly into the packed-B panel layout consumed by
-/// math::gemm_packed (see math/gemm.hpp for the layout): the (C*k*k, Ho*Wo)
-/// column matrix never exists in row-major form, so the GEMM's B-packing
-/// copy is skipped entirely. `packed` must hold
-/// math::packed_b_size(Ho*Wo, C*k*k) floats; ragged tile columns are
-/// zero-filled.
-void im2col_packed(const float* src, std::size_t channels, std::size_t height,
-                   std::size_t width, std::size_t kernel, std::size_t stride,
-                   std::size_t pad, float* packed);
-
-/// Adjoint of im2col: scatter-adds col back into dst (C, H, W).
-/// dst must be zero-initialized by the caller.
-void col2im(const float* col, std::size_t channels, std::size_t height,
-            std::size_t width, std::size_t kernel, std::size_t stride, std::size_t pad,
-            float* dst);
+using math::col2im;
+using math::conv_out_size;
+using math::deconv_out_size;
+using math::im2col;
+using math::im2col_packed;
 
 }  // namespace lithogan::nn

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <sstream>
 
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
@@ -43,36 +44,6 @@ std::size_t shape_elems(const std::vector<std::size_t>& shape) {
   std::size_t n = 1;
   for (const std::size_t d : shape) n *= d;
   return n;
-}
-
-/// Builds one axis of a deconv col2im-gather table: for each output
-/// coordinate o, the taps (k, i) satisfying o = i*stride + k - pad with
-/// 0 <= i < in_dim, stored as column-matrix offsets k*k_step + i*i_step in
-/// ascending k — the order col2im's scatter visits them. Valid k for a
-/// fixed o are spaced exactly `stride` apart, so each coordinate has at
-/// most ceil(kernel / stride) taps; that bound is the table row stride and
-/// the return value.
-std::size_t build_gather_axis(std::size_t out_dim, std::size_t in_dim,
-                              std::size_t kernel, std::size_t stride, std::size_t pad,
-                              std::size_t k_step, std::size_t i_step,
-                              std::vector<std::uint32_t>& taps,
-                              std::vector<std::uint8_t>& counts) {
-  const std::size_t max_taps = (kernel + stride - 1) / stride;
-  taps.assign(out_dim * max_taps, 0);
-  counts.assign(out_dim, 0);
-  for (std::size_t o = 0; o < out_dim; ++o) {
-    std::size_t cnt = 0;
-    for (std::size_t k = 0; k < kernel; ++k) {
-      if (o + pad < k) continue;
-      const std::size_t num = o + pad - k;
-      if (num % stride != 0) continue;
-      const std::size_t i = num / stride;
-      if (i >= in_dim) continue;
-      taps[o * max_taps + cnt++] = static_cast<std::uint32_t>(k * k_step + i * i_step);
-    }
-    counts[o] = static_cast<std::uint8_t>(cnt);
-  }
-  return max_taps;
 }
 
 }  // namespace
@@ -139,11 +110,16 @@ InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
     s.stride = conv->stride();
     s.pad = conv->pad();
     s.out_c = conv->out_channels();
-    s.out_h = conv_out_size(s.in_h, s.kernel, s.stride, s.pad);
-    s.out_w = conv_out_size(s.in_w, s.kernel, s.stride, s.pad);
-    const std::size_t rows = s.in_c * s.kernel * s.kernel;
-    s.packed_w.resize(math::packed_a_size(s.out_c, rows));
-    math::pack_a(s.out_c, rows, conv->weight().raw(), s.packed_w.data());
+    // Resolve the engine plan (threads=1: the thread budget never changes
+    // the algorithm, and exec may be attached after compile) and snapshot
+    // the weights prepacked in the chosen algorithm's layout.
+    const math::ConvKey key{math::ConvDir::kForward, s.in_c,   s.in_h, s.in_w,
+                            s.out_c,                 s.kernel, s.stride, s.pad,
+                            1,                       0,        true,     1};
+    s.conv = math::conv_plan(key);
+    s.out_h = s.conv->out_h;
+    s.out_w = s.conv->out_w;
+    s.conv_w = math::pack_conv_weights(*s.conv, conv->weight().raw());
     s.bias.assign(conv->bias().raw(), conv->bias().raw() + s.out_c);
     s.out = new_buffer({s.out_c, s.out_h, s.out_w});
     s.in_elems = buffers_[in].sample_elems;
@@ -166,17 +142,25 @@ InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
     s.stride = deconv->stride();
     s.pad = deconv->pad();
     s.out_c = deconv->out_channels();
-    s.out_h = deconv_out_size(s.in_h, s.kernel, s.stride, s.pad, deconv->output_pad());
-    s.out_w = deconv_out_size(s.in_w, s.kernel, s.stride, s.pad, deconv->output_pad());
-    LITHOGAN_REQUIRE(conv_out_size(s.out_h, s.kernel, s.stride, s.pad) == s.in_h &&
-                         conv_out_size(s.out_w, s.kernel, s.stride, s.pad) == s.in_w,
-                     "InferencePlan: inconsistent deconv geometry");
-    // The deconv GEMM is Col = W^T * X; the weight (in, out*k*k) is packed
-    // as the transposed A operand once instead of per call (gemm_at's
-    // on-the-fly gather).
-    const std::size_t rows = s.out_c * s.kernel * s.kernel;
-    s.packed_w.resize(math::packed_a_size(rows, s.in_c));
-    math::pack_a_t(rows, s.in_c, deconv->weight().raw(), s.packed_w.data());
+    // Engine plan (validates the adjoint geometry) + prepacked weights:
+    // the deconv GEMM is Col = W^T * X, so the (in, out*k*k) weight packs
+    // as the transposed A operand once instead of per call.
+    const math::ConvKey key{math::ConvDir::kDeconvForward,
+                            s.in_c,
+                            s.in_h,
+                            s.in_w,
+                            s.out_c,
+                            s.kernel,
+                            s.stride,
+                            s.pad,
+                            1,
+                            deconv->output_pad(),
+                            true,
+                            1};
+    s.conv = math::conv_plan(key);
+    s.out_h = s.conv->out_h;
+    s.out_w = s.conv->out_w;
+    s.conv_w = math::pack_conv_weights(*s.conv, deconv->weight().raw());
     s.bias.assign(deconv->bias().raw(), deconv->bias().raw() + s.out_c);
     s.out = new_buffer({s.out_c, s.out_h, s.out_w});
     s.in_elems = buffers_[in].sample_elems;
@@ -393,17 +377,6 @@ void InferencePlan::assign_slots() {
     if (s.op == Op::kConcat && s.in1 != s.in0) release(s.in1);
   }
 
-  scratch_elems_ = 0;
-  for (const Step& s : steps_) {
-    if (s.op == Op::kConv) {
-      const std::size_t rows = s.in_c * s.kernel * s.kernel;
-      scratch_elems_ =
-          std::max(scratch_elems_, math::packed_b_size(s.out_h * s.out_w, rows));
-    } else if (s.op == Op::kDeconv) {
-      const std::size_t rows = s.out_c * s.kernel * s.kernel;
-      scratch_elems_ = std::max(scratch_elems_, rows * s.in_h * s.in_w);
-    }
-  }
 }
 
 void InferencePlan::finalize() {
@@ -412,17 +385,6 @@ void InferencePlan::finalize() {
   const obs::Span span("infer.plan");
   fuse_epilogues();
   assign_slots();
-  // Deconv writeback gather tables (see run_deconv); geometry-only, so the
-  // order relative to fusion doesn't matter.
-  for (Step& s : steps_) {
-    if (s.op != Op::kDeconv) continue;
-    const std::size_t in_plane = s.in_h * s.in_w;
-    s.gather_ty = build_gather_axis(s.out_h, s.in_h, s.kernel, s.stride, s.pad,
-                                    s.kernel * in_plane, s.in_w, s.gather_y,
-                                    s.gather_ycnt);
-    s.gather_tx = build_gather_axis(s.out_w, s.in_w, s.kernel, s.stride, s.pad,
-                                    in_plane, 1, s.gather_x, s.gather_xcnt);
-  }
   finalized_ = true;
 }
 
@@ -466,15 +428,6 @@ void InferencePlan::ensure_capacity(std::size_t batch) {
     if (need > slots_[s].capacity()) ++stats_.allocations;
     slots_[s].resize(need);
   }
-  const std::size_t workers = exec_ != nullptr ? exec_->threads() : 1;
-  if (scratch_.size() < workers) {
-    scratch_.resize(workers);
-    ++stats_.allocations;
-  }
-  for (auto& buf : scratch_) {
-    if (scratch_elems_ > buf.capacity()) ++stats_.allocations;
-    buf.resize(scratch_elems_);
-  }
   if (output_.empty() || output_.dim(0) != batch) {
     std::vector<std::size_t> shape{batch};
     const auto& out_shape = buffers_[output_id_].sample_shape;
@@ -486,84 +439,23 @@ void InferencePlan::ensure_capacity(std::size_t batch) {
 
 void InferencePlan::run_conv(const Step& s, std::size_t batch, const float* src,
                              float* dst) {
-  const std::size_t cols = s.out_h * s.out_w;
-  const std::size_t rows = s.in_c * s.kernel * s.kernel;
   math::Epilogue epi;
   epi.bias = s.bias.data();
   epi.bias_per_row = true;
   epi.act = s.act;
   epi.slope = s.slope;
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  auto sample = [&](std::size_t n0, std::size_t n1, std::size_t worker) {
-    float* col = scratch_[worker].data();
-    for (std::size_t n = n0; n < n1; ++n) {
-      im2col_packed(src + n * s.in_elems, s.in_c, s.in_h, s.in_w, s.kernel, s.stride,
-                    s.pad, col);
-      math::gemm_prepacked_pb(s.out_c, cols, rows, 1.0f, s.packed_w.data(), col, 0.0f,
-                              dst + n * s.out_elems, epi, inner);
-    }
-  };
-  if (batch_parallel) {
-    exec_->pool().parallel_for(0, batch, 1, batch * 2 * s.out_c * rows * cols,
-                               [&](std::size_t n0, std::size_t n1,
-                                   std::size_t worker) { sample(n0, n1, worker); });
-  } else {
-    sample(0, batch, 0);
-  }
+  math::conv2d_forward(*s.conv, batch, src, nullptr, &s.conv_w, epi, dst, exec_, ws_);
 }
 
 void InferencePlan::run_deconv(const Step& s, std::size_t batch, const float* src,
                                float* dst) {
-  const std::size_t cols = s.in_h * s.in_w;
-  const std::size_t rows = s.out_c * s.kernel * s.kernel;
-  const std::size_t out_plane = s.out_h * s.out_w;
-  const bool batch_parallel = exec_ != nullptr && batch > 1;
-  util::ExecContext* inner = batch_parallel ? nullptr : exec_;
-  const std::size_t kk = s.kernel * s.kernel;
-  auto sample = [&](std::size_t n0, std::size_t n1, std::size_t worker) {
-    float* col = scratch_[worker].data();
-    for (std::size_t n = n0; n < n1; ++n) {
-      const float* x = src + n * s.in_elems;
-      float* y = dst + n * s.out_elems;
-      math::gemm_prepacked(rows, cols, s.in_c, 1.0f, s.packed_w.data(), x, 0.0f, col,
-                           {}, inner);
-      // col holds (out_c*k*k, in_h*in_w). Instead of memset + col2im
-      // scatter + a separate bias/activation sweep, gather each output
-      // pixel's taps directly from col (tables built in finalize). Taps are
-      // visited ascending in (ky, kx) — exactly the order col2im's scatter
-      // adds them — and bias lands after the full accumulation, so this
-      // writeback is bit-identical to the three-pass form while streaming
-      // the output once.
-      for (std::size_t oc = 0; oc < s.out_c; ++oc) {
-        const float* cbase = col + oc * kk * cols;
-        const float b = s.bias[oc];
-        float* yplane = y + oc * out_plane;
-        for (std::size_t oy = 0; oy < s.out_h; ++oy) {
-          const std::uint32_t* ty = s.gather_y.data() + oy * s.gather_ty;
-          const std::size_t nty = s.gather_ycnt[oy];
-          float* yrow = yplane + oy * s.out_w;
-          for (std::size_t ox = 0; ox < s.out_w; ++ox) {
-            const std::uint32_t* tx = s.gather_x.data() + ox * s.gather_tx;
-            const std::size_t ntx = s.gather_xcnt[ox];
-            float acc = 0.0f;
-            for (std::size_t a = 0; a < nty; ++a) {
-              const float* r = cbase + ty[a];
-              for (std::size_t c = 0; c < ntx; ++c) acc += r[tx[c]];
-            }
-            yrow[ox] = act_eval(s.act, acc + b, s.slope);
-          }
-        }
-      }
-    }
-  };
-  if (batch_parallel) {
-    exec_->pool().parallel_for(0, batch, 1, batch * 2 * s.in_c * rows * cols,
-                               [&](std::size_t n0, std::size_t n1,
-                                   std::size_t worker) { sample(n0, n1, worker); });
-  } else {
-    sample(0, batch, 0);
-  }
+  math::Epilogue epi;
+  epi.bias = s.bias.data();
+  epi.bias_per_row = true;
+  epi.act = s.act;
+  epi.slope = s.slope;
+  math::deconv2d_forward(*s.conv, batch, src, nullptr, &s.conv_w, epi, dst, exec_,
+                         ws_);
 }
 
 void InferencePlan::run_linear(const Step& s, std::size_t batch, const float* src,
@@ -751,9 +643,58 @@ InferencePlan::ArenaStats InferencePlan::arena_stats() const {
   st.buffers = buffers_.size();
   std::size_t floats = 0;
   for (const auto& v : slots_) floats += v.size();
-  for (const auto& v : scratch_) floats += v.size();
   st.arena_floats = floats;
   return st;
+}
+
+std::string InferencePlan::plan_dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    const char* name = "?";
+    switch (s.op) {
+      case Op::kConv:
+        name = "conv";
+        break;
+      case Op::kDeconv:
+        name = "deconv";
+        break;
+      case Op::kLinear:
+        name = "linear";
+        break;
+      case Op::kBatchNorm:
+        name = "batchnorm";
+        break;
+      case Op::kActivation:
+        name = "activation";
+        break;
+      case Op::kMaxPool:
+        name = "maxpool";
+        break;
+      case Op::kConcat:
+        name = "concat";
+        break;
+    }
+    os << "step " << i << ": " << name;
+    if (s.op == Op::kConv || s.op == Op::kDeconv) {
+      os << ' ' << s.in_c << 'x' << s.in_h << 'x' << s.in_w << " -> " << s.out_c << 'x'
+         << s.out_h << 'x' << s.out_w << " k" << s.kernel << " s" << s.stride << " p"
+         << s.pad << " algo=" << math::conv_algo_name(s.conv->algo);
+    } else if (s.op == Op::kLinear) {
+      os << ' ' << s.in_c << " -> " << s.out_c;
+    } else if (s.op != Op::kActivation) {
+      os << ' ' << s.in_c << 'x' << s.in_h << 'x' << s.in_w;
+    }
+    if (s.act != math::Activation::kIdentity) {
+      const char* act = s.act == math::Activation::kRelu        ? "relu"
+                        : s.act == math::Activation::kLeakyRelu ? "leaky_relu"
+                        : s.act == math::Activation::kTanh      ? "tanh"
+                                                                : "sigmoid";
+      os << " act=" << act;
+    }
+    os << '\n';
+  }
+  return os.str();
 }
 
 }  // namespace lithogan::nn

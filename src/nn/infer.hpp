@@ -6,14 +6,16 @@
 // runs bias/activation as separate sweeps. The plan walks a network once at
 // load time and compiles it into a flat step program:
 //
-//   * every conv / deconv / linear weight is pre-packed into the micro-
-//     kernel's panel layout (math::pack_a / pack_a_t / pack_b_t) exactly
-//     once;
+//   * every conv / deconv step resolves a math::conv engine plan (which
+//     bakes the algorithm choice — im2col / direct / fft — into the step;
+//     see plan_dump()) and prepacks its weights in the layout that
+//     algorithm wants, exactly once; linear weights pre-pack into GEMM
+//     panels (math::pack_b_t) the same way;
 //   * a conv/linear immediately followed by an activation has bias +
 //     activation fused into the GEMM epilogue (math::Epilogue); a batchnorm
 //     absorbs it into its per-channel affine sweep; a deconv fuses bias +
 //     activation into its col2im writeback, which runs as a single gather
-//     pass (precomputed tap tables) instead of memset + scatter + sweep;
+//     pass (plan tap tables) instead of memset + scatter + sweep;
 //   * activation storage comes from a static arena: buffer lifetimes are
 //     computed by liveness analysis and dead buffers' slots are ping-pong
 //     reused, so U-Net skip buffers stay pinned across their live range
@@ -29,10 +31,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "math/conv.hpp"
 #include "math/gemm.hpp"
 #include "nn/tensor.hpp"
+#include "util/workspace.hpp"
 
 namespace lithogan::util {
 class ExecContext;
@@ -104,6 +110,12 @@ class InferencePlan {
   };
   ArenaStats arena_stats() const;
 
+  /// Human-readable step listing: one line per step with its geometry and,
+  /// for conv/deconv steps, the engine algorithm the plan baked in
+  /// (`algo=im2col|direct|fft`) — so a bit-identity failure is attributable
+  /// to a specific step's algorithm choice.
+  std::string plan_dump() const;
+
   bool finalized() const { return finalized_; }
   std::size_t step_count() const { return steps_.size(); }
   const std::vector<std::size_t>& output_sample_shape() const;
@@ -126,16 +138,13 @@ class InferencePlan {
     float slope = 0.2f;
     std::size_t act_cost = 2;  ///< dispatch-cost ops/elem hint (standalone act)
     // Plan-owned constants.
-    std::vector<float> packed_w;  ///< pre-packed weight panels
+    std::vector<float> packed_w;  ///< pre-packed weight panels (linear)
     std::vector<float> bias;
     std::vector<float> bn_mean, bn_inv_std, bn_gamma, bn_beta;
-    // Deconv col2im-gather tables (built in finalize): for each output row
-    // (resp. column), the column-matrix offsets of the taps that land on
-    // it, stored ascending in ky (resp. kx) so the gathered accumulation
-    // replays the scatter order bit for bit.
-    std::vector<std::uint32_t> gather_y, gather_x;
-    std::vector<std::uint8_t> gather_ycnt, gather_xcnt;
-    std::size_t gather_ty = 0, gather_tx = 0;  ///< table row strides (max taps)
+    // Conv/deconv steps: the engine plan (algorithm choice, geometry,
+    // gather tables) and the weights prepacked in that algorithm's layout.
+    std::shared_ptr<const math::ConvPlan> conv;
+    math::PackedConvWeights conv_w;
   };
 
   struct BufferInfo {
@@ -180,8 +189,7 @@ class InferencePlan {
   // Arena state (sized by ensure_capacity, reused across calls).
   std::vector<std::size_t> slot_elems_;  ///< per-slot max sample floats
   std::vector<std::vector<float>> slots_;
-  std::vector<std::vector<float>> scratch_;  ///< per-worker conv/deconv columns
-  std::size_t scratch_elems_ = 0;
+  util::Workspace ws_;  ///< serial-path engine scratch (capacity-retaining)
   Tensor output_;
   mutable ArenaStats stats_;
 };
