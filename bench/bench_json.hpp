@@ -34,6 +34,7 @@ struct BenchRecord {
   std::size_t threads = 1;
   double ns_per_iter = 0.0;
   double gflops_per_s = 0.0;
+  std::string dtype = "f32";  ///< weight/compute dtype of this row
 };
 
 /// 1-thread ns_per_iter for (op, shape), or 0 if none was benched.
@@ -61,19 +62,22 @@ inline bool write_bench_json(const std::string& path,
         (base > 0.0 && r.ns_per_iter > 0.0) ? base / r.ns_per_iter : 0.0;
     std::fprintf(f,
                  "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
-                 "\"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f, "
+                 "\"dtype\": \"%s\", \"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f, "
                  "\"speedup_vs_1t\": %.3f}%s\n",
-                 r.op.c_str(), r.shape.c_str(), r.threads, r.ns_per_iter,
+                 r.op.c_str(), r.shape.c_str(), r.threads,
+                 r.dtype.empty() ? "f32" : r.dtype.c_str(), r.ns_per_iter,
                  r.gflops_per_s, speedup, i + 1 < records.size() ? "," : "");
   }
-  const obs::Registry& reg = obs::Registry::global();
+  obs::Registry& reg = obs::Registry::global();
   std::fprintf(f,
                "  ],\n  \"metrics\": {\"fft.plan_cache.hit\": %llu, "
                "\"fft.plan_cache.miss\": %llu, \"conv.plan_cache.hit\": %llu, "
                "\"conv.plan_cache.miss\": %llu, \"conv.algo.im2col\": %llu, "
                "\"conv.algo.direct\": %llu, \"conv.algo.fft\": %llu, "
                "\"threadpool.jobs_inlined\": %llu, "
-               "\"threadpool.jobs_dispatched\": %llu}\n}\n",
+               "\"threadpool.jobs_dispatched\": %llu, "
+               "\"quant.absmax_pass\": %llu, \"quant.saturated\": %llu, "
+               "\"infer.weight_bytes\": %.0f}\n}\n",
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.hit")),
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.miss")),
                static_cast<unsigned long long>(reg.counter_value("conv.plan_cache.hit")),
@@ -83,7 +87,10 @@ inline bool write_bench_json(const std::string& path,
                static_cast<unsigned long long>(reg.counter_value("conv.algo.fft")),
                static_cast<unsigned long long>(reg.counter_value("threadpool.jobs_inlined")),
                static_cast<unsigned long long>(
-                   reg.counter_value("threadpool.jobs_dispatched")));
+                   reg.counter_value("threadpool.jobs_dispatched")),
+               static_cast<unsigned long long>(reg.counter_value("quant.absmax_pass")),
+               static_cast<unsigned long long>(reg.counter_value("quant.saturated")),
+               reg.gauge("infer.weight_bytes").value());
   return std::fclose(f) == 0;
 }
 

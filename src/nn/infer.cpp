@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -14,6 +15,7 @@
 #include "nn/linear.hpp"
 #include "nn/pooling.hpp"
 #include "nn/sequential.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/exec_context.hpp"
@@ -46,7 +48,36 @@ std::size_t shape_elems(const std::vector<std::size_t>& shape) {
   return n;
 }
 
+// run_linear int8 scratch: activation panels + per-sample scales, carved out
+// of the plan workspace's float slots (above the conv engine's slots 0/1).
+constexpr std::size_t kQuantPanelSlot = 4;
+constexpr std::size_t kQuantScaleSlot = 5;
+
 }  // namespace
+
+void InferencePlan::set_precision(Precision precision) {
+  LITHOGAN_REQUIRE(steps_.empty() && !finalized_,
+                   "InferencePlan: set_precision after add_module");
+  precision_ = precision;
+}
+
+InferencePlan::Precision InferencePlan::default_precision() {
+  math::Dtype dtype = math::Dtype::kF32;
+  math::parse_dtype(std::getenv("LITHOGAN_INFER_DTYPE"), dtype);
+  return dtype;
+}
+
+std::size_t InferencePlan::weight_bytes() const {
+  std::size_t bytes = 0;
+  for (const Step& s : steps_) {
+    bytes += s.conv_w.weight_bytes();
+    bytes += s.packed_w.size() * sizeof(float);
+    bytes += s.packed_w16.size() * sizeof(std::uint16_t);
+    bytes += s.packed_w8.size() * sizeof(std::int8_t);
+    bytes += s.w_scales.size() * sizeof(float);
+  }
+  return bytes;
+}
 
 // ---------------------------------------------------------------------------
 // Graph construction
@@ -119,7 +150,8 @@ InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
     s.conv = math::conv_plan(key);
     s.out_h = s.conv->out_h;
     s.out_w = s.conv->out_w;
-    s.conv_w = math::pack_conv_weights(*s.conv, conv->weight().raw());
+    s.conv_w = math::pack_conv_weights(*s.conv, conv->weight().raw(), precision_);
+    s.wdtype = s.conv_w.dtype;
     s.bias.assign(conv->bias().raw(), conv->bias().raw() + s.out_c);
     s.out = new_buffer({s.out_c, s.out_h, s.out_w});
     s.in_elems = buffers_[in].sample_elems;
@@ -160,7 +192,8 @@ InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
     s.conv = math::conv_plan(key);
     s.out_h = s.conv->out_h;
     s.out_w = s.conv->out_w;
-    s.conv_w = math::pack_conv_weights(*s.conv, deconv->weight().raw());
+    s.conv_w = math::pack_conv_weights(*s.conv, deconv->weight().raw(), precision_);
+    s.wdtype = s.conv_w.dtype;
     s.bias.assign(deconv->bias().raw(), deconv->bias().raw() + s.out_c);
     s.out = new_buffer({s.out_c, s.out_h, s.out_w});
     s.in_elems = buffers_[in].sample_elems;
@@ -179,9 +212,26 @@ InferencePlan::BufId InferencePlan::add_module(Module& layer, BufId in) {
     s.in_c = linear->in_features();
     s.out_c = linear->out_features();
     // y = x W^T: the (out, in) weight is the transposed-B operand of
-    // gemm_bt; pre-pack its panels once.
-    s.packed_w.resize(math::packed_b_size(s.out_c, s.in_c));
-    math::pack_b_t(s.in_c, s.out_c, linear->weight().raw(), s.packed_w.data());
+    // gemm_bt; pre-pack its panels once, in the plan's precision.
+    s.wdtype = precision_;
+    switch (precision_) {
+      case math::Dtype::kF32:
+        s.packed_w.resize(math::packed_b_size(s.out_c, s.in_c));
+        math::pack_b_t(s.in_c, s.out_c, linear->weight().raw(), s.packed_w.data());
+        break;
+      case math::Dtype::kF16:
+      case math::Dtype::kBF16:
+        s.packed_w16.resize(math::packed_b_size(s.out_c, s.in_c));
+        math::pack_b_t_h(s.in_c, s.out_c, linear->weight().raw(), precision_,
+                         s.packed_w16.data());
+        break;
+      case math::Dtype::kI8:
+        s.packed_w8.resize(math::packed_b_size(s.out_c, s.in_c));
+        s.w_scales.resize(s.out_c);
+        math::pack_b_t_s8(s.in_c, s.out_c, linear->weight().raw(),
+                          s.packed_w8.data(), s.w_scales.data());
+        break;
+    }
     s.bias.assign(linear->bias().raw(), linear->bias().raw() + s.out_c);
     s.out = new_buffer({s.out_c});
     s.in_elems = buffers_[in].sample_elems;
@@ -386,6 +436,9 @@ void InferencePlan::finalize() {
   fuse_epilogues();
   assign_slots();
   finalized_ = true;
+  static obs::Gauge& g_weight_bytes =
+      obs::Registry::global().gauge("infer.weight_bytes");
+  g_weight_bytes.set(static_cast<double>(weight_bytes()));
 }
 
 void InferencePlan::compile(Sequential& net,
@@ -465,8 +518,31 @@ void InferencePlan::run_linear(const Step& s, std::size_t batch, const float* sr
   epi.bias_per_row = false;  // linear bias broadcasts along C's columns
   epi.act = s.act;
   epi.slope = s.slope;
-  math::gemm_packed(batch, s.out_c, s.in_c, 1.0f, src, s.packed_w.data(), 0.0f, dst,
-                    epi, exec_);
+  switch (s.wdtype) {
+    case math::Dtype::kF32:
+      math::gemm_packed(batch, s.out_c, s.in_c, 1.0f, src, s.packed_w.data(), 0.0f,
+                        dst, epi, exec_);
+      break;
+    case math::Dtype::kF16:
+    case math::Dtype::kBF16:
+      math::gemm_packed_bh(batch, s.out_c, s.in_c, 1.0f, src, s.packed_w16.data(),
+                           s.wdtype, 0.0f, dst, epi, exec_);
+      break;
+    case math::Dtype::kI8: {
+      // Quantize the activation rows into workspace scratch (capacity is
+      // retained: steady-state calls at a warm batch size never allocate).
+      const std::size_t pa_bytes = math::packed_a_size(batch, s.in_c);
+      auto& paf = ws_.floats(kQuantPanelSlot);
+      auto& scales = ws_.floats(kQuantScaleSlot);
+      paf.resize((pa_bytes + 3) / 4);
+      scales.resize(batch);
+      std::int8_t* pa8 = reinterpret_cast<std::int8_t*>(paf.data());
+      math::pack_a_s8(batch, s.in_c, src, pa8, scales.data());
+      math::gemm_s8(batch, s.out_c, s.in_c, pa8, scales.data(), s.packed_w8.data(),
+                    s.w_scales.data(), 0.0f, dst, epi, exec_);
+      break;
+    }
+  }
 }
 
 void InferencePlan::run_batchnorm(const Step& s, std::size_t batch, const float* src,
@@ -675,13 +751,31 @@ std::string InferencePlan::plan_dump() const {
         name = "concat";
         break;
     }
+    // Weight-bearing steps report their live storage dtype, the packed byte
+    // footprint, and (int8) the per-channel dequant scale range. A step whose
+    // engine route has no reduced path keeps fp32 storage and marks the
+    // requested dtype, e.g. `dtype=f32(req=i8)`.
+    auto weight_info = [&](std::size_t bytes, const std::vector<float>& scales) {
+      os << " dtype=" << math::dtype_name(s.wdtype);
+      if (s.wdtype != precision_) os << "(req=" << math::dtype_name(precision_) << ')';
+      os << " bytes=" << bytes;
+      if (s.wdtype == math::Dtype::kI8 && !scales.empty()) {
+        const auto [lo, hi] = std::minmax_element(scales.begin(), scales.end());
+        os << " scale=[" << *lo << ',' << *hi << ']';
+      }
+    };
     os << "step " << i << ": " << name;
     if (s.op == Op::kConv || s.op == Op::kDeconv) {
       os << ' ' << s.in_c << 'x' << s.in_h << 'x' << s.in_w << " -> " << s.out_c << 'x'
          << s.out_h << 'x' << s.out_w << " k" << s.kernel << " s" << s.stride << " p"
          << s.pad << " algo=" << math::conv_algo_name(s.conv->algo);
+      weight_info(s.conv_w.weight_bytes(), s.conv_w.scales);
     } else if (s.op == Op::kLinear) {
       os << ' ' << s.in_c << " -> " << s.out_c;
+      weight_info(s.packed_w.size() * sizeof(float) +
+                      s.packed_w16.size() * sizeof(std::uint16_t) +
+                      s.packed_w8.size() + s.w_scales.size() * sizeof(float),
+                  s.w_scales);
     } else if (s.op != Op::kActivation) {
       os << ' ' << s.in_c << 'x' << s.in_h << 'x' << s.in_w;
     }

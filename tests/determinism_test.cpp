@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <vector>
@@ -431,4 +432,29 @@ TEST(Determinism, InferencePlanMatchesSerialAtAnyThreadCount) {
     EXPECT_TRUE(bit_equal(plan.infer(x), ref)) << "plan infer, threads=" << threads;
     plan.set_exec_context(nullptr);
   }
+}
+
+TEST(Determinism, DefaultPlanStaysF32AndBitIdenticalToEvalForward) {
+  // Guard on the precision knob's default: with LITHOGAN_INFER_DTYPE unset,
+  // a default-constructed plan must select fp32 weights and reproduce the
+  // eval-mode module forward bit for bit — reduced precision is strictly
+  // opt-in and must never leak into the deterministic serving default.
+  unsetenv("LITHOGAN_INFER_DTYPE");
+  lu::Rng rng(777);
+  ln::Sequential net;
+  net.emplace<ln::Conv2d>(2, 8, 3, 2, 1, rng);
+  net.emplace<ln::BatchNorm2d>(8);
+  net.emplace<ln::LeakyReLU>(0.2f);
+  net.emplace<ln::ConvTranspose2d>(8, 1, 3, 2, 1, 1, rng);
+  net.emplace<ln::Tanh>();
+  net.set_training(false);
+
+  ln::InferencePlan plan;
+  EXPECT_EQ(plan.precision(), lm::Dtype::kF32);
+  plan.compile(net, {2, 16, 16});
+
+  ln::Tensor x({3, 2, 16, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = synth(i + 777);
+  EXPECT_TRUE(bit_equal(plan.infer(x), net.forward(x)))
+      << "default (fp32) plan diverged from eval-mode forward";
 }
