@@ -23,9 +23,14 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hpp"
+#include "core/lithogan.hpp"
+#include "data/sample.hpp"
+#include "image/ops.hpp"
 #include "math/conv.hpp"
 #include "math/fft.hpp"
 #include "math/gemm.hpp"
+#include "serve/server.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/conv.hpp"
@@ -131,6 +136,41 @@ int main() {
   std::vector<float> ce_dst(8 * ce_out_c * ce_plan->out_h * ce_plan->out_w);
   util::Workspace ce_ws;
 
+  util::ExecContext exec1(1);
+  util::ExecContext exec8(8);
+
+  // Serving layer p99 path (tiny model, batch-of-16 dispatch): one server
+  // per exec context so the scheduler's predict_batch_into inherits the
+  // plan's thread count. Submitting a full batch and waiting for the last
+  // response times the tail a saturated client sees.
+  core::LithoGanConfig serve_cfg = core::LithoGanConfig::tiny();
+  serve_cfg.image_size = 16;
+  serve_cfg.base_channels = 6;
+  serve_cfg.max_channels = 24;
+  std::vector<data::Sample> serve_samples;
+  for (std::size_t i = 0; i < 16; ++i) {
+    data::Sample s;
+    s.clip_id = "scale-" + std::to_string(i);
+    s.resist_pixel_nm = 8.0;
+    s.mask_rgb = image::Image(3, serve_cfg.image_size, serve_cfg.image_size);
+    image::fill_rect(s.mask_rgb, 1, {{4.0, 4.0}, {12.0, 12.0}}, 1.0f);
+    serve_samples.push_back(std::move(s));
+  }
+  core::LithoGanConfig serve_cfg1 = serve_cfg;
+  serve_cfg1.exec = &exec1;
+  core::LithoGanConfig serve_cfg8 = serve_cfg;
+  serve_cfg8.exec = &exec8;
+  core::LithoGan serve_model1(serve_cfg1, core::Mode::kPlainCgan);
+  core::LithoGan serve_model8(serve_cfg8, core::Mode::kPlainCgan);
+  serve::Config serve_sc;
+  serve_sc.max_batch = 16;
+  // Large timeout: all 16 submits land well inside it, so every dispatch
+  // rides the deterministic batch-full trigger — timing the op never races
+  // the timeout trigger, keeping the 1t/8t ratio noise-free.
+  serve_sc.max_wait_us = 50'000;
+  serve::Server serve_server1(serve_model1, serve_sc);
+  serve::Server serve_server8(serve_model8, serve_sc);
+
   std::vector<Op> ops;
   ops.push_back({"gemm_192", 16, [&](util::ExecContext* exec) {
                    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec);
@@ -155,9 +195,16 @@ int main() {
                    infer_plan.set_exec_context(exec);
                    (void)infer_plan.infer(infer_x);
                  }});
-
-  util::ExecContext exec1(1);
-  util::ExecContext exec8(8);
+  ops.push_back({"serve_p99", 2, [&](util::ExecContext* exec) {
+                   serve::Server& server =
+                       exec == &exec8 ? serve_server8 : serve_server1;
+                   std::vector<serve::Ticket> tickets;
+                   tickets.reserve(serve_samples.size());
+                   for (const auto& s : serve_samples) {
+                     tickets.push_back(server.submit(s));
+                   }
+                   for (const auto& t : tickets) (void)server.wait(t);
+                 }});
 
   std::printf("scaling smoke — 8-thread time must stay within %.2fx of 1-thread:\n",
               tolerance);

@@ -1,0 +1,184 @@
+// Online serving demo: LithoGAN behind the dynamic micro-batching server.
+//
+// Spins up a serve::Server over an untrained (or tiny-trained) model and
+// drives it with open-loop Poisson traffic — the arrival process a real
+// screening service sees when design tools submit clips independently.
+// Requests that find a full queue are rejected up front (backpressure)
+// rather than queued into unbounded latency. At the end the demo prints
+// the served-latency percentiles, the achieved batch-size mix — the whole
+// point of micro-batching — and the rejection count.
+//
+//   ./litho_serve --qps 200 --duration-s 3 --batch 16 --wait-us 2000
+//
+// Use --trace/--metrics (see util::add_obs_flags) to capture a Chrome
+// trace of the scheduler's serve.dispatch spans alongside the run.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/lithogan.hpp"
+#include "data/sample.hpp"
+#include "image/ops.hpp"
+#include "math/gemm.hpp"
+#include "math/half.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/exec_context.hpp"
+#include "util/logging.hpp"
+#include "util/obs_cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace lithogan;
+
+namespace {
+
+std::vector<data::Sample> synthetic_samples(std::size_t count,
+                                            const core::LithoGanConfig& cfg,
+                                            util::Rng& rng) {
+  const std::size_t size = cfg.image_size;
+  const auto s2 = static_cast<double>(size) / 2.0;
+  std::vector<data::Sample> samples;
+  samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    data::Sample s;
+    s.clip_id = "serve-" + std::to_string(i);
+    s.resist_pixel_nm = 128.0 / static_cast<double>(size);
+    const double half = static_cast<double>(size) / 8.0 + rng.uniform(-1.0, 1.0);
+    s.mask_rgb = image::Image(3, size, size);
+    image::fill_rect(s.mask_rgb, 1,
+                     {{s2 - half, s2 - half}, {s2 + half, s2 + half}}, 1.0f);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli("Serve LithoGAN predictions under Poisson load.");
+  cli.add_flag("qps", "100", "offered load, requests per second")
+      .add_flag("duration-s", "3", "traffic duration in seconds")
+      .add_flag("batch", "16", "scheduler max batch size B")
+      .add_flag("wait-us", "2000", "scheduler max wait T for the oldest request")
+      .add_flag("queue-cap", "256", "admission-control queue capacity")
+      .add_flag("threads", "1", "worker threads for the inference plans")
+      .add_flag("config", "tiny", "model scale: tiny|lite")
+      .add_flag("seed", "42", "traffic RNG seed");
+  util::add_obs_flags(cli);
+  if (!cli.parse(argc, argv)) {
+    std::printf("%s", cli.usage().c_str());
+    return 0;
+  }
+  const util::ObsOptions obs_opts = util::begin_observability(cli);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  core::LithoGanConfig cfg = cli.get("config") == "lite"
+                                 ? core::LithoGanConfig::lite()
+                                 : core::LithoGanConfig::tiny();
+  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+  cfg.exec = &exec;
+  core::LithoGan model(cfg, core::Mode::kDualLearning);
+
+  serve::Config sc;
+  sc.max_batch = static_cast<std::size_t>(cli.get_int("batch"));
+  sc.max_wait_us = static_cast<std::size_t>(cli.get_int("wait-us"));
+  sc.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+  serve::Server server(model, sc);
+  std::printf("serving %s model (%s weights): B=%zu, T=%zu us, queue=%zu\n",
+              cli.get("config").c_str(),
+              math::dtype_name(model.serving_precision()), sc.max_batch,
+              sc.max_wait_us, sc.queue_capacity);
+
+  util::Rng rng(static_cast<unsigned>(cli.get_int("seed")));
+  const auto samples = synthetic_samples(64, cfg, rng);
+  const double qps = std::max(1.0, cli.get_double("qps"));
+  const double duration_s = std::max(0.1, cli.get_double("duration-s"));
+
+  // Waiter thread claims finished tickets while the producer keeps offering
+  // load — an open-loop client, so a slow server shows up as latency and
+  // rejections, not as a politely reduced arrival rate.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<serve::Ticket> inflight;
+  bool producing = true;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(qps * duration_s * 2.0) + 16);
+  std::vector<std::uint64_t> batch_hist(sc.max_batch + 1, 0);
+
+  std::thread waiter([&] {
+    for (;;) {
+      serve::Ticket ticket;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return !inflight.empty() || !producing; });
+        if (inflight.empty()) return;
+        ticket = inflight.front();
+        inflight.pop_front();
+      }
+      const serve::Response r = server.wait(ticket);
+      latencies.push_back(r.latency_us);
+      ++batch_hist[std::min(r.batch, batch_hist.size() - 1)];
+    }
+  });
+
+  std::printf("offering %.0f qps for %.1f s...\n", qps, duration_s);
+  util::Timer clock;
+  const auto t0 = std::chrono::steady_clock::now();
+  double next_arrival_s = 0.0;
+  std::size_t clip = 0;
+  while (clock.elapsed_seconds() < duration_s) {
+    next_arrival_s += -std::log(1.0 - rng.uniform(0.0, 1.0)) / qps;
+    std::this_thread::sleep_until(t0 + std::chrono::duration<double>(next_arrival_s));
+    if (const auto ticket = server.try_submit(samples[clip])) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        inflight.push_back(*ticket);
+      }
+      cv.notify_one();
+    }
+    clip = (clip + 1) % samples.size();
+  }
+  const double elapsed_s = clock.elapsed_seconds();
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    producing = false;
+  }
+  cv.notify_all();
+  waiter.join();
+  const serve::Stats stats = server.stats();
+  server.shutdown();
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    return latencies[static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1))];
+  };
+  std::printf("\nserved %zu requests in %.2f s (%.0f clips/s achieved)\n",
+              latencies.size(), elapsed_s,
+              static_cast<double>(latencies.size()) / elapsed_s);
+  std::printf("latency: p50 %.0f us, p95 %.0f us, p99 %.0f us\n", pct(0.50),
+              pct(0.95), pct(0.99));
+  std::printf("rejected: %llu (queue full), peak queue depth: %zu\n",
+              static_cast<unsigned long long>(stats.rejected),
+              stats.peak_queue_depth);
+  std::printf("batch-size mix:");
+  for (std::size_t b = 1; b < batch_hist.size(); ++b) {
+    if (batch_hist[b] != 0) {
+      std::printf(" %zu:%llu", b, static_cast<unsigned long long>(batch_hist[b]));
+    }
+  }
+  std::printf("\n");
+
+  util::finish_observability(obs_opts, math::simd_level());
+  return 0;
+}

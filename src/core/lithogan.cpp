@@ -6,6 +6,7 @@
 #include "core/networks.hpp"
 #include "data/batch.hpp"
 #include "data/render.hpp"
+#include "eval/precision_gate.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -102,50 +103,117 @@ void LithoGan::ensure_plans() {
   if (plans_built_) return;
   const std::vector<std::size_t> mask_shape{config_.mask_channels, config_.image_size,
                                             config_.image_size};
+  const auto build_gen = [&](nn::InferencePlan& plan,
+                             nn::InferencePlan::Precision precision) {
+    plan = nn::InferencePlan();
+    plan.set_precision(precision);
+    if (arch_ == GeneratorArch::kEncoderDecoder) {
+      plan.compile(static_cast<nn::Sequential&>(cgan_->generator()), mask_shape);
+    } else {
+      static_cast<UNetGenerator&>(cgan_->generator()).build_plan(plan, mask_shape);
+    }
+    plan.set_exec_context(config_.exec);
+  };
+
   gen_plan_ = nn::InferencePlan();
-  if (arch_ == GeneratorArch::kEncoderDecoder) {
-    gen_plan_.compile(static_cast<nn::Sequential&>(cgan_->generator()), mask_shape);
-  } else {
-    static_cast<UNetGenerator&>(cgan_->generator()).build_plan(gen_plan_, mask_shape);
+  // A fresh plan's precision is the construction-time default, which honors
+  // the LITHOGAN_INFER_DTYPE env override.
+  nn::InferencePlan::Precision precision = gen_plan_.precision();
+  build_gen(gen_plan_, precision);
+
+  if (precision != math::Dtype::kF32) {
+    // Accuracy gate, consulted once per plan build: probe the reduced plan
+    // against an f32 reference on deterministic random masks and fall back
+    // to f32 when the deltas exceed the dtype's tolerance. Serving then
+    // never ships a precision the gate has not accepted.
+    util::Rng probe_rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+    nn::Tensor probe({2, config_.mask_channels, config_.image_size, config_.image_size});
+    for (float& v : probe.data()) {
+      v = static_cast<float>(probe_rng.uniform(-1.0, 1.0));
+    }
+    const nn::Tensor reduced = gen_plan_.infer(probe);  // copy: ref dies on re-infer
+    nn::InferencePlan reference;
+    build_gen(reference, math::Dtype::kF32);
+    const eval::GateResult result = eval::compare_outputs(reference.infer(probe), reduced);
+    const eval::GateTolerance tol = eval::gate_tolerance(precision);
+    if (result.pass(tol)) {
+      static obs::Counter& passes =
+          obs::Registry::global().counter("infer.precision_gate.pass");
+      passes.add();
+    } else {
+      static obs::Counter& fails =
+          obs::Registry::global().counter("infer.precision_gate.fail");
+      fails.add();
+      util::log_warn() << "reduced-precision plan failed the accuracy gate "
+                       << "(iou=" << result.mean_iou << " center=" << result.max_center
+                       << " abs=" << result.max_abs << "); serving f32";
+      precision = math::Dtype::kF32;
+      build_gen(gen_plan_, precision);
+    }
   }
-  gen_plan_.set_exec_context(config_.exec);
+
   if (mode_ == Mode::kDualLearning) {
     cnn_plan_ = nn::InferencePlan();
+    // The center CNN follows the gated generator precision: if the gate
+    // rejected the reduced dtype, both plans serve f32.
+    cnn_plan_.set_precision(precision);
     cnn_plan_.compile(center_->network(), mask_shape);
     cnn_plan_.set_exec_context(config_.exec);
   }
   plans_built_ = true;
 }
 
+nn::InferencePlan::Precision LithoGan::serving_precision() {
+  ensure_plans();
+  return gen_plan_.precision();
+}
+
 std::vector<image::Image> LithoGan::predict_batch(
     std::span<const data::Sample> samples) {
   LITHOGAN_REQUIRE(!samples.empty(), "empty prediction batch");
+  std::vector<image::Image> out(samples.size());
+  std::vector<const data::Sample*> sample_ptrs(samples.size());
+  std::vector<image::Image*> out_ptrs(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    sample_ptrs[i] = &samples[i];
+    out_ptrs[i] = &out[i];
+  }
+  PredictScratch scratch;
+  predict_batch_into(sample_ptrs, out_ptrs, scratch);
+  return out;
+}
+
+void LithoGan::predict_batch_into(std::span<const data::Sample* const> samples,
+                                  std::span<image::Image* const> outputs,
+                                  PredictScratch& scratch) {
+  LITHOGAN_REQUIRE(!samples.empty(), "empty prediction batch");
+  LITHOGAN_REQUIRE(samples.size() == outputs.size(),
+                   "predict_batch_into outputs/samples size mismatch");
   ensure_plans();
   static obs::Counter& clips = obs::Registry::global().counter("infer.clips");
 
-  std::vector<image::Image> out;
-  out.reserve(samples.size());
   for (std::size_t start = 0; start < samples.size(); start += kMaxInferBatch) {
     const auto chunk =
         samples.subspan(start, std::min(kMaxInferBatch, samples.size() - start));
-    const nn::Tensor masks = data::batch_masks(chunk, config_.exec);
-    const nn::Tensor& shapes = gen_plan_.infer(masks);
+    data::batch_masks_into(chunk, scratch.masks, config_.exec);
+    const nn::Tensor& shapes = gen_plan_.infer(scratch.masks);
     if (mode_ == Mode::kDualLearning) {
-      const nn::Tensor& centers = cnn_plan_.infer(masks);
+      const nn::Tensor& centers = cnn_plan_.infer(scratch.masks);
       for (std::size_t n = 0; n < chunk.size(); ++n) {
         // Post-adjustment (Fig. 5): shift each shape to its CNN center.
         const geometry::Point center = data::denormalize_center(
             centers, n, config_.image_size, config_.image_size);
-        out.push_back(data::recenter_to(data::tensor_to_resist_image(shapes, n), center));
+        data::tensor_to_resist_image_into(shapes, n, scratch.shape);
+        data::recenter_into(scratch.shape, center, *outputs[start + n],
+                            scratch.recenter);
       }
     } else {
       for (std::size_t n = 0; n < chunk.size(); ++n) {
-        out.push_back(data::tensor_to_resist_image(shapes, n));
+        data::tensor_to_resist_image_into(shapes, n, *outputs[start + n]);
       }
     }
   }
   clips.add(samples.size());
-  return out;
 }
 
 nn::Tensor LithoGan::predict_shape(const nn::Tensor& mask) {

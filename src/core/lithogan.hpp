@@ -19,6 +19,7 @@
 #include "core/config.hpp"
 #include "core/gan.hpp"
 #include "data/dataset.hpp"
+#include "data/render.hpp"
 #include "image/image.hpp"
 #include "nn/infer.hpp"
 
@@ -27,6 +28,16 @@ namespace lithogan::core {
 enum class GeneratorArch { kEncoderDecoder, kUNet };
 enum class DiscriminatorArch { kGlobalFc, kPatch };
 enum class Mode { kPlainCgan, kDualLearning };
+
+/// Caller-owned scratch for predict_batch_into. Cycling one scratch through
+/// repeated calls keeps the whole mask-assembly / shape-extraction /
+/// re-centering chain allocation-free once buffers reach steady state —
+/// the serving scheduler's dispatch loop depends on this.
+struct PredictScratch {
+  nn::Tensor masks;              ///< gathered (N, C, H, W) input batch
+  image::Image shape;            ///< per-sample raw generator shape
+  data::RecenterScratch recenter;  ///< threshold mask + labeling buffers
+};
 
 class LithoGan {
  public:
@@ -54,6 +65,22 @@ class LithoGan {
   /// sample. Plans are compiled lazily on first use and recompiled after
   /// any weight change (train / load).
   std::vector<image::Image> predict_batch(std::span<const data::Sample> samples);
+
+  /// Gathered, allocation-free variant: `samples` are pointers (the serving
+  /// scheduler batches non-contiguous requests) and each result is written
+  /// into `*outputs[i]` (resized in place; reusing warm images allocates
+  /// nothing). Byte-identical to predict_batch on the same clips. Not
+  /// thread-safe — the serving layer calls it from its single scheduler
+  /// thread only.
+  void predict_batch_into(std::span<const data::Sample* const> samples,
+                          std::span<image::Image* const> outputs,
+                          PredictScratch& scratch);
+
+  /// Precision the serving plans actually run at: the LITHOGAN_INFER_DTYPE
+  /// request after the load-time accuracy gate (a reduced-precision plan
+  /// that fails eval::gate_tolerance falls back to f32). Compiles plans on
+  /// first call.
+  nn::InferencePlan::Precision serving_precision();
 
   /// The raw generator output for a (1, C, H, W) mask tensor in [-1, 1],
   /// without the center adjustment.

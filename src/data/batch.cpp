@@ -49,6 +49,36 @@ nn::Tensor batch_masks(std::span<const Sample> samples, util::ExecContext* exec)
   return out;
 }
 
+void batch_masks_into(std::span<const Sample* const> samples, nn::Tensor& out,
+                      util::ExecContext* exec) {
+  LITHOGAN_REQUIRE(!samples.empty(), "empty batch");
+  const auto& first = samples.front()->mask_rgb;
+  if (out.rank() != 4 || out.dim(1) != first.channels() ||
+      out.dim(2) != first.height() || out.dim(3) != first.width()) {
+    out = nn::Tensor({samples.size(), first.channels(), first.height(), first.width()});
+  } else {
+    out.set_batch(samples.size());
+  }
+  const std::size_t stride = first.data().size();
+  const auto copy_range = [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t n = n0; n < n1; ++n) {
+      const auto& img = samples[n]->mask_rgb;
+      LITHOGAN_REQUIRE(img.data().size() == stride, "inhomogeneous dataset images");
+      copy_scaled(img, out.raw() + n * stride);
+    }
+  };
+  if (exec == nullptr) {
+    // Direct serial loop: no Workspace is constructed (its deques allocate
+    // on construction), keeping the serving dispatch path allocation-free.
+    copy_range(0, samples.size());
+  } else {
+    exec->parallel_for(0, samples.size(), 1, samples.size() * stride * 2,
+                       [&](std::size_t n0, std::size_t n1, util::Workspace&) {
+                         copy_range(n0, n1);
+                       });
+  }
+}
+
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
                          bool centered, util::ExecContext* exec) {
   LITHOGAN_REQUIRE(!indices.empty(), "empty batch");
@@ -102,16 +132,22 @@ image::Image tensor_to_resist_image(const nn::Tensor& tensor) {
 }
 
 image::Image tensor_to_resist_image(const nn::Tensor& batch, std::size_t n) {
+  image::Image img;
+  tensor_to_resist_image_into(batch, n, img);
+  return img;
+}
+
+void tensor_to_resist_image_into(const nn::Tensor& batch, std::size_t n,
+                                 image::Image& out) {
   LITHOGAN_REQUIRE(batch.rank() == 4 && batch.dim(1) == 1 && n < batch.dim(0),
                    "expected (N,1,H,W) row, got " + batch.shape_string());
   const std::size_t h = batch.dim(2);
   const std::size_t w = batch.dim(3);
   const float* row = batch.raw() + n * h * w;
-  image::Image img(1, h, w);
+  out.resize(1, h, w);
   for (std::size_t i = 0; i < h * w; ++i) {
-    img.data()[i] = (row[i] + 1.0f) / 2.0f;
+    out.data()[i] = (row[i] + 1.0f) / 2.0f;
   }
-  return img;
 }
 
 nn::Tensor image_to_tensor(const image::Image& img) {

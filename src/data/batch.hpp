@@ -26,6 +26,15 @@ nn::Tensor batch_masks(const Dataset& dataset, const std::vector<std::size_t>& i
 nn::Tensor batch_masks(std::span<const Sample> samples,
                        util::ExecContext* exec = nullptr);
 
+/// Gathered variant writing into a caller-owned tensor: `samples` is a span
+/// of pointers (the serving scheduler batches non-contiguous requests), and
+/// `out` is re-targeted via Tensor::set_batch so cycling one tensor through
+/// batches is allocation-free once it has seen its maximum batch. On first
+/// use `out` may be empty; its (C, H, W) dims are taken from the first
+/// sample.
+void batch_masks_into(std::span<const Sample* const> samples, nn::Tensor& out,
+                      util::ExecContext* exec = nullptr);
+
 /// Resist targets as (N, 1, H, W) in [-1, 1]. `centered` selects the
 /// re-centered variant (CGAN-shape objective) vs. the raw crop (plain CGAN).
 nn::Tensor batch_resists(const Dataset& dataset, const std::vector<std::size_t>& indices,
@@ -43,6 +52,11 @@ image::Image tensor_to_resist_image(const nn::Tensor& tensor);
 /// to a {0..1}-valued monochrome image (same mapping as the single-sample
 /// overload applied to that row).
 image::Image tensor_to_resist_image(const nn::Tensor& batch, std::size_t n);
+
+/// Row-extracting variant writing into a caller-owned image (resized to
+/// 1 x H x W; reuse across same-sized rows is allocation-free).
+void tensor_to_resist_image_into(const nn::Tensor& batch, std::size_t n,
+                                 image::Image& out);
 
 /// Converts an image in {0..1} to a single-sample (1, C, H, W) tensor in
 /// [-1, 1] (inference-time input).

@@ -78,10 +78,17 @@ GoldenRaster render_golden(const geometry::Polygon& contour,
 }
 
 geometry::Point pattern_center(const image::Image& resist, float threshold) {
+  RecenterScratch scratch;
+  return pattern_center(resist, scratch, threshold);
+}
+
+geometry::Point pattern_center(const image::Image& resist, RecenterScratch& scratch,
+                               float threshold) {
   LITHOGAN_REQUIRE(resist.channels() == 1, "pattern_center expects monochrome");
-  const auto mask = resist.to_mask(0, threshold);
-  const auto labeling = image::label_components(mask, resist.width(), resist.height());
-  const auto* blob = image::largest_component(labeling);
+  resist.to_mask_into(0, threshold, scratch.mask);
+  image::label_components(scratch.mask, resist.width(), resist.height(),
+                          scratch.labeling);
+  const auto* blob = image::largest_component(scratch.labeling);
   if (blob == nullptr) {
     return {static_cast<double>(resist.width()) / 2.0,
             static_cast<double>(resist.height()) / 2.0};
@@ -132,6 +139,13 @@ image::Image recenter_to(const image::Image& resist, const geometry::Point& cent
                          float threshold) {
   const geometry::Point current = pattern_center(resist, threshold);
   return image::shift_bilinear(resist, center_px.x - current.x, center_px.y - current.y);
+}
+
+void recenter_into(const image::Image& resist, const geometry::Point& center_px,
+                   image::Image& out, RecenterScratch& scratch, float threshold) {
+  const geometry::Point current = pattern_center(resist, scratch, threshold);
+  image::shift_bilinear_into(resist, center_px.x - current.x, center_px.y - current.y,
+                             out);
 }
 
 }  // namespace lithogan::data

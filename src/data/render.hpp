@@ -8,8 +8,12 @@
 // pixel of prediction error is ~0.5 nm.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "data/sample.hpp"
 #include "geometry/polygon.hpp"
+#include "image/connected_components.hpp"
 #include "layout/clip.hpp"
 #include "litho/optical.hpp"
 
@@ -47,9 +51,28 @@ GoldenRaster render_golden(const geometry::Polygon& contour,
 image::Image recenter_to(const image::Image& resist, const geometry::Point& center_px,
                          float threshold = 0.5f);
 
+/// Reusable scratch for the re-centering pipeline (threshold mask +
+/// connected-component labeling). Cycling one scratch through same-sized
+/// images makes pattern_center/recenter_into allocation-free in steady
+/// state.
+struct RecenterScratch {
+  std::vector<std::uint8_t> mask;
+  image::Labeling labeling;
+};
+
+/// recenter_to writing into a caller-owned output (`out` must not alias
+/// `resist`), threading all intermediates through `scratch`.
+void recenter_into(const image::Image& resist, const geometry::Point& center_px,
+                   image::Image& out, RecenterScratch& scratch,
+                   float threshold = 0.5f);
+
 /// Bounding-box center (pixel coordinates) of the thresholded pattern in
 /// channel 0. Returns the image center when nothing is set.
 geometry::Point pattern_center(const image::Image& resist, float threshold = 0.5f);
+
+/// Scratch-reusing variant of pattern_center.
+geometry::Point pattern_center(const image::Image& resist, RecenterScratch& scratch,
+                               float threshold = 0.5f);
 
 /// Bilinearly resamples a simulation field into the crop window around
 /// `center_nm` at resist resolution (continuous values preserved) — how the

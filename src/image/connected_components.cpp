@@ -9,12 +9,19 @@ namespace lithogan::image {
 
 Labeling label_components(std::span<const std::uint8_t> mask, std::size_t width,
                           std::size_t height) {
-  LITHOGAN_REQUIRE(mask.size() == width * height, "mask size mismatch");
   Labeling out;
+  label_components(mask, width, height, out);
+  return out;
+}
+
+void label_components(std::span<const std::uint8_t> mask, std::size_t width,
+                      std::size_t height, Labeling& out) {
+  LITHOGAN_REQUIRE(mask.size() == width * height, "mask size mismatch");
   out.labels.assign(mask.size(), 0);
+  out.components.clear();
 
   std::int32_t next_label = 0;
-  std::vector<std::size_t> frontier;
+  std::vector<std::size_t>& frontier = out.frontier;
   for (std::size_t start = 0; start < mask.size(); ++start) {
     if (mask[start] == 0 || out.labels[start] != 0) continue;
     ++next_label;
@@ -56,7 +63,6 @@ Labeling label_components(std::span<const std::uint8_t> mask, std::size_t width,
                      sy / static_cast<double>(comp.pixel_count)};
     out.components.push_back(comp);
   }
-  return out;
 }
 
 const Component* largest_component(const Labeling& labeling) {

@@ -23,11 +23,18 @@ struct Component {
 struct Labeling {
   std::vector<std::int32_t> labels;  ///< 0 = background, 1..n = components
   std::vector<Component> components; ///< indexed by label-1
+  std::vector<std::size_t> frontier; ///< flood-fill scratch, reused across runs
 };
 
 /// Labels 4-connected foreground (nonzero) regions of `mask`.
 Labeling label_components(std::span<const std::uint8_t> mask, std::size_t width,
                           std::size_t height);
+
+/// In-place variant: reuses `out`'s buffers (labels, components, flood-fill
+/// frontier), so repeated labeling of same-sized masks is allocation-free
+/// once the buffers have grown to steady state.
+void label_components(std::span<const std::uint8_t> mask, std::size_t width,
+                      std::size_t height, Labeling& out);
 
 /// Largest component by pixel count; nullptr if the mask is empty.
 const Component* largest_component(const Labeling& labeling);

@@ -46,6 +46,13 @@ std::span<const float> Image::channel(std::size_t c) const {
 
 void Image::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+void Image::resize(std::size_t channels, std::size_t height, std::size_t width) {
+  channels_ = channels;
+  height_ = height;
+  width_ = width;
+  data_.resize(channels * height * width);
+}
+
 Image Image::from_mask(std::span<const std::uint8_t> mask, std::size_t height,
                        std::size_t width) {
   LITHOGAN_REQUIRE(mask.size() == height * width, "mask size mismatch");
@@ -57,12 +64,18 @@ Image Image::from_mask(std::span<const std::uint8_t> mask, std::size_t height,
 }
 
 std::vector<std::uint8_t> Image::to_mask(std::size_t c, float threshold) const {
+  std::vector<std::uint8_t> mask;
+  to_mask_into(c, threshold, mask);
+  return mask;
+}
+
+void Image::to_mask_into(std::size_t c, float threshold,
+                         std::vector<std::uint8_t>& mask) const {
   const auto ch = channel(c);
-  std::vector<std::uint8_t> mask(ch.size());
+  mask.resize(ch.size());
   for (std::size_t i = 0; i < ch.size(); ++i) {
     mask[i] = ch[i] >= threshold ? 1 : 0;
   }
-  return mask;
 }
 
 }  // namespace lithogan::image

@@ -42,12 +42,23 @@ class Image {
 
   void fill(float value);
 
+  /// Re-targets the image to channels x height x width, resizing the pixel
+  /// buffer. Shrinking keeps the vector's capacity, so an output image
+  /// cycled through the same (or smaller) dimensions never reallocates —
+  /// the `_into` pipelines rely on this. Pixel contents are unspecified
+  /// after a dimension change.
+  void resize(std::size_t channels, std::size_t height, std::size_t width);
+
   /// Builds a single-channel image from a 0/1 byte mask.
   static Image from_mask(std::span<const std::uint8_t> mask, std::size_t height,
                          std::size_t width);
 
   /// Thresholds one channel into a 0/1 byte mask (value >= threshold → 1).
   std::vector<std::uint8_t> to_mask(std::size_t c, float threshold = 0.5f) const;
+
+  /// to_mask writing into a caller-owned buffer (resized to pixel_count();
+  /// capacity is retained across calls, so reuse is allocation-free).
+  void to_mask_into(std::size_t c, float threshold, std::vector<std::uint8_t>& mask) const;
 
   bool operator==(const Image& o) const = default;
 

@@ -76,7 +76,15 @@ Image shift(const Image& src, std::ptrdiff_t dx, std::ptrdiff_t dy, float fill) 
 }
 
 Image shift_bilinear(const Image& src, double dx, double dy, float fill) {
-  Image out(src.channels(), src.height(), src.width());
+  Image out;
+  shift_bilinear_into(src, dx, dy, out, fill);
+  return out;
+}
+
+void shift_bilinear_into(const Image& src, double dx, double dy, Image& out,
+                         float fill) {
+  LITHOGAN_REQUIRE(&out != &src, "shift_bilinear_into output must not alias input");
+  out.resize(src.channels(), src.height(), src.width());
   for (std::size_t c = 0; c < src.channels(); ++c) {
     const auto cc = static_cast<std::ptrdiff_t>(c);
     for (std::size_t y = 0; y < src.height(); ++y) {
@@ -96,7 +104,6 @@ Image shift_bilinear(const Image& src, double dx, double dy, float fill) {
       }
     }
   }
-  return out;
 }
 
 void fill_rect(Image& img, std::size_t c, const geometry::Rect& rect, float value) {

@@ -29,6 +29,12 @@ Image shift(const Image& src, std::ptrdiff_t dx, std::ptrdiff_t dy, float fill =
 /// placement errors are sub-pixel at coarse resolutions.
 Image shift_bilinear(const Image& src, double dx, double dy, float fill = 0.0f);
 
+/// shift_bilinear writing into a caller-owned output (resized to match
+/// `src`; reusing the same output across same-sized calls is
+/// allocation-free). `out` must not alias `src`.
+void shift_bilinear_into(const Image& src, double dx, double dy, Image& out,
+                         float fill = 0.0f);
+
 /// Sets channel `c` to `value` inside `rect` (pixel coordinates; a pixel is
 /// painted when its center falls inside). Other channels are untouched.
 void fill_rect(Image& img, std::size_t c, const geometry::Rect& rect, float value);

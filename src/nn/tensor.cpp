@@ -70,6 +70,15 @@ Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
 
 void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
 
+void Tensor::set_batch(std::size_t n) {
+  LITHOGAN_REQUIRE(!shape_.empty(), "set_batch requires rank >= 1");
+  LITHOGAN_REQUIRE(n > 0, "tensor dimensions must be positive");
+  std::size_t per_sample = 1;
+  for (std::size_t i = 1; i < shape_.size(); ++i) per_sample *= shape_[i];
+  shape_[0] = n;
+  data_.resize(n * per_sample);
+}
+
 void Tensor::add_scaled(const Tensor& other, float scale) {
   LITHOGAN_REQUIRE(same_shape(other), "add_scaled shape mismatch: " + shape_string() +
                                           " vs " + other.shape_string());

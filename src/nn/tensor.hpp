@@ -50,6 +50,13 @@ class Tensor {
   /// Returns a copy with a new shape of identical element count.
   Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Re-targets dim 0 of a rank >= 1 tensor to `n` samples, resizing the
+  /// buffer to n * (elements per sample). Shrinking keeps the vector's
+  /// capacity, so a batch tensor cycled between batch sizes never
+  /// reallocates once it has seen its maximum — the serving dispatch loop
+  /// relies on this for zero steady-state allocations.
+  void set_batch(std::size_t n);
+
   void fill(float value);
   void zero() { fill(0.0f); }
 

@@ -37,8 +37,42 @@ void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the counts first so the rank and the cumulative walk agree
+  // even while writers are active; each load is relaxed.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> counts(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double into = rank - static_cast<double>(cumulative);
+      return lo + (hi - lo) * (into / static_cast<double>(counts[i]));
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::vector<double> default_ms_buckets() {
   return {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000};
+}
+
+std::vector<double> default_us_buckets() {
+  return {10,     20,     50,     100,     200,     500,     1000,    2000,
+          5000,   10000,  20000,  50000,   100000,  200000,  500000,  1000000,
+          2000000, 5000000, 10000000};
 }
 
 struct Registry::Impl {

@@ -72,6 +72,16 @@ class Histogram {
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   void reset();
 
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts, linearly
+  /// interpolated inside the bucket that crosses rank q*count. The first
+  /// bucket interpolates up from 0 (the ladders are timing/size ladders with
+  /// nonnegative samples); the overflow bucket clamps to the last bound —
+  /// a p99 past the ladder reports the ladder's ceiling, never invents a
+  /// value. Returns 0 when the histogram is empty. Lock-free snapshot: the
+  /// counts are read relaxed, so a quantile taken during concurrent
+  /// observes is approximate (exact once writers quiesce).
+  double quantile(double q) const;
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;
@@ -82,6 +92,11 @@ class Histogram {
 /// Default bucket ladder for millisecond timings (train.step_ms and
 /// friends): 0.5 ms to 30 s in a 1-2-5 progression.
 std::vector<double> default_ms_buckets();
+
+/// Default bucket ladder for microsecond latencies (serve.latency_us and
+/// friends): 10 us to 10 s in a 1-2-5 progression, fine enough that p99
+/// interpolation stays meaningful at serving latencies.
+std::vector<double> default_us_buckets();
 
 class Registry {
  public:

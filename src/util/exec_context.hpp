@@ -77,23 +77,28 @@ class ExecContext {
 
 /// Serial-or-parallel dispatch for nullable contexts: with a context the
 /// range fans out across the pool; without one, `fn` runs once over the
-/// whole range with `serial_ws` as its scratch arena.
-inline void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
-                         std::size_t end, std::size_t grain,
-                         const ExecContext::ChunkFn& fn) {
+/// whole range with `serial_ws` as its scratch arena. Templated on the
+/// callable so the serial path invokes the lambda directly — wrapping in
+/// ExecContext::ChunkFn (std::function) can heap-allocate for captures
+/// past the small-buffer size, which would break the zero-allocation
+/// contract of serving/inference loops that pass exec == nullptr.
+template <typename Fn>
+void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
+                  std::size_t end, std::size_t grain, const Fn& fn) {
   if (exec != nullptr) {
-    exec->parallel_for(begin, end, grain, fn);
+    exec->parallel_for(begin, end, grain, ExecContext::ChunkFn(std::cref(fn)));
   } else if (end > begin) {
     fn(begin, end, serial_ws);
   }
 }
 
 /// Cost-hinted variant of the nullable-context helper.
-inline void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
-                         std::size_t end, std::size_t grain, std::size_t cost,
-                         const ExecContext::ChunkFn& fn) {
+template <typename Fn>
+void parallel_for(ExecContext* exec, Workspace& serial_ws, std::size_t begin,
+                  std::size_t end, std::size_t grain, std::size_t cost,
+                  const Fn& fn) {
   if (exec != nullptr) {
-    exec->parallel_for(begin, end, grain, cost, fn);
+    exec->parallel_for(begin, end, grain, cost, ExecContext::ChunkFn(std::cref(fn)));
   } else if (end > begin) {
     fn(begin, end, serial_ws);
   }

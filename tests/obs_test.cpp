@@ -233,6 +233,34 @@ TEST(ObsMetrics, RegistryBasics) {
   EXPECT_EQ(hist->get("counts")->array.size(), hist->get("bounds")->array.size() + 1);
 }
 
+TEST(ObsMetrics, HistogramQuantiles) {
+  obs::Histogram h({10.0, 20.0, 50.0, 100.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+
+  // 10 samples in (10, 20]: every quantile interpolates inside that bucket.
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // First bucket interpolates up from 0.
+  obs::Histogram lo({10.0, 20.0});
+  for (int i = 0; i < 4; ++i) lo.observe(5.0);
+  EXPECT_DOUBLE_EQ(lo.quantile(0.5), 5.0);
+  // Overflow clamps to the last bound instead of inventing a value.
+  obs::Histogram hi({10.0, 20.0});
+  hi.observe(1000.0);
+  EXPECT_DOUBLE_EQ(hi.quantile(0.99), 20.0);
+  // Mixed distribution: 50 in the first bucket, 50 in the second; p50
+  // lands exactly on the first bucket's upper bound and p75 halfway into
+  // the second.
+  obs::Histogram mix({10.0, 20.0});
+  for (int i = 0; i < 50; ++i) mix.observe(5.0);
+  for (int i = 0; i < 50; ++i) mix.observe(15.0);
+  EXPECT_DOUBLE_EQ(mix.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(mix.quantile(0.75), 15.0);
+  // us ladder is strictly increasing (Histogram ctor throws otherwise).
+  EXPECT_NO_THROW(obs::Histogram(obs::default_us_buckets()));
+}
+
 // tier2: run under -DLITHOGAN_SANITIZE=thread to prove counter/histogram
 // updates from pool workers are race-free; unsanitized it asserts counts are
 // exact (no lost increments).

@@ -12,7 +12,12 @@
 //            bucket-count arrays are one longer than their bounds
 //            (overflow bucket).
 //
-//   obs_validate --trace out.json --metrics out.jsonl
+//   bench-serve: a bench JSON written by serve_bench — one "host" block,
+//            a non-empty "records" array, and a "serve" block whose
+//            "points" each carry monotone p50 <= p95 <= p99 latencies and
+//            whose "gates" verdicts are present.
+//
+//   obs_validate --trace out.json --metrics out.jsonl --bench-serve BENCH_serve.json
 //
 // Exits nonzero with a message on the first violation.
 #include <cstdio>
@@ -122,12 +127,66 @@ void validate_metrics(const std::string& path) {
   std::printf("metrics OK: %s (%zu snapshot lines)\n", path.c_str(), lines);
 }
 
+void validate_bench_serve(const std::string& path) {
+  const Value root = lithogan::obs::json::parse(read_file(path));
+  require(root.kind == Value::Kind::kObject, "bench-serve: top level is not an object");
+
+  const Value& host = field(root, "host", "bench-serve");
+  require(host.kind == Value::Kind::kObject, "bench-serve: host is not an object");
+  require(field(host, "cpus", "bench-serve host").kind == Value::Kind::kNumber,
+          "bench-serve: host.cpus is not a number");
+  const Value& records = field(root, "records", "bench-serve");
+  require(records.kind == Value::Kind::kArray && !records.array.empty(),
+          "bench-serve: records is not a non-empty array");
+
+  const Value& serve = field(root, "serve", "bench-serve");
+  require(serve.kind == Value::Kind::kObject, "bench-serve: serve is not an object");
+  for (const char* k : {"batch", "wait_us", "queue_capacity", "serial_qps"}) {
+    require(field(serve, k, "bench-serve serve").kind == Value::Kind::kNumber,
+            std::string("bench-serve: serve.") + k + " is not a number");
+  }
+  const Value& points = field(serve, "points", "bench-serve serve");
+  require(points.kind == Value::Kind::kArray && !points.array.empty(),
+          "bench-serve: serve.points is not a non-empty array");
+  for (std::size_t i = 0; i < points.array.size(); ++i) {
+    const Value& p = *points.array[i];
+    const std::string where = "bench-serve point " + std::to_string(i);
+    require(p.kind == Value::Kind::kObject, where + ": not an object");
+    for (const char* k : {"qps_offered", "qps_achieved", "p50_us", "p95_us",
+                          "p99_us", "completed", "rejected"}) {
+      const Value& n = field(p, k, where);
+      require(n.kind == Value::Kind::kNumber && n.number >= 0.0,
+              where + ": " + k + " is not a non-negative number");
+    }
+    const double p50 = p.get("p50_us")->number;
+    const double p95 = p.get("p95_us")->number;
+    const double p99 = p.get("p99_us")->number;
+    require(p50 <= p95 && p95 <= p99, where + ": percentiles not monotone");
+  }
+  const Value& hist = field(serve, "batch_hist", "bench-serve serve");
+  require(hist.kind == Value::Kind::kArray && !hist.array.empty(),
+          "bench-serve: serve.batch_hist is not a non-empty array");
+  const Value& gates = field(serve, "gates", "bench-serve serve");
+  require(gates.kind == Value::Kind::kObject, "bench-serve: gates is not an object");
+  require(field(gates, "throughput_vs_serial", "bench-serve gates").kind ==
+              Value::Kind::kBool,
+          "bench-serve: gates.throughput_vs_serial is not a bool");
+  require(field(gates, "dispatch_allocs", "bench-serve gates").kind ==
+              Value::Kind::kNumber,
+          "bench-serve: gates.dispatch_allocs is not a number");
+  require(field(gates, "pass", "bench-serve gates").kind == Value::Kind::kBool,
+          "bench-serve: gates.pass is not a bool");
+  std::printf("bench-serve OK: %s (%zu load points)\n", path.c_str(),
+              points.array.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   lithogan::util::CliParser cli("Validate observability outputs (trace JSON, metrics JSONL).");
   cli.add_flag("trace", "", "Chrome trace-event JSON file to validate")
-      .add_flag("metrics", "", "metrics JSONL file to validate");
+      .add_flag("metrics", "", "metrics JSONL file to validate")
+      .add_flag("bench-serve", "", "serve_bench JSON file to validate");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 2;
@@ -135,12 +194,16 @@ int main(int argc, char** argv) {
   try {
     const std::string trace = cli.get("trace");
     const std::string metrics = cli.get("metrics");
-    if (trace.empty() && metrics.empty()) {
-      std::fprintf(stderr, "obs_validate: nothing to do (pass --trace and/or --metrics)\n");
+    const std::string bench_serve = cli.get("bench-serve");
+    if (trace.empty() && metrics.empty() && bench_serve.empty()) {
+      std::fprintf(stderr,
+                   "obs_validate: nothing to do (pass --trace, --metrics and/or "
+                   "--bench-serve)\n");
       return 2;
     }
     if (!trace.empty()) validate_trace(trace);
     if (!metrics.empty()) validate_metrics(metrics);
+    if (!bench_serve.empty()) validate_bench_serve(bench_serve);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
     return 1;
