@@ -15,7 +15,9 @@
 // diffs are recognizable as such. A trailing "metrics" block snapshots the
 // process-wide obs::Registry counters that explain perf deltas: FFT and
 // conv plan cache hits/misses, the conv engine's per-algorithm execution
-// mix (conv.algo.*), and the thread pool's inline-vs-dispatch decisions.
+// mix (conv.algo.*), the thread pool's inline-vs-dispatch decisions, and
+// trace-ring wraparound losses (trace.spans_dropped) so a bench run that
+// overflowed its span rings is visibly flagged.
 #pragma once
 
 #include <cstdio>
@@ -197,6 +199,7 @@ inline bool write_bench_json(const std::string& path,
                "\"threadpool.jobs_inlined\": %llu, "
                "\"threadpool.jobs_dispatched\": %llu, "
                "\"quant.absmax_pass\": %llu, \"quant.saturated\": %llu, "
+               "\"trace.spans_dropped\": %llu, "
                "\"infer.weight_bytes\": %.0f}\n}\n",
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.hit")),
                static_cast<unsigned long long>(reg.counter_value("fft.plan_cache.miss")),
@@ -210,6 +213,8 @@ inline bool write_bench_json(const std::string& path,
                    reg.counter_value("threadpool.jobs_dispatched")),
                static_cast<unsigned long long>(reg.counter_value("quant.absmax_pass")),
                static_cast<unsigned long long>(reg.counter_value("quant.saturated")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("trace.spans_dropped")),
                reg.gauge("infer.weight_bytes").value());
   return std::fclose(f) == 0;
 }

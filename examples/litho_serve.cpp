@@ -10,14 +10,18 @@
 //
 //   ./litho_serve --qps 200 --duration-s 3 --batch 16 --wait-us 2000
 //
-// Use --trace/--metrics (see util::add_obs_flags) to capture a Chrome
-// trace of the scheduler's serve.dispatch spans alongside the run.
+// Use --trace/--metrics/--export (see util::add_obs_flags) to capture a
+// Chrome trace of per-request flows and windowed metrics alongside the
+// run. --slo-p99-us and --slo-reject-pct arm the SLO watchdog: breaches
+// print as they happen and a budget report closes the run (see
+// docs/observability.md, "Continuous export / SLO").
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,7 +33,9 @@
 #include "image/ops.hpp"
 #include "math/gemm.hpp"
 #include "math/half.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 #include "util/exec_context.hpp"
@@ -73,7 +79,11 @@ int main(int argc, char** argv) {
       .add_flag("queue-cap", "256", "admission-control queue capacity")
       .add_flag("threads", "1", "worker threads for the inference plans")
       .add_flag("config", "tiny", "model scale: tiny|lite")
-      .add_flag("seed", "42", "traffic RNG seed");
+      .add_flag("seed", "42", "traffic RNG seed")
+      .add_flag("slo-p99-us", "0",
+                "p99 latency budget in us for the SLO watchdog (0 = off)")
+      .add_flag("slo-reject-pct", "-1",
+                "rejection-rate budget in percent (negative = off)");
   util::add_obs_flags(cli);
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
@@ -98,6 +108,36 @@ int main(int argc, char** argv) {
               cli.get("config").c_str(),
               math::dtype_name(model.serving_precision()), sc.max_batch,
               sc.max_wait_us, sc.queue_capacity);
+
+  // SLO watchdog: fed by the windowed exporter (--export if given, else a
+  // private callback-only exporter ticking every 200 ms). Breach
+  // transitions print immediately; the final budget report prints at exit.
+  obs::SloConfig slo_cfg;
+  slo_cfg.p99_budget_us = cli.get_double("slo-p99-us");
+  slo_cfg.rejection_budget = cli.get_double("slo-reject-pct") / 100.0;
+  if (cli.get_double("slo-reject-pct") < 0.0) slo_cfg.rejection_budget = -1.0;
+  const bool slo_armed = slo_cfg.p99_budget_us > 0.0 || slo_cfg.rejection_budget >= 0.0;
+  std::unique_ptr<obs::SloMonitor> slo;
+  std::shared_ptr<obs::Exporter> slo_exporter;  // only when --export absent
+  if (slo_armed) {
+    slo = std::make_unique<obs::SloMonitor>(slo_cfg);
+    slo->set_breach_callback([](const obs::SloState& s) {
+      std::printf("[slo] %s: p99 %.0f us, rejection %.2f%% over %llu requests\n",
+                  s.breached() ? "BREACH" : "recovered", s.p99_us,
+                  s.rejection_rate * 100.0,
+                  static_cast<unsigned long long>(s.requests));
+    });
+    const auto feed = [&slo](const obs::Window& w) { slo->observe_window(w); };
+    if (obs_opts.exporter) {
+      obs_opts.exporter->set_window_callback(feed);
+    } else {
+      obs::Exporter::Options opts;
+      opts.interval_ms = 200.0;
+      opts.on_window = feed;
+      slo_exporter = std::make_shared<obs::Exporter>(std::move(opts));
+      slo_exporter->start();
+    }
+  }
 
   util::Rng rng(static_cast<unsigned>(cli.get_int("seed")));
   const auto samples = synthetic_samples(64, cfg, rng);
@@ -178,6 +218,19 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
+
+  if (slo) {
+    if (slo_exporter) slo_exporter->stop();  // drains the final window
+    // When riding --export, the shared exporter drains inside
+    // finish_observability below; report on what the monitor has seen.
+    const obs::SloState s = slo->state();
+    std::printf("slo: %s (p99 %.0f us vs budget %.0f us, rejection %.2f%%, "
+                "%llu/%llu windows in breach)\n",
+                s.breached() ? "IN BREACH" : "met", s.p99_us,
+                slo_cfg.p99_budget_us, s.rejection_rate * 100.0,
+                static_cast<unsigned long long>(s.breach_windows),
+                static_cast<unsigned long long>(s.windows_observed));
+  }
 
   util::finish_observability(obs_opts, math::simd_level());
   return 0;

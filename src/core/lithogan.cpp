@@ -191,6 +191,8 @@ void LithoGan::predict_batch_into(std::span<const data::Sample* const> samples,
                    "predict_batch_into outputs/samples size mismatch");
   ensure_plans();
   static obs::Counter& clips = obs::Registry::global().counter("infer.clips");
+  obs::Span span("infer.batch");
+  span.arg("clips", static_cast<double>(samples.size()));
 
   for (std::size_t start = 0; start < samples.size(); start += kMaxInferBatch) {
     const auto chunk =

@@ -1,0 +1,237 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace lithogan::obs {
+
+namespace {
+
+/// Cumulative-to-delta with reset safety: a value that moved backwards
+/// (mid-run Registry::reset()) contributes its new cumulative value.
+std::uint64_t delta_u64(std::uint64_t cur, std::uint64_t prev) {
+  return cur >= prev ? cur - prev : cur;
+}
+
+double delta_f64(double cur, double prev) { return cur >= prev ? cur - prev : cur; }
+
+}  // namespace
+
+const Window::CounterRate* Window::counter(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const Window::HistDelta* Window::histogram(const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string Window::to_json() const {
+  std::ostringstream os;
+  os << "{\"window\": {\"index\": " << index << ", \"start_ms\": ";
+  detail::append_json_number(os, start_ms);
+  os << ", \"end_ms\": ";
+  detail::append_json_number(os, end_ms);
+  os << ", \"final\": " << (final_window ? "true" : "false") << "}, \"counters\": {";
+  bool first = true;
+  for (const auto& c : counters) {
+    os << (first ? "" : ", ") << '"' << c.name << "\": {\"delta\": " << c.delta
+       << ", \"rate_per_s\": ";
+    detail::append_json_number(os, c.rate_per_s);
+    os << "}";
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& g : gauges) {
+    os << (first ? "" : ", ") << '"' << g.name << "\": ";
+    detail::append_json_number(os, g.value);
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    os << (first ? "" : ", ") << '"' << h.name << "\": {\"count\": " << h.count
+       << ", \"sum\": ";
+    detail::append_json_number(os, h.sum);
+    os << ", \"p50\": ";
+    detail::append_json_number(os, h.quantile(0.50));
+    os << ", \"p95\": ";
+    detail::append_json_number(os, h.quantile(0.95));
+    os << ", \"p99\": ";
+    detail::append_json_number(os, h.quantile(0.99));
+    os << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+WindowBuilder::WindowBuilder(const Registry& registry, double start_ms)
+    : registry_(registry), prev_(registry.snapshot()), prev_ms_(start_ms) {}
+
+Window WindowBuilder::take(double now_ms, bool final_window) {
+  MetricsSnapshot cur = registry_.snapshot();
+  Window w;
+  w.index = next_index_++;
+  w.start_ms = prev_ms_;
+  w.end_ms = now_ms;
+  w.final_window = final_window;
+  const double dur_s = (now_ms - prev_ms_) / 1e3;
+
+  // Both snapshots are lexicographically sorted (std::map iteration), so
+  // the diffs are merge-joins: metrics registered mid-run appear in `cur`
+  // only and diff against an implicit 0.
+  {
+    std::size_t pi = 0;
+    for (const auto& [name, value] : cur.counters) {
+      std::uint64_t prev_value = 0;
+      while (pi < prev_.counters.size() && prev_.counters[pi].first < name) ++pi;
+      if (pi < prev_.counters.size() && prev_.counters[pi].first == name) {
+        prev_value = prev_.counters[pi].second;
+      }
+      const std::uint64_t delta = delta_u64(value, prev_value);
+      if (delta == 0) continue;
+      Window::CounterRate c;
+      c.name = name;
+      c.delta = delta;
+      c.rate_per_s = dur_s > 0.0 ? static_cast<double>(delta) / dur_s : 0.0;
+      w.counters.push_back(std::move(c));
+    }
+  }
+
+  w.gauges.reserve(cur.gauges.size());
+  for (const auto& [name, value] : cur.gauges) {
+    w.gauges.push_back(Window::GaugeValue{name, value});
+  }
+
+  {
+    std::size_t pi = 0;
+    for (auto& hist : cur.histograms) {
+      const MetricsSnapshot::Hist* prev_hist = nullptr;
+      while (pi < prev_.histograms.size() && prev_.histograms[pi].name < hist.name) {
+        ++pi;
+      }
+      if (pi < prev_.histograms.size() && prev_.histograms[pi].name == hist.name) {
+        prev_hist = &prev_.histograms[pi];
+      }
+      Window::HistDelta d;
+      d.name = hist.name;
+      d.bounds = hist.bounds;
+      d.counts.resize(hist.counts.size());
+      std::uint64_t total = 0;
+      for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+        const std::uint64_t prev_count =
+            (prev_hist != nullptr && i < prev_hist->counts.size())
+                ? prev_hist->counts[i]
+                : 0;
+        d.counts[i] = delta_u64(hist.counts[i], prev_count);
+        total += d.counts[i];
+      }
+      if (total == 0) continue;
+      d.count = delta_u64(hist.count, prev_hist != nullptr ? prev_hist->count : 0);
+      d.sum = delta_f64(hist.sum, prev_hist != nullptr ? prev_hist->sum : 0.0);
+      w.histograms.push_back(std::move(d));
+    }
+  }
+
+  prev_ = std::move(cur);
+  prev_ms_ = now_ms;
+  return w;
+}
+
+Exporter::Exporter(Options options, const Registry& registry)
+    : options_(std::move(options)), registry_(registry) {
+  if (options_.interval_ms < 1.0) options_.interval_ms = 1.0;
+  on_window_ = options_.on_window;
+}
+
+Exporter::~Exporter() { stop(); }
+
+bool Exporter::start() {
+  if (running_.load(std::memory_order_relaxed)) return false;
+  if (!options_.path.empty()) {
+    file_ = std::fopen(options_.path.c_str(), "w");
+    if (file_ == nullptr) return false;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void Exporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Exporter::set_window_callback(std::function<void(const Window&)> cb) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  on_window_ = std::move(cb);
+}
+
+void Exporter::emit(const Window& window) {
+  if (file_ != nullptr) {
+    const std::string line = window.to_json();
+    std::fprintf(file_, "%s\n", line.c_str());
+    std::fflush(file_);  // long-running servers: each window lands durably
+  }
+  std::function<void(const Window&)> cb;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    cb = on_window_;
+  }
+  if (cb) cb(window);
+  windows_emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Exporter::run() {
+  TraceRecorder::instance().set_thread_name("obs-exporter");
+  using clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.interval_ms));
+  WindowBuilder builder(registry_, static_cast<double>(trace_now_ns()) / 1e6);
+  auto next_tick = clock::now() + interval;
+  for (;;) {
+    bool stop_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stop_now = cv_.wait_until(lock, next_tick, [this] { return stopping_; });
+    }
+    if (stop_now) break;
+    emit(builder.take(static_cast<double>(trace_now_ns()) / 1e6));
+    // Fixed cadence: late ticks catch up instead of drifting, but a stall
+    // longer than one interval collapses into a single wider window (the
+    // builder diffs against the last real snapshot, so nothing is lost).
+    next_tick += interval;
+    const auto now = clock::now();
+    if (next_tick < now) next_tick = now + interval;
+  }
+  // Drain: one final partial window covering [last tick, stop] so metrics
+  // recorded just before shutdown still reach the file/callback.
+  emit(builder.take(static_cast<double>(trace_now_ns()) / 1e6, /*final=*/true));
+}
+
+}  // namespace lithogan::obs

@@ -1,0 +1,147 @@
+// Windowed metrics export: a background thread that snapshots a Registry
+// every N ms and emits delta-encoded windows — counter rates, gauge values
+// and histogram-delta quantiles — as JSONL and/or to an in-process
+// callback. This replaces exit-only snapshots for long-running servers: a
+// window says what happened *during* the last interval, not since process
+// start, so p99s and rates track load changes instead of averaging over
+// the whole run.
+//
+// Memory is bounded: the exporter retains exactly one previous
+// MetricsSnapshot (the diff base) regardless of run length, and the JSONL
+// file is append-only with one line per window. Shutdown drains: stop()
+// emits a final partial window covering [last tick, stop time] so no
+// observation recorded before shutdown is lost, then joins the thread.
+//
+// The delta math is reset-safe: if a cumulative value moved backwards
+// (Registry::reset() mid-run), the new cumulative value is taken as the
+// delta — a reset never produces negative rates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lithogan::obs {
+
+/// One export window: activity between two registry snapshots.
+struct Window {
+  struct CounterRate {
+    std::string name;
+    std::uint64_t delta = 0;     ///< increments inside the window
+    double rate_per_s = 0.0;     ///< delta / window duration
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;          ///< instantaneous at window end
+  };
+  /// Histogram activity inside the window: bucket-count deltas, so
+  /// quantile() reports the p50/p95/p99 of the window's observations only.
+  struct HistDelta {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< per-bucket deltas (+ overflow)
+    std::uint64_t count = 0;            ///< observations inside the window
+    double sum = 0.0;                   ///< sum delta inside the window
+    double quantile(double q) const { return bucket_quantile(bounds, counts, q); }
+  };
+
+  std::uint64_t index = 0;   ///< 0-based, consecutive
+  double start_ms = 0.0;     ///< window bounds on the trace epoch (trace_now_ns()/1e6)
+  double end_ms = 0.0;
+  bool final_window = false; ///< true for the drain window emitted by stop()
+  std::vector<CounterRate> counters;     ///< only counters with delta != 0
+  std::vector<GaugeValue> gauges;        ///< every registered gauge
+  std::vector<HistDelta> histograms;     ///< only histograms with count delta != 0
+
+  /// Lookup by name; nullptr when the metric saw no activity this window.
+  const CounterRate* counter(const std::string& name) const;
+  const HistDelta* histogram(const std::string& name) const;
+
+  /// One JSONL line:
+  ///   {"window": {"index": N, "start_ms": x, "end_ms": y, "final": b},
+  ///    "counters": {name: {"delta": d, "rate_per_s": r}},
+  ///    "gauges": {name: v},
+  ///    "histograms": {name: {"count": c, "sum": s, "p50": ..,
+  ///                          "p95": .., "p99": ..}}}
+  std::string to_json() const;
+};
+
+/// Turns successive Registry snapshots into Windows. Single-threaded use;
+/// the Exporter owns one, tests drive one directly for exact boundary
+/// control. Keeps only the previous snapshot — O(registry size) memory.
+class WindowBuilder {
+ public:
+  /// `start_ms` anchors window 0's left edge (same clock the caller will
+  /// pass to take(); the exporter uses trace_now_ns()/1e6).
+  WindowBuilder(const Registry& registry, double start_ms);
+
+  /// Snapshots the registry and returns the window [previous take, now_ms].
+  Window take(double now_ms, bool final_window = false);
+
+ private:
+  const Registry& registry_;
+  MetricsSnapshot prev_;
+  double prev_ms_;
+  std::uint64_t next_index_ = 0;
+};
+
+/// Background exporter thread. start() launches it; every interval it
+/// appends one Window line to `path` (if set) and invokes the window
+/// callback (if set). stop() drains (final partial window) and joins;
+/// the destructor calls stop().
+class Exporter {
+ public:
+  struct Options {
+    std::string path;            ///< JSONL output; empty = callback-only
+    double interval_ms = 1000.0; ///< clamped to >= 1
+    std::function<void(const Window&)> on_window;  ///< in-process consumer
+  };
+
+  explicit Exporter(Options options, const Registry& registry = Registry::global());
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Launches the export thread (named "obs-exporter"). Returns false if
+  /// already running or the output file could not be opened.
+  bool start();
+
+  /// Emits the final partial window, then joins. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// Windows emitted so far (file lines and/or callback invocations).
+  std::uint64_t windows_emitted() const {
+    return windows_emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the window callback (e.g. to attach an SloMonitor after
+  /// construction). Safe while running; takes effect from the next window.
+  void set_window_callback(std::function<void(const Window&)> cb);
+
+ private:
+  void run();
+  void emit(const Window& window);
+
+  Options options_;
+  const Registry& registry_;
+  std::FILE* file_ = nullptr;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> windows_emitted_{0};
+  std::mutex mutex_;                  ///< guards stopping_ + callback swap
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::function<void(const Window&)> on_window_;
+};
+
+}  // namespace lithogan::obs

@@ -38,31 +38,36 @@ void Histogram::reset() {
 }
 
 double Histogram::quantile(double q) const {
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
   // Snapshot the counts first so the rank and the cumulative walk agree
   // even while writers are active; each load is relaxed.
-  std::uint64_t total = 0;
   std::vector<std::uint64_t> counts(counts_.size());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts[i] = counts_[i].load(std::memory_order_relaxed);
-    total += counts[i];
   }
+  return bucket_quantile(bounds_, counts, q);
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q) {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const std::uint64_t next = cumulative + counts[i];
     if (static_cast<double>(next) >= rank && counts[i] > 0) {
-      if (i == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = bounds_[i];
+      if (i == bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
       const double into = rank - static_cast<double>(cumulative);
       return lo + (hi - lo) * (into / static_cast<double>(counts[i]));
     }
     cumulative = next;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 std::vector<double> default_ms_buckets() {
@@ -163,9 +168,33 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   return out;
 }
 
-namespace {
+MetricsSnapshot Registry::snapshot() const {
+  Impl& im = impl();
+  const std::lock_guard<std::mutex> lock(im.mutex);
+  MetricsSnapshot snap;
+  snap.counters.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(im.gauges.size());
+  for (const auto& [name, g] : im.gauges) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(im.histograms.size());
+  for (const auto& [name, h] : im.histograms) {
+    MetricsSnapshot::Hist hist;
+    hist.name = name;
+    hist.bounds = h->upper_bounds();
+    hist.counts.resize(hist.bounds.size() + 1);
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      hist.counts[i] = h->bucket_count(i);
+    }
+    hist.sum = h->sum();
+    hist.count = h->count();
+    snap.histograms.push_back(std::move(hist));
+  }
+  return snap;
+}
 
-void append_number(std::ostringstream& os, double v) {
+namespace detail {
+
+void append_json_number(std::ostream& os, double v) {
   // JSON has no infinity/NaN literals; clamp to null (never expected from
   // well-formed instrumentation, but snapshots must stay parseable).
   if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
@@ -177,7 +206,7 @@ void append_number(std::ostringstream& os, double v) {
   os << buf;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string Registry::snapshot_json(const std::string& host_simd) const {
   Impl& im = impl();
@@ -194,7 +223,7 @@ std::string Registry::snapshot_json(const std::string& host_simd) const {
   first = true;
   for (const auto& [name, g] : im.gauges) {
     os << (first ? "" : ", ") << '"' << name << "\": ";
-    append_number(os, g->value());
+    detail::append_json_number(os, g->value());
     first = false;
   }
   os << "}, \"histograms\": {";
@@ -204,14 +233,14 @@ std::string Registry::snapshot_json(const std::string& host_simd) const {
     const auto& bounds = h->upper_bounds();
     for (std::size_t i = 0; i < bounds.size(); ++i) {
       if (i != 0) os << ", ";
-      append_number(os, bounds[i]);
+      detail::append_json_number(os, bounds[i]);
     }
     os << "], \"counts\": [";
     for (std::size_t i = 0; i <= bounds.size(); ++i) {
       os << (i != 0 ? ", " : "") << h->bucket_count(i);
     }
     os << "], \"sum\": ";
-    append_number(os, h->sum());
+    detail::append_json_number(os, h->sum());
     os << ", \"count\": " << h->count() << "}";
     first = false;
   }

@@ -23,7 +23,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lithogan::obs {
@@ -89,6 +91,13 @@ class Histogram {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Estimated q-quantile over an explicit bucket snapshot: `counts` holds
+/// one entry per bound plus the overflow bucket. Same interpolation rules
+/// as Histogram::quantile; shared with the exporter's histogram-delta
+/// windows, so a window's p99 and a live histogram's p99 cannot drift.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q);
+
 /// Default bucket ladder for millisecond timings (train.step_ms and
 /// friends): 0.5 ms to 30 s in a 1-2-5 progression.
 std::vector<double> default_ms_buckets();
@@ -97,6 +106,23 @@ std::vector<double> default_ms_buckets();
 /// friends): 10 us to 10 s in a 1-2-5 progression, fine enough that p99
 /// interpolation stays meaningful at serving latencies.
 std::vector<double> default_us_buckets();
+
+/// Structured point-in-time copy of a registry's metrics, lexicographic by
+/// name within each section. The windowed exporter diffs two of these to
+/// produce delta windows; tests use it to assert exact values without
+/// parsing JSON.
+struct MetricsSnapshot {
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow)
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<Hist> histograms;
+};
 
 class Registry {
  public:
@@ -123,6 +149,11 @@ class Registry {
   /// All registered counters as (name, value), lexicographic by name.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
 
+  /// Copies every registered metric into a MetricsSnapshot. Values are read
+  /// relaxed, so a snapshot taken during concurrent updates is approximate
+  /// per metric (exact once writers quiesce) but never torn per field.
+  MetricsSnapshot snapshot() const;
+
   /// Whole-registry snapshot as a single-line JSON object:
   ///   {"host": {"cpus": N, "simd": "..."}, "counters": {...},
   ///    "gauges": {...}, "histograms": {name: {"bounds": [...],
@@ -145,5 +176,11 @@ class Registry {
   Impl& impl() const;
   mutable Impl* impl_ = nullptr;
 };
+
+namespace detail {
+/// Appends `v` to `os` as a JSON number (%.6g; NaN/inf clamp to null so
+/// exports stay parseable). Shared by snapshot_json and the exporter.
+void append_json_number(std::ostream& os, double v);
+}  // namespace detail
 
 }  // namespace lithogan::obs

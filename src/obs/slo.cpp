@@ -1,0 +1,97 @@
+#include "obs/slo.hpp"
+
+#include <utility>
+
+namespace lithogan::obs {
+
+SloMonitor::SloMonitor(SloConfig config, Registry& registry)
+    : config_(std::move(config)),
+      p99_gauge_(registry.gauge("slo.p99_us")),
+      rejection_gauge_(registry.gauge("slo.rejection_rate")),
+      latency_breach_gauge_(registry.gauge("slo.latency_breach")),
+      rejection_breach_gauge_(registry.gauge("slo.rejection_breach")) {
+  if (config_.window_count == 0) config_.window_count = 1;
+}
+
+void SloMonitor::set_breach_callback(std::function<void(const SloState&)> cb) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  on_breach_ = std::move(cb);
+}
+
+SloState SloMonitor::state() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void SloMonitor::observe_window(const Window& window) {
+  bool transitioned = false;
+  SloState notify_state;
+  std::function<void(const SloState&)> cb;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+
+    WindowSample sample;
+    if (const Window::HistDelta* lat = window.histogram(config_.latency_histogram)) {
+      if (latency_bounds_.empty()) {
+        latency_bounds_ = lat->bounds;
+        merged_counts_.assign(lat->counts.size(), 0);
+      }
+      if (lat->bounds == latency_bounds_) {
+        sample.latency_counts = lat->counts;
+        for (std::size_t i = 0; i < lat->counts.size(); ++i) {
+          merged_counts_[i] += lat->counts[i];
+        }
+      }
+    }
+    if (const Window::CounterRate* acc = window.counter(config_.accepted_counter)) {
+      sample.accepted = acc->delta;
+    }
+    if (const Window::CounterRate* rej = window.counter(config_.rejected_counter)) {
+      sample.rejected = rej->delta;
+    }
+    merged_accepted_ += sample.accepted;
+    merged_rejected_ += sample.rejected;
+    samples_.push_back(std::move(sample));
+    while (samples_.size() > config_.window_count) {
+      const WindowSample& old = samples_.front();
+      for (std::size_t i = 0; i < old.latency_counts.size(); ++i) {
+        merged_counts_[i] -= old.latency_counts[i];
+      }
+      merged_accepted_ -= old.accepted;
+      merged_rejected_ -= old.rejected;
+      samples_.pop_front();
+    }
+
+    const bool was_breached = state_.breached();
+    state_.p99_us = bucket_quantile(latency_bounds_, merged_counts_, 0.99);
+    state_.requests = merged_accepted_ + merged_rejected_;
+    state_.rejection_rate =
+        state_.requests > 0
+            ? static_cast<double>(merged_rejected_) / static_cast<double>(state_.requests)
+            : 0.0;
+    // A window with zero traffic keeps the previous latency verdict only if
+    // the merged window still holds observations; an empty merged window
+    // clears the breach (no evidence = healthy).
+    std::uint64_t merged_total = 0;
+    for (const std::uint64_t c : merged_counts_) merged_total += c;
+    state_.latency_breached = config_.p99_budget_us > 0.0 && merged_total > 0 &&
+                              state_.p99_us > config_.p99_budget_us;
+    state_.rejection_breached = config_.rejection_budget >= 0.0 &&
+                                state_.requests > 0 &&
+                                state_.rejection_rate > config_.rejection_budget;
+    ++state_.windows_observed;
+    if (state_.breached()) ++state_.breach_windows;
+
+    p99_gauge_.set(state_.p99_us);
+    rejection_gauge_.set(state_.rejection_rate);
+    latency_breach_gauge_.set(state_.latency_breached ? 1.0 : 0.0);
+    rejection_breach_gauge_.set(state_.rejection_breached ? 1.0 : 0.0);
+
+    transitioned = state_.breached() != was_breached;
+    notify_state = state_;
+    cb = on_breach_;
+  }
+  if (transitioned && cb) cb(notify_state);
+}
+
+}  // namespace lithogan::obs

@@ -1,0 +1,93 @@
+// SLO watchdog over exporter windows: tracks a p99 latency budget and a
+// rejection-rate error budget across a sliding window of recent export
+// windows, exposes breach state as gauges (slo.latency_breach /
+// slo.rejection_breach) and fires a callback on breach transitions.
+//
+// Feeding: attach observe_window as the exporter's window callback (or
+// call it directly from a test with hand-built Windows). Evaluation is
+// over the merged histogram-delta counts of the last `window_count`
+// windows — a multi-window p99, not a p99-of-p99s — so a single quiet
+// window cannot mask a breach and a single noisy one cannot fake a
+// recovery.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/exporter.hpp"
+
+namespace lithogan::obs {
+
+struct SloConfig {
+  /// p99 latency budget in µs over the sliding window; <= 0 disables the
+  /// latency objective.
+  double p99_budget_us = 0.0;
+  /// Rejection-rate budget (rejected / submitted) over the sliding window;
+  /// negative disables the rejection objective.
+  double rejection_budget = -1.0;
+  /// Sliding-window depth in export windows.
+  std::size_t window_count = 10;
+  /// Metric names evaluated against the budgets; defaults match
+  /// serve::Server instrumentation.
+  std::string latency_histogram = "serve.latency_us";
+  std::string accepted_counter = "serve.accepted";
+  std::string rejected_counter = "serve.rejected";
+};
+
+/// Snapshot of the monitor's judgment after the latest window.
+struct SloState {
+  double p99_us = 0.0;           ///< merged p99 over the sliding window
+  double rejection_rate = 0.0;   ///< rejected / (accepted + rejected)
+  std::uint64_t requests = 0;    ///< accepted + rejected in the window
+  bool latency_breached = false;
+  bool rejection_breached = false;
+  std::uint64_t windows_observed = 0;
+  std::uint64_t breach_windows = 0;  ///< windows spent in breach (either budget)
+  bool breached() const { return latency_breached || rejection_breached; }
+};
+
+class SloMonitor {
+ public:
+  /// `registry` receives the slo.* gauges (defaults to the global one, so
+  /// breach state rides the same exporter that feeds the monitor).
+  explicit SloMonitor(SloConfig config, Registry& registry = Registry::global());
+
+  /// Folds one export window into the sliding window and re-evaluates the
+  /// budgets. Thread-safe; the breach callback runs outside the lock.
+  void observe_window(const Window& window);
+
+  /// Invoked on breach-state transitions (entering or leaving breach),
+  /// outside the monitor lock.
+  void set_breach_callback(std::function<void(const SloState&)> cb);
+
+  SloState state() const;
+
+ private:
+  struct WindowSample {
+    std::vector<std::uint64_t> latency_counts;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+
+  SloConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<WindowSample> samples_;
+  // Incrementally-maintained merge of samples_, so evaluation is O(buckets)
+  // per window instead of O(window_count * buckets).
+  std::vector<double> latency_bounds_;
+  std::vector<std::uint64_t> merged_counts_;
+  std::uint64_t merged_accepted_ = 0;
+  std::uint64_t merged_rejected_ = 0;
+  SloState state_;
+  std::function<void(const SloState&)> on_breach_;
+  Gauge& p99_gauge_;
+  Gauge& rejection_gauge_;
+  Gauge& latency_breach_gauge_;
+  Gauge& rejection_breach_gauge_;
+};
+
+}  // namespace lithogan::obs

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lithogan::obs {
 
 namespace detail {
@@ -51,13 +53,17 @@ ThreadTrack& local_track() {
   return *track;
 }
 
-void copy_name(char* dst, const char* src) {
+void copy_bounded(char* dst, const char* src, std::size_t capacity) {
   std::size_t n = 0;
-  while (n < TraceEvent::kNameCapacity && src[n] != '\0') {
+  while (n < capacity && src[n] != '\0') {
     dst[n] = src[n];
     ++n;
   }
   dst[n] = '\0';
+}
+
+void copy_name(char* dst, const char* src) {
+  copy_bounded(dst, src, TraceEvent::kNameCapacity);
 }
 
 /// Escapes the few JSON-significant bytes a span name could contain.
@@ -77,14 +83,21 @@ void print_json_string(std::FILE* f, const char* s) {
   std::fputc('"', f);
 }
 
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
 }  // namespace
 
-std::uint64_t trace_now_ns() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point epoch = Clock::now();
+std::uint64_t trace_now_ns() { return to_trace_ns(std::chrono::steady_clock::now()); }
+
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp) {
+  const auto d = tp - trace_epoch();
+  if (d.count() < 0) return 0;
   return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch)
-          .count());
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
 }
 
 void set_trace_enabled(bool enabled) {
@@ -99,12 +112,30 @@ TraceRecorder& TraceRecorder::instance() {
 
 void TraceRecorder::record(const char* name, std::uint64_t start_ns,
                            std::uint64_t dur_ns) {
+  record(name, start_ns, dur_ns, 0, Flow::kNone, nullptr, 0);
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, std::uint64_t correlation,
+                           Flow flow, const TraceArg* args, std::size_t arg_count) {
   ThreadTrack& track = local_track();
   const std::uint64_t n = track.count.load(std::memory_order_relaxed);
+  if (n >= kRingCapacity) {
+    // Wraparound overwrites the ring's oldest span; surface the loss as a
+    // live counter so the exporter and bench metrics see it, not just the
+    // at-exit log line.
+    static Counter& dropped = Registry::global().counter("trace.spans_dropped");
+    dropped.add();
+  }
   TraceEvent& ev = track.ring[n % kRingCapacity];
   copy_name(ev.name, name);
   ev.start_ns = start_ns;
   ev.dur_ns = dur_ns;
+  ev.correlation = correlation;
+  ev.flow = flow;
+  ev.arg_count = static_cast<std::uint8_t>(
+      arg_count > TraceEvent::kMaxArgs ? TraceEvent::kMaxArgs : arg_count);
+  for (std::size_t i = 0; i < ev.arg_count; ++i) ev.args[i] = args[i];
   track.count.store(n + 1, std::memory_order_release);
 }
 
@@ -146,9 +177,42 @@ bool TraceRecorder::write_chrome_trace(const std::string& path) {
       // fraction.
       std::fprintf(f,
                    ", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                   "\"ts\": %.3f, \"dur\": %.3f}",
+                   "\"ts\": %.3f, \"dur\": %.3f",
                    track->tid, static_cast<double>(ev.start_ns) / 1e3,
                    static_cast<double>(ev.dur_ns) / 1e3);
+      if (ev.correlation != 0 || ev.arg_count > 0) {
+        std::fputs(", \"args\": {", f);
+        bool afirst = true;
+        if (ev.correlation != 0) {
+          std::fprintf(f, "\"corr\": \"0x%llx\"",
+                       static_cast<unsigned long long>(ev.correlation));
+          afirst = false;
+        }
+        for (std::size_t a = 0; a < ev.arg_count; ++a) {
+          if (!afirst) std::fputs(", ", f);
+          print_json_string(f, ev.args[a].key);
+          std::fprintf(f, ": %.6g", ev.args[a].value);
+          afirst = false;
+        }
+        std::fputs("}", f);
+      }
+      std::fputs("}", f);
+      if (ev.correlation != 0 && ev.flow != Flow::kNone) {
+        // Flow records share (cat, name, id) so Chrome/Perfetto chain them
+        // into one arrow per correlation ID. "s" binds to the slice that
+        // encloses its ts; "f" with bp:"e" binds to the enclosing slice at
+        // the request's completion.
+        const bool start = ev.flow == Flow::kStart;
+        std::fprintf(f,
+                     ",\n  {\"name\": \"req\", \"cat\": \"flow\", \"ph\": \"%s\", "
+                     "\"id\": \"0x%llx\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f%s}",
+                     start ? "s" : "f",
+                     static_cast<unsigned long long>(ev.correlation), track->tid,
+                     static_cast<double>(start ? ev.start_ns
+                                               : ev.start_ns + ev.dur_ns) /
+                         1e3,
+                     start ? "" : ", \"bp\": \"e\"");
+      }
     }
   }
   std::fputs("\n]}\n", f);
@@ -191,15 +255,26 @@ void TraceRecorder::clear() {
   }
 }
 
-void Span::arm(const char* name) {
+void Span::arm(const char* name, std::uint64_t correlation, Flow flow) {
   copy_name(name_, name);
+  correlation_ = correlation;
+  flow_ = flow;
+  arg_count_ = 0;
   start_ns_ = trace_now_ns();
   armed_ = true;
 }
 
+void Span::arg(const char* key, double value) {
+  if (!armed_ || arg_count_ >= TraceEvent::kMaxArgs) return;
+  copy_bounded(args_[arg_count_].key, key, TraceArg::kKeyCapacity);
+  args_[arg_count_].value = value;
+  ++arg_count_;
+}
+
 void Span::finish() {
   const std::uint64_t end = trace_now_ns();
-  TraceRecorder::instance().record(name_, start_ns_, end - start_ns_);
+  TraceRecorder::instance().record(name_, start_ns_, end - start_ns_, correlation_,
+                                   flow_, args_, arg_count_);
 }
 
 }  // namespace lithogan::obs

@@ -7,6 +7,14 @@
 // one relaxed atomic load and never touches the clock, so instrumentation
 // can stay compiled into hot paths permanently.
 //
+// Request-scoped telemetry: a span may carry a 64-bit correlation ID plus
+// up to kMaxArgs small key/value args, all stored inline in the ring (no
+// allocation when armed, same one-atomic-load cost when disabled). Spans
+// that mark the start or finish of a request's journey declare a Flow
+// phase; the export then emits Chrome flow events ("s"/"f" records sharing
+// one id) so Perfetto renders every request as a connected arc across
+// threads — producer-side submit to scheduler-side completion.
+//
 // Synchronization contract: a ring is written only by its owning thread.
 // Exporting (write_chrome_trace / clear / total_events) must happen while
 // recording threads are quiescent — in this codebase every worker-side span
@@ -19,6 +27,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -39,19 +48,43 @@ void set_trace_enabled(bool enabled);
 /// Nanoseconds since the process trace epoch (first use of the clock).
 std::uint64_t trace_now_ns();
 
+/// Converts a steady_clock time_point captured elsewhere (e.g. a serve
+/// slot's enqueue stamp) onto the trace epoch, so manually-bounded events
+/// line up with Span-recorded ones. Clamps to 0 before the epoch.
+std::uint64_t to_trace_ns(std::chrono::steady_clock::time_point tp);
+
+/// One small key/value annotation stored inline in a TraceEvent.
+struct TraceArg {
+  static constexpr std::size_t kKeyCapacity = 15;
+  char key[kKeyCapacity + 1];
+  double value;
+};
+
+/// Flow phase of a span within a cross-thread request arc. kStart emits a
+/// Chrome flow-start ("s") record bound to the span, kFinish a flow-finish
+/// ("f", bp:"e"); spans sharing one correlation ID are drawn as one arrow
+/// chain in Perfetto.
+enum class Flow : std::uint8_t { kNone = 0, kStart, kFinish };
+
 /// One completed span in a thread's ring. `name` is copied at record time
 /// so callers may pass transient strings (layer labels, clip ids).
 struct TraceEvent {
   static constexpr std::size_t kNameCapacity = 47;
+  static constexpr std::size_t kMaxArgs = 3;
   char name[kNameCapacity + 1];
   std::uint64_t start_ns;
   std::uint64_t dur_ns;
+  std::uint64_t correlation;  ///< 0 = uncorrelated
+  Flow flow;
+  std::uint8_t arg_count;
+  TraceArg args[kMaxArgs];
 };
 
 class TraceRecorder {
  public:
   /// Spans retained per thread; older spans are overwritten (and counted as
-  /// dropped) once a thread's ring wraps.
+  /// dropped, both here and in the `trace.spans_dropped` registry counter)
+  /// once a thread's ring wraps.
   static constexpr std::size_t kRingCapacity = 1 << 14;
 
   static TraceRecorder& instance();
@@ -60,15 +93,22 @@ class TraceRecorder {
   /// ~Span; usable directly for spans whose bounds are measured manually.
   void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
 
+  /// Full-fidelity variant: correlation ID, flow phase and up to kMaxArgs
+  /// key/value args (extra args are dropped). Same hot-path guarantees.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint64_t correlation, Flow flow,
+              const TraceArg* args = nullptr, std::size_t arg_count = 0);
+
   /// Names the calling thread's track in the export ("main",
   /// "pool-worker-3", ...). Registers the thread if it never recorded;
   /// cheap enough to call unconditionally from thread entry points.
   void set_thread_name(const std::string& name);
 
-  /// Writes every retained span as Chrome trace-event JSON (one complete
-  /// "X" event per span plus thread_name metadata). Requires recording
-  /// threads to be quiescent (see file comment). Returns false if the file
-  /// could not be written.
+  /// Writes every retained span as Chrome trace-event JSON: one complete
+  /// "X" event per span (args/correlation serialized into "args"), plus
+  /// "s"/"f" flow records for correlated spans with a Flow phase and
+  /// thread_name metadata. Requires recording threads to be quiescent (see
+  /// file comment). Returns false if the file could not be written.
   bool write_chrome_trace(const std::string& path);
 
   /// Spans currently retained across all threads (post-wraparound).
@@ -95,25 +135,38 @@ class TraceRecorder {
 class Span {
  public:
   explicit Span(const char* name) {
-    if (trace_enabled()) arm(name);
+    if (trace_enabled()) arm(name, 0, Flow::kNone);
   }
   explicit Span(const std::string& name) {
-    if (trace_enabled()) arm(name.c_str());
+    if (trace_enabled()) arm(name.c_str(), 0, Flow::kNone);
+  }
+  /// Correlated span: `correlation` groups this span with every other span
+  /// of the same request; `flow` marks its place in the request arc.
+  Span(const char* name, std::uint64_t correlation, Flow flow = Flow::kNone) {
+    if (trace_enabled()) arm(name, correlation, flow);
   }
   ~Span() {
     if (armed_) finish();
   }
 
+  /// Attaches one key/value arg (inline storage; args past
+  /// TraceEvent::kMaxArgs are dropped). No-op on a disabled span.
+  void arg(const char* key, double value);
+
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
-  void arm(const char* name);
+  void arm(const char* name, std::uint64_t correlation, Flow flow);
   void finish();
 
   std::uint64_t start_ns_ = 0;
+  std::uint64_t correlation_ = 0;
   bool armed_ = false;
+  Flow flow_ = Flow::kNone;
+  std::uint8_t arg_count_ = 0;
   char name_[TraceEvent::kNameCapacity + 1];
+  TraceArg args_[TraceEvent::kMaxArgs];
 };
 
 }  // namespace lithogan::obs

@@ -60,6 +60,13 @@ Ticket Server::submit_locked(const data::Sample& sample,
   slot.sample = &sample;
   slot.enqueued = std::chrono::steady_clock::now();
 
+  // Flow start on the producer's track: gen correlates this span with the
+  // scheduler-side serve.complete flow-finish, so Perfetto draws the
+  // request as one arc across threads. Recording is ring-local — no
+  // allocation, no extra locking.
+  obs::Span submit_span("serve.submit", slot.gen, obs::Flow::kStart);
+  submit_span.arg("queue_depth", static_cast<double>(pending_size_ + 1));
+
   pending_[(pending_head_ + pending_size_) % pending_.size()] = slot_id;
   ++pending_size_;
   ++stats_.accepted;
@@ -109,11 +116,16 @@ Response Server::wait(const Ticket& ticket) {
                    "stale or already-claimed serve ticket");
   done_cv_.wait(lock, [&] { return slot.state == SlotState::kDone; });
 
+  static obs::Histogram& copy_out_us = obs::Registry::global().histogram(
+      "serve.copy_out_us", obs::default_us_buckets());
+
   Response response;
   // Copy rather than move: the slot keeps its warm image buffer, so the
   // next dispatch into this slot allocates nothing. The copy happens on
   // the waiter's thread, outside the zero-alloc dispatch loop.
+  const auto copy_begin = std::chrono::steady_clock::now();
   response.resist = slot.resist;
+  copy_out_us.observe(elapsed_us(copy_begin, std::chrono::steady_clock::now()));
   response.latency_us = slot.latency_us;
   response.batch = slot.batch;
 
@@ -147,8 +159,13 @@ void Server::scheduler_main() {
   static obs::Gauge& depth = obs::Registry::global().gauge("queue.depth");
   static obs::Histogram& latency_us = obs::Registry::global().histogram(
       "serve.latency_us", obs::default_us_buckets());
+  static obs::Histogram& queue_wait_us = obs::Registry::global().histogram(
+      "serve.queue_wait_us", obs::default_us_buckets());
+  static obs::Histogram& compute_us = obs::Registry::global().histogram(
+      "serve.compute_us", obs::default_us_buckets());
   static obs::Histogram& batch_size = obs::Registry::global().histogram(
       "serve.batch_size", batch_size_buckets());
+  obs::TraceRecorder::instance().set_thread_name("serve-scheduler");
 
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -168,11 +185,16 @@ void Server::scheduler_main() {
     });
 
     const std::size_t n = std::min(pending_size_, config_.max_batch);
+    // One clock read bounds the whole batch's queue-wait: every request in
+    // the batch stops waiting at gather time, not at its own loop
+    // iteration.
+    const auto gathered = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) {
       const std::uint32_t slot_id = pending_[pending_head_];
       pending_head_ = (pending_head_ + 1) % pending_.size();
       Slot& slot = slots_[slot_id];
       slot.state = SlotState::kRunning;
+      slot.dispatched = gathered;
       batch_slots_[i] = slot_id;
       batch_samples_[i] = slot.sample;
       batch_out_[i] = &slot.resist;
@@ -183,7 +205,8 @@ void Server::scheduler_main() {
 
     lock.unlock();
     {
-      const obs::Span span("serve.dispatch");
+      obs::Span span("serve.dispatch");
+      span.arg("batch", static_cast<double>(n));
       model_.predict_batch_into(
           std::span<const data::Sample* const>(batch_samples_.data(), n),
           std::span<image::Image* const>(batch_out_.data(), n), scratch_);
@@ -194,9 +217,19 @@ void Server::scheduler_main() {
     for (std::size_t i = 0; i < n; ++i) {
       Slot& slot = slots_[batch_slots_[i]];
       slot.state = SlotState::kDone;
+      const double queue_wait = elapsed_us(slot.enqueued, slot.dispatched);
+      const double compute = elapsed_us(slot.dispatched, now);
       slot.latency_us = elapsed_us(slot.enqueued, now);
       slot.batch = n;
       latency_us.observe(slot.latency_us);
+      queue_wait_us.observe(queue_wait);
+      compute_us.observe(compute);
+      // Flow finish: a tiny span carrying the request's latency
+      // decomposition, correlated back to its serve.submit flow start.
+      obs::Span complete("serve.complete", slot.gen, obs::Flow::kFinish);
+      complete.arg("queue_wait_us", queue_wait);
+      complete.arg("compute_us", compute);
+      complete.arg("batch", static_cast<double>(n));
     }
     batch_size.observe(static_cast<double>(n));
     stats_.completed += n;

@@ -127,13 +127,17 @@ class Server {
 
   /// One request's full lifecycle storage. The resist image is slot-owned
   /// and stays warm across reuse (wait() copies out), keeping the
-  /// dispatch writeback allocation-free.
+  /// dispatch writeback allocation-free. `gen` doubles as the request's
+  /// trace correlation ID: it is unique per request for the server's
+  /// lifetime, so the submit-side flow-start and scheduler-side
+  /// flow-finish spans share it.
   struct Slot {
     std::uint64_t gen = 0;
     SlotState state = SlotState::kFree;
     const data::Sample* sample = nullptr;
     image::Image resist;
     std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point dispatched;  ///< batch gather time
     double latency_us = 0.0;
     std::size_t batch = 0;
   };

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
@@ -15,13 +16,20 @@ void add_obs_flags(CliParser& cli) {
                "same without a flag")
       .add_flag("metrics", "",
                 "append one metrics-registry snapshot line (JSONL) to the "
-                "given path on exit");
+                "given path on exit")
+      .add_flag("export", "",
+                "run a background windowed metrics exporter for the whole "
+                "run, appending one delta-encoded JSONL window per interval "
+                "to the given path")
+      .add_flag("export-ms", "500", "windowed exporter interval in ms");
 }
 
 ObsOptions begin_observability(const CliParser& cli) {
   ObsOptions options;
   options.trace_path = cli.get("trace");
   options.metrics_path = cli.get("metrics");
+  options.export_path = cli.get("export");
+  options.export_interval_ms = cli.get_double("export-ms");
   if (options.trace_path.empty()) {
     if (const char* env = std::getenv("LITHOGAN_TRACE")) options.trace_path = env;
   }
@@ -29,10 +37,25 @@ ObsOptions begin_observability(const CliParser& cli) {
     obs::TraceRecorder::instance().set_thread_name("main");
     obs::set_trace_enabled(true);
   }
+  if (!options.export_path.empty()) {
+    obs::Exporter::Options exporter_options;
+    exporter_options.path = options.export_path;
+    exporter_options.interval_ms = options.export_interval_ms;
+    options.exporter = std::make_shared<obs::Exporter>(std::move(exporter_options));
+    if (!options.exporter->start()) {
+      log_warn() << "could not start metrics exporter for " << options.export_path;
+      options.exporter.reset();
+    }
+  }
   return options;
 }
 
 void finish_observability(const ObsOptions& options, const char* host_simd) {
+  if (options.exporter) {
+    options.exporter->stop();
+    log_info() << "wrote " << options.exporter->windows_emitted()
+               << " metric windows: " << options.export_path;
+  }
   if (!options.trace_path.empty()) {
     obs::set_trace_enabled(false);
     obs::TraceRecorder& recorder = obs::TraceRecorder::instance();

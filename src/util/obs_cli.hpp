@@ -11,32 +11,46 @@
 // --trace <path> (or the LITHOGAN_TRACE=<path> environment variable, which
 // needs no CLI support at all) enables span tracing for the whole run and
 // writes Chrome trace-event JSON on finish; --metrics <path> appends one
-// registry snapshot line (JSONL). Both default to off, so instrumented
-// binaries behave identically to uninstrumented ones unless asked.
+// registry snapshot line (JSONL); --export <path> runs a background
+// windowed exporter for the whole run (delta-encoded JSONL, one line per
+// --export-ms window — see obs/exporter.hpp). All default to off, so
+// instrumented binaries behave identically to uninstrumented ones unless
+// asked.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "util/cli.hpp"
+
+namespace lithogan::obs {
+class Exporter;
+}  // namespace lithogan::obs
 
 namespace lithogan::util {
 
 struct ObsOptions {
   std::string trace_path;    ///< empty = tracing stays disabled
   std::string metrics_path;  ///< empty = no snapshot written
+  std::string export_path;   ///< empty = no windowed exporter
+  double export_interval_ms = 500.0;
+  /// Running exporter when export_path was set; callers may attach a
+  /// window callback (e.g. an SloMonitor) via set_window_callback.
+  std::shared_ptr<obs::Exporter> exporter;
 };
 
-/// Registers the --trace and --metrics flags.
+/// Registers the --trace, --metrics, --export and --export-ms flags.
 void add_obs_flags(CliParser& cli);
 
 /// Resolves the flags (LITHOGAN_TRACE overrides an empty --trace), enables
-/// tracing if a trace path was requested, and names the calling thread's
-/// trace track "main".
+/// tracing if a trace path was requested, names the calling thread's trace
+/// track "main", and starts the windowed exporter if --export was given.
 ObsOptions begin_observability(const CliParser& cli);
 
-/// Writes the requested outputs. `host_simd` tags the metrics snapshot's
-/// host block (pass math::simd_level(); obs itself cannot depend on math).
-/// Logs a warning on write failure rather than failing the run.
+/// Stops the exporter (draining its final window) and writes the
+/// requested outputs. `host_simd` tags the metrics snapshot's host block
+/// (pass math::simd_level(); obs itself cannot depend on math). Logs a
+/// warning on write failure rather than failing the run.
 void finish_observability(const ObsOptions& options, const char* host_simd);
 
 }  // namespace lithogan::util

@@ -1,0 +1,312 @@
+// Windowed exporter + SLO watchdog tests. WindowBuilder is driven directly
+// with hand-picked timestamps for exact boundary/delta assertions; the
+// Exporter thread is exercised end-to-end for the shutdown-drain and
+// callback contracts; SloMonitor is fed hand-built Windows so breach and
+// recovery transitions are deterministic.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exporter.hpp"
+#include "obs/json_verify.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+
+namespace obs = lithogan::obs;
+
+namespace {
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Hand-built export window with one latency histogram plus accept/reject
+/// counters — the shape SloMonitor consumes. `counts` is per-bucket
+/// (bounds.size() + 1, overflow last).
+obs::Window make_slo_window(std::uint64_t index,
+                            const std::vector<double>& bounds,
+                            std::vector<std::uint64_t> counts,
+                            std::uint64_t accepted, std::uint64_t rejected) {
+  obs::Window w;
+  w.index = index;
+  w.start_ms = static_cast<double>(index) * 100.0;
+  w.end_ms = w.start_ms + 100.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total > 0) {
+    obs::Window::HistDelta h;
+    h.name = "serve.latency_us";
+    h.bounds = bounds;
+    h.counts = std::move(counts);
+    h.count = total;
+    w.histograms.push_back(std::move(h));
+  }
+  if (accepted > 0) {
+    w.counters.push_back({"serve.accepted", accepted,
+                          static_cast<double>(accepted) * 10.0});
+  }
+  if (rejected > 0) {
+    w.counters.push_back({"serve.rejected", rejected,
+                          static_cast<double>(rejected) * 10.0});
+  }
+  return w;
+}
+
+}  // namespace
+
+TEST(WindowBuilder, CounterDeltasAreDeltasNotCumulative) {
+  obs::Registry reg;
+  obs::Counter& hits = reg.counter("cache.hits");
+  hits.add(40);
+  obs::WindowBuilder builder(reg, 0.0);
+
+  hits.add(10);  // cumulative 50; only the 10 happened inside window 0
+  const obs::Window w0 = builder.take(1000.0);
+  ASSERT_NE(w0.counter("cache.hits"), nullptr);
+  EXPECT_EQ(w0.counter("cache.hits")->delta, 10u);  // the 40 predate window 0
+  EXPECT_DOUBLE_EQ(w0.counter("cache.hits")->rate_per_s, 10.0);
+
+  hits.add(7);
+  const obs::Window w1 = builder.take(1500.0);
+  ASSERT_NE(w1.counter("cache.hits"), nullptr);
+  EXPECT_EQ(w1.counter("cache.hits")->delta, 7u);  // not 57: delta-encoded
+  EXPECT_DOUBLE_EQ(w1.counter("cache.hits")->rate_per_s, 14.0);  // 7 / 0.5 s
+
+  // A quiet counter is omitted entirely.
+  const obs::Window w2 = builder.take(2000.0);
+  EXPECT_EQ(w2.counter("cache.hits"), nullptr);
+}
+
+TEST(WindowBuilder, WindowBoundariesAreContiguousAndIndexed) {
+  obs::Registry reg;
+  obs::WindowBuilder builder(reg, 100.0);
+  double prev_end = 100.0;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const double now = 100.0 + static_cast<double>(i + 1) * 250.0;
+    const obs::Window w = builder.take(now);
+    EXPECT_EQ(w.index, i);
+    EXPECT_DOUBLE_EQ(w.start_ms, prev_end);  // left edge = previous right edge
+    EXPECT_DOUBLE_EQ(w.end_ms, now);
+    EXPECT_FALSE(w.final_window);
+    prev_end = w.end_ms;
+  }
+}
+
+TEST(WindowBuilder, HistogramDeltaQuantilesSeeOnlyTheWindow) {
+  obs::Registry reg;
+  obs::Histogram& lat = reg.histogram("latency_us", {100.0, 1000.0, 10000.0});
+  obs::WindowBuilder builder(reg, 0.0);
+
+  // Window 0: all observations fast (first bucket).
+  for (int i = 0; i < 100; ++i) lat.observe(50.0);
+  const obs::Window w0 = builder.take(1000.0);
+  const obs::Window::HistDelta* h0 = w0.histogram("latency_us");
+  ASSERT_NE(h0, nullptr);
+  EXPECT_EQ(h0->count, 100u);
+  EXPECT_LE(h0->quantile(0.99), 100.0);
+
+  // Window 1: all observations slow. A cumulative view would still report
+  // a fast p50 (100 old fast obs vs 100 new slow); the delta view must not.
+  for (int i = 0; i < 100; ++i) lat.observe(5000.0);
+  const obs::Window w1 = builder.take(2000.0);
+  const obs::Window::HistDelta* h1 = w1.histogram("latency_us");
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h1->count, 100u);
+  EXPECT_GT(h1->quantile(0.50), 1000.0);
+  EXPECT_DOUBLE_EQ(h1->sum, 100.0 * 5000.0);
+
+  // Live cumulative histogram disagrees, by design.
+  EXPECT_LE(lat.quantile(0.50), 100.0);
+}
+
+TEST(WindowBuilder, MidRunRegistrationAndResetAreSafe) {
+  obs::Registry reg;
+  obs::WindowBuilder builder(reg, 0.0);
+  (void)builder.take(100.0);
+
+  // A metric registered after the previous snapshot diffs against zero.
+  reg.counter("late.arrival").add(3);
+  const obs::Window w1 = builder.take(200.0);
+  ASSERT_NE(w1.counter("late.arrival"), nullptr);
+  EXPECT_EQ(w1.counter("late.arrival")->delta, 3u);
+
+  // A reset moves the cumulative value backwards; the delta must clamp to
+  // the new cumulative value, never go negative (uint wraparound).
+  reg.counter("late.arrival").add(100);
+  (void)builder.take(300.0);
+  reg.reset();
+  reg.counter("late.arrival").add(5);
+  const obs::Window w3 = builder.take(400.0);
+  ASSERT_NE(w3.counter("late.arrival"), nullptr);
+  EXPECT_EQ(w3.counter("late.arrival")->delta, 5u);
+}
+
+TEST(WindowBuilder, GaugesReportInstantaneousValues) {
+  obs::Registry reg;
+  obs::Gauge& depth = reg.gauge("queue.depth");
+  obs::WindowBuilder builder(reg, 0.0);
+  depth.set(12.0);
+  const obs::Window w0 = builder.take(100.0);
+  ASSERT_EQ(w0.gauges.size(), 1u);
+  EXPECT_EQ(w0.gauges[0].name, "queue.depth");
+  EXPECT_DOUBLE_EQ(w0.gauges[0].value, 12.0);
+  // Gauges are always emitted, even unchanged — they are state, not events.
+  const obs::Window w1 = builder.take(200.0);
+  ASSERT_EQ(w1.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(w1.gauges[0].value, 12.0);
+}
+
+TEST(Exporter, StopDrainsFinalPartialWindowToFile) {
+  obs::Registry reg;
+  obs::Counter& events = reg.counter("drain.events");
+  const std::string path = temp_path("exporter_drain.jsonl");
+  std::remove(path.c_str());
+
+  obs::Exporter exporter({path, 20.0, nullptr}, reg);
+  ASSERT_TRUE(exporter.start());
+  EXPECT_TRUE(exporter.running());
+  EXPECT_FALSE(exporter.start());  // second start refused while running
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  // Land increments just before stop: only the drain window can carry them.
+  events.add(9);
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.stop();  // idempotent
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(exporter.windows_emitted(), lines.size());
+
+  std::uint64_t seen_delta = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const obs::json::Value root = obs::json::parse(lines[i]);
+    const obs::json::Value* window = root.get("window");
+    ASSERT_NE(window, nullptr) << lines[i];
+    EXPECT_DOUBLE_EQ(window->get("index")->number, static_cast<double>(i));
+    EXPECT_GE(window->get("end_ms")->number, window->get("start_ms")->number);
+    const bool is_last = i + 1 == lines.size();
+    EXPECT_EQ(window->get("final")->boolean, is_last);
+    if (const obs::json::Value* c = root.get("counters")->get("drain.events")) {
+      seen_delta += static_cast<std::uint64_t>(c->get("delta")->number);
+    }
+  }
+  // Nothing recorded before stop() may be lost to shutdown.
+  EXPECT_EQ(seen_delta, 9u);
+}
+
+TEST(Exporter, CallbackOnlyModeNeedsNoFile) {
+  obs::Registry reg;
+  reg.counter("cb.ticks");
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<bool> saw_final{false};
+  obs::Exporter exporter(
+      {"", 10.0,
+       [&](const obs::Window& w) {
+         calls.fetch_add(1);
+         if (w.final_window) saw_final.store(true);
+       }},
+      reg);
+  ASSERT_TRUE(exporter.start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  exporter.stop();
+  EXPECT_GE(calls.load(), 1u);
+  EXPECT_EQ(calls.load(), exporter.windows_emitted());
+  EXPECT_TRUE(saw_final.load());
+}
+
+TEST(SloMonitor, LatencyBreachAndRecoveryTransitions) {
+  obs::Registry reg;
+  obs::SloConfig cfg;
+  cfg.p99_budget_us = 1000.0;
+  cfg.window_count = 3;
+  obs::SloMonitor monitor(cfg, reg);
+
+  std::vector<obs::SloState> transitions;
+  monitor.set_breach_callback(
+      [&](const obs::SloState& s) { transitions.push_back(s); });
+
+  const std::vector<double> bounds = {100.0, 1000.0, 10000.0};
+  // Two healthy windows: everything under 100 us.
+  monitor.observe_window(make_slo_window(0, bounds, {100, 0, 0, 0}, 100, 0));
+  monitor.observe_window(make_slo_window(1, bounds, {100, 0, 0, 0}, 100, 0));
+  EXPECT_FALSE(monitor.state().breached());
+  EXPECT_TRUE(transitions.empty());
+
+  // A slow window tips the merged sliding-window p99 past 1000 us.
+  monitor.observe_window(make_slo_window(2, bounds, {0, 0, 100, 0}, 100, 0));
+  ASSERT_EQ(transitions.size(), 1u);  // entering breach fires once
+  EXPECT_TRUE(transitions[0].latency_breached);
+  EXPECT_GT(transitions[0].p99_us, cfg.p99_budget_us);
+  EXPECT_TRUE(monitor.state().breached());
+  EXPECT_EQ(reg.gauge("slo.latency_breach").value(), 1.0);
+
+  // Healthy windows evict the slow one from the 3-deep sliding window.
+  monitor.observe_window(make_slo_window(3, bounds, {100, 0, 0, 0}, 100, 0));
+  EXPECT_EQ(transitions.size(), 1u);  // still breached: slow window in scope
+  monitor.observe_window(make_slo_window(4, bounds, {100, 0, 0, 0}, 100, 0));
+  monitor.observe_window(make_slo_window(5, bounds, {100, 0, 0, 0}, 100, 0));
+  ASSERT_EQ(transitions.size(), 2u);  // leaving breach fires once
+  EXPECT_FALSE(transitions[1].breached());
+  EXPECT_FALSE(monitor.state().breached());
+  EXPECT_EQ(reg.gauge("slo.latency_breach").value(), 0.0);
+  EXPECT_GT(monitor.state().breach_windows, 0u);
+  EXPECT_EQ(monitor.state().windows_observed, 6u);
+}
+
+TEST(SloMonitor, RejectionBudgetIsIndependentOfLatency) {
+  obs::Registry reg;
+  obs::SloConfig cfg;
+  cfg.p99_budget_us = 0.0;       // latency objective off
+  cfg.rejection_budget = 0.05;   // 5%
+  cfg.window_count = 4;
+  obs::SloMonitor monitor(cfg, reg);
+
+  const std::vector<double> bounds = {100.0};
+  monitor.observe_window(make_slo_window(0, bounds, {90, 0}, 90, 1));
+  EXPECT_FALSE(monitor.state().breached());  // ~1.1% rejected
+
+  monitor.observe_window(make_slo_window(1, bounds, {50, 0}, 50, 49));
+  const obs::SloState breached = monitor.state();
+  EXPECT_TRUE(breached.rejection_breached);
+  EXPECT_FALSE(breached.latency_breached);  // disabled budget never trips
+  EXPECT_NEAR(breached.rejection_rate, 50.0 / 190.0, 1e-9);
+  EXPECT_EQ(breached.requests, 190u);
+  EXPECT_EQ(reg.gauge("slo.rejection_breach").value(), 1.0);
+  EXPECT_NEAR(reg.gauge("slo.rejection_rate").value(), 50.0 / 190.0, 1e-9);
+}
+
+TEST(SloMonitor, EmptyWindowsClearBreachState) {
+  obs::Registry reg;
+  obs::SloConfig cfg;
+  cfg.p99_budget_us = 10.0;
+  cfg.window_count = 2;
+  obs::SloMonitor monitor(cfg, reg);
+  const std::vector<double> bounds = {100.0, 1000.0};
+  monitor.observe_window(make_slo_window(0, bounds, {0, 100, 0}, 100, 0));
+  EXPECT_TRUE(monitor.state().latency_breached);
+  // Traffic stops: once every sample in scope is empty there is nothing to
+  // judge, and a stale breach flag would page on silence.
+  monitor.observe_window(make_slo_window(1, bounds, {0, 0, 0}, 0, 0));
+  monitor.observe_window(make_slo_window(2, bounds, {0, 0, 0}, 0, 0));
+  EXPECT_FALSE(monitor.state().breached());
+  EXPECT_EQ(monitor.state().requests, 0u);
+}

@@ -201,6 +201,110 @@ TEST(ObsTrace, ChromeExportIsWellFormedJson) {
   EXPECT_EQ(complete[1].name, "needs \"escaping\"\\");
 }
 
+// Request telemetry: a correlated span exports its args and correlation ID
+// in "args", plus matching "s"/"f" flow records sharing one hex id — the
+// raw material Perfetto chains into a per-request arc.
+TEST(ObsTrace, CorrelationArgsAndFlowExport) {
+  TraceSandbox sandbox;
+  obs::set_trace_enabled(true);
+  {
+    obs::Span start("submit", 0xabcdu, obs::Flow::kStart);
+    start.arg("queue_depth", 3.0);
+  }
+  {
+    obs::Span finish("complete", 0xabcdu, obs::Flow::kFinish);
+    finish.arg("queue_wait_us", 120.5);
+    finish.arg("compute_us", 64.0);
+  }
+  { const obs::Span plain("uncorrelated"); }
+  obs::set_trace_enabled(false);
+
+  const std::string path = temp_path("obs_flow_trace.json");
+  ASSERT_TRUE(obs::TraceRecorder::instance().write_chrome_trace(path));
+  const obs::json::Value root = obs::json::parse(read_file(path));
+  const obs::json::Value* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::string start_id;
+  std::string finish_id;
+  bool saw_submit_args = false;
+  bool saw_complete_args = false;
+  bool plain_has_args = false;
+  for (const auto& ep : events->array) {
+    const obs::json::Value& e = *ep;
+    const std::string ph = e.get("ph")->string;
+    if (ph == "s") start_id = e.get("id")->string;
+    if (ph == "f") {
+      finish_id = e.get("id")->string;
+      // The flow-finish binds to the enclosing slice at its end.
+      ASSERT_NE(e.get("bp"), nullptr);
+      EXPECT_EQ(e.get("bp")->string, "e");
+    }
+    if (ph != "X") continue;
+    const std::string name = e.get("name")->string;
+    const obs::json::Value* args = e.get("args");
+    if (name == "submit") {
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->get("corr")->string, "0xabcd");
+      EXPECT_DOUBLE_EQ(args->get("queue_depth")->number, 3.0);
+      saw_submit_args = true;
+    } else if (name == "complete") {
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->get("queue_wait_us")->number, 120.5);
+      EXPECT_DOUBLE_EQ(args->get("compute_us")->number, 64.0);
+      saw_complete_args = true;
+    } else if (name == "uncorrelated") {
+      plain_has_args = args != nullptr;
+    }
+  }
+  EXPECT_TRUE(saw_submit_args);
+  EXPECT_TRUE(saw_complete_args);
+  EXPECT_FALSE(plain_has_args);  // uncorrelated, argless spans stay lean
+  EXPECT_EQ(start_id, "0xabcd");
+  EXPECT_EQ(finish_id, "0xabcd");
+}
+
+// Args past TraceEvent::kMaxArgs are dropped, never overflowed.
+TEST(ObsTrace, ArgOverflowIsDropped) {
+  TraceSandbox sandbox;
+  obs::set_trace_enabled(true);
+  {
+    obs::Span span("crowded", 7u, obs::Flow::kNone);
+    span.arg("a", 1.0);
+    span.arg("b", 2.0);
+    span.arg("c", 3.0);
+    span.arg("dropped", 4.0);
+    span.arg("very_long_key_exceeding_capacity", 5.0);
+  }
+  obs::set_trace_enabled(false);
+  const std::string path = temp_path("obs_argcap_trace.json");
+  ASSERT_TRUE(obs::TraceRecorder::instance().write_chrome_trace(path));
+  const obs::json::Value root = obs::json::parse(read_file(path));
+  for (const auto& ep : root.get("traceEvents")->array) {
+    if (ep->get("ph")->string != "X") continue;
+    const obs::json::Value* args = ep->get("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_NE(args->get("c"), nullptr);
+    EXPECT_EQ(args->get("dropped"), nullptr);
+    // corr + 3 args = 4 keys total.
+    EXPECT_EQ(args->object.size(), 4u);
+  }
+}
+
+// Ring wraparound surfaces as a live counter, not just an at-exit log.
+TEST(ObsTrace, SpansDroppedCounter) {
+  TraceSandbox sandbox;
+  obs::TraceRecorder& rec = obs::TraceRecorder::instance();
+  const std::uint64_t before =
+      obs::Registry::global().counter_value("trace.spans_dropped");
+  const std::size_t extra = 7;
+  for (std::size_t i = 0; i < obs::TraceRecorder::kRingCapacity + extra; ++i) {
+    rec.record("drop", i, 1);
+  }
+  EXPECT_EQ(obs::Registry::global().counter_value("trace.spans_dropped") - before,
+            extra);
+}
+
 TEST(ObsMetrics, RegistryBasics) {
   obs::Registry& reg = obs::Registry::global();
   obs::Counter& c = reg.counter("obs_test.basic");

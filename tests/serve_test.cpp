@@ -10,7 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +22,8 @@
 #include "core/lithogan.hpp"
 #include "data/render.hpp"
 #include "image/ops.hpp"
+#include "obs/json_verify.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -69,6 +74,19 @@ std::vector<ld::Sample> synthetic_samples(std::size_t count, std::size_t size,
   }
   return samples;
 }
+
+/// RAII guard: leaves tracing disabled and the rings empty (same contract
+/// as the obs_test sandbox) so trace assertions are order-independent.
+struct TraceSandbox {
+  TraceSandbox() {
+    lithogan::obs::set_trace_enabled(false);
+    lithogan::obs::TraceRecorder::instance().clear();
+  }
+  ~TraceSandbox() {
+    lithogan::obs::set_trace_enabled(false);
+    lithogan::obs::TraceRecorder::instance().clear();
+  }
+};
 
 void expect_images_equal(const li::Image& a, const li::Image& b) {
   ASSERT_EQ(a.data().size(), b.data().size());
@@ -209,6 +227,58 @@ TEST(Serve, BackpressureRejectionAndCleanShutdown) {
   EXPECT_THROW(server.submit(samples[0]), ls::StoppedError);
   EXPECT_THROW(server.try_submit(samples[0]), ls::StoppedError);
   EXPECT_EQ(server.stats().completed, 4u);
+}
+
+TEST(Serve, TracedServingIsByteIdenticalAndFlowsMatch) {
+  namespace obs = lithogan::obs;
+  const lc::LithoGanConfig cfg = test_config();
+  lc::LithoGan model(cfg, lc::Mode::kPlainCgan);
+  const auto samples = synthetic_samples(8, cfg.image_size, 17);
+  const auto direct = model.predict_batch(samples);  // untraced reference
+
+  TraceSandbox sandbox;
+  obs::set_trace_enabled(true);
+  ls::Config sc;
+  sc.max_batch = 4;
+  sc.max_wait_us = 200;
+  {
+    ls::Server server(model, sc);
+    std::vector<ls::Ticket> tickets;
+    for (const auto& s : samples) tickets.push_back(server.submit(s));
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      // Arming request telemetry must not change a single output byte.
+      expect_images_equal(direct[i], server.wait(tickets[i]).resist);
+    }
+    server.shutdown();  // joins the scheduler: rings quiescent for export
+  }
+  obs::set_trace_enabled(false);
+
+  const std::string path = testing::TempDir() + "serve_flow_trace.json";
+  ASSERT_TRUE(obs::TraceRecorder::instance().write_chrome_trace(path));
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  const obs::json::Value root = obs::json::parse(ss.str());
+  const obs::json::Value* events = root.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Every request journey is one flow: a producer-side "s" and a
+  // scheduler-side "f" sharing its correlation id (gens are unique, so
+  // id collisions cannot fake a match).
+  std::map<std::string, int> starts;
+  std::map<std::string, int> finishes;
+  for (const auto& ep : events->array) {
+    const obs::json::Value& e = *ep;
+    const std::string ph = e.get("ph")->string;
+    if (ph == "s") ++starts[e.get("id")->string];
+    if (ph == "f") ++finishes[e.get("id")->string];
+  }
+  EXPECT_EQ(starts.size(), samples.size());
+  EXPECT_EQ(finishes.size(), samples.size());
+  for (const auto& [id, n] : finishes) {
+    EXPECT_EQ(n, 1) << id;
+    EXPECT_EQ(starts.count(id), 1u) << "flow-finish without start: " << id;
+  }
 }
 
 TEST(Serve, TicketsClaimableExactlyOnce) {
