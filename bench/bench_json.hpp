@@ -39,6 +39,12 @@ struct BenchRecord {
   double ns_per_iter = 0.0;
   double gflops_per_s = 0.0;
   std::string dtype = "f32";  ///< weight/compute dtype of this row
+  /// Regression direction of ns_per_iter for cross-run comparison: "lower"
+  /// (the default — a time, bigger is worse) or "higher" (a rate such as
+  /// contacts/s stored in ns_per_iter's slot, smaller is worse). The op
+  /// name states the unit for "higher" records. tools/bench_compare flips
+  /// its regression test per record based on this field.
+  std::string dir = "lower";
 };
 
 /// 1-thread ns_per_iter for (op, shape), or 0 if none was benched.
@@ -152,6 +158,8 @@ inline bool write_bench_json(const std::string& path,
       if (b.dtype.empty()) b.dtype = "f32";
       if (const auto* v = entry->get("ns_per_iter")) b.ns_per_iter = v->number;
       if (const auto* v = entry->get("gflops_per_s")) b.gflops_per_s = v->number;
+      if (const auto* v = entry->get("dir")) b.dir = v->string;
+      if (b.dir.empty()) b.dir = "lower";
       if (new_keys.count(detail::record_key(b.op, b.shape, b.threads, b.dtype)) == 0) {
         merged.push_back(std::move(b));
       }
@@ -170,10 +178,11 @@ inline bool write_bench_json(const std::string& path,
         (base > 0.0 && r.ns_per_iter > 0.0) ? base / r.ns_per_iter : 0.0;
     std::fprintf(f,
                  "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %zu, "
-                 "\"dtype\": \"%s\", \"ns_per_iter\": %.3f, \"gflops_per_s\": %.3f, "
-                 "\"speedup_vs_1t\": %.3f}%s\n",
+                 "\"dtype\": \"%s\", \"dir\": \"%s\", \"ns_per_iter\": %.3f, "
+                 "\"gflops_per_s\": %.3f, \"speedup_vs_1t\": %.3f}%s\n",
                  r.op.c_str(), r.shape.c_str(), r.threads,
-                 r.dtype.empty() ? "f32" : r.dtype.c_str(), r.ns_per_iter,
+                 r.dtype.empty() ? "f32" : r.dtype.c_str(),
+                 r.dir.empty() ? "lower" : r.dir.c_str(), r.ns_per_iter,
                  r.gflops_per_s, speedup, i + 1 < merged.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -23,9 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "chip/layout.hpp"
+#include "chip/pipeline.hpp"
 #include "core/config.hpp"
 #include "core/lithogan.hpp"
 #include "data/sample.hpp"
+#include "litho/simulator.hpp"
 #include "image/ops.hpp"
 #include "math/conv.hpp"
 #include "math/fft.hpp"
@@ -171,6 +174,25 @@ int main() {
   serve::Server serve_server1(serve_model1, serve_sc);
   serve::Server serve_server8(serve_model8, serve_sc);
 
+  // Chip tile streaming (2x2 tiles, reduced source): the chip pipeline's
+  // wave dispatch — one golden tile simulation per worker, with persistent
+  // per-worker simulator clones — timed end to end over a small generated
+  // chip. One pipeline per exec context so each keeps its own warm clones.
+  litho::ProcessConfig chip_process = litho::ProcessConfig::n10();
+  chip_process.optical.source_rings = 1;
+  chip_process.optical.source_points_per_ring = 8;
+  litho::Simulator chip_calib(chip_process);
+  chip_calib.calibrate_dose();
+  chip::ChipConfig chip_cfg;
+  chip_cfg.chip_nm = 800.0;
+  chip_cfg.tile_extent_nm = 1024.0;
+  chip_cfg.tile_pixels = 256;
+  chip_cfg.halo_lobes = 1.0;
+  chip_cfg.ring_depth = 2;
+  const chip::ChipLayout chip_layout(chip_calib.process(), chip_cfg);
+  chip::ChipPipeline chip_pipe1(chip_calib.process(), chip_layout, &exec1);
+  chip::ChipPipeline chip_pipe8(chip_calib.process(), chip_layout, &exec8);
+
   std::vector<Op> ops;
   ops.push_back({"gemm_192", 16, [&](util::ExecContext* exec) {
                    math::gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data(), exec);
@@ -194,6 +216,16 @@ int main() {
   ops.push_back({"infer_plan_b8", 4, [&](util::ExecContext* exec) {
                    infer_plan.set_exec_context(exec);
                    (void)infer_plan.infer(infer_x);
+                 }});
+  ops.push_back({"chip_tile", 1, [&](util::ExecContext* exec) {
+                   chip::ChipPipeline& pipe =
+                       exec == &exec8 ? chip_pipe8 : chip_pipe1;
+                   std::size_t done = 0;
+                   pipe.run_golden(
+                       [&done](std::size_t,
+                               std::span<const chip::ContactResult> r) {
+                         done += r.size();
+                       });
                  }});
   ops.push_back({"serve_p99", 2, [&](util::ExecContext* exec) {
                    serve::Server& server =

@@ -57,6 +57,7 @@
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/traffic.hpp"
 
 using namespace lithogan;
 
@@ -126,12 +127,7 @@ std::vector<data::Sample> synthetic_samples(std::size_t count,
   return samples;
 }
 
-double percentile(std::vector<double>& v, double q) {
-  if (v.empty()) return 0.0;
-  const auto k = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
-  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
-  return v[k];
-}
+using util::percentile;
 
 struct PointResult {
   double qps_offered = 0.0;
@@ -188,7 +184,7 @@ PointResult run_point(serve::Server& server, const std::vector<data::Sample>& sa
   while (clock.elapsed_seconds() < duration_s) {
     // Exponential inter-arrival: the open-loop Poisson process keeps
     // offering load regardless of how far behind the server is.
-    next_arrival_s += -std::log(1.0 - rng.uniform(0.0, 1.0)) / qps;
+    next_arrival_s += util::poisson_gap_s(rng, qps);
     const auto deadline = t0 + std::chrono::duration<double>(next_arrival_s);
     std::this_thread::sleep_until(deadline);
     if (const auto ticket = server.try_submit(samples[clip])) {

@@ -43,6 +43,7 @@
 #include "util/obs_cli.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+#include "util/traffic.hpp"
 
 using namespace lithogan;
 
@@ -72,14 +73,8 @@ std::vector<data::Sample> synthetic_samples(std::size_t count,
 
 int main(int argc, char** argv) {
   util::CliParser cli("Serve LithoGAN predictions under Poisson load.");
-  cli.add_flag("qps", "100", "offered load, requests per second")
-      .add_flag("duration-s", "3", "traffic duration in seconds")
-      .add_flag("batch", "16", "scheduler max batch size B")
-      .add_flag("wait-us", "2000", "scheduler max wait T for the oldest request")
-      .add_flag("queue-cap", "256", "admission-control queue capacity")
-      .add_flag("threads", "1", "worker threads for the inference plans")
-      .add_flag("config", "tiny", "model scale: tiny|lite")
-      .add_flag("seed", "42", "traffic RNG seed")
+  util::add_traffic_flags(cli);
+  cli.add_flag("config", "tiny", "model scale: tiny|lite")
       .add_flag("slo-p99-us", "0",
                 "p99 latency budget in us for the SLO watchdog (0 = off)")
       .add_flag("slo-reject-pct", "-1",
@@ -91,18 +86,19 @@ int main(int argc, char** argv) {
   }
   const util::ObsOptions obs_opts = util::begin_observability(cli);
   util::set_log_level(util::LogLevel::kWarn);
+  const util::TrafficOptions traffic = util::read_traffic_flags(cli);
 
   core::LithoGanConfig cfg = cli.get("config") == "lite"
                                  ? core::LithoGanConfig::lite()
                                  : core::LithoGanConfig::tiny();
-  util::ExecContext exec(static_cast<std::size_t>(cli.get_int("threads")));
+  util::ExecContext exec(traffic.threads);
   cfg.exec = &exec;
   core::LithoGan model(cfg, core::Mode::kDualLearning);
 
   serve::Config sc;
-  sc.max_batch = static_cast<std::size_t>(cli.get_int("batch"));
-  sc.max_wait_us = static_cast<std::size_t>(cli.get_int("wait-us"));
-  sc.queue_capacity = static_cast<std::size_t>(cli.get_int("queue-cap"));
+  sc.max_batch = traffic.batch;
+  sc.max_wait_us = traffic.wait_us;
+  sc.queue_capacity = traffic.queue_cap;
   serve::Server server(model, sc);
   std::printf("serving %s model (%s weights): B=%zu, T=%zu us, queue=%zu\n",
               cli.get("config").c_str(),
@@ -139,10 +135,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  util::Rng rng(static_cast<unsigned>(cli.get_int("seed")));
+  util::Rng rng(traffic.seed);
   const auto samples = synthetic_samples(64, cfg, rng);
-  const double qps = std::max(1.0, cli.get_double("qps"));
-  const double duration_s = std::max(0.1, cli.get_double("duration-s"));
+  const double qps = traffic.qps;
+  const double duration_s = traffic.duration_s;
 
   // Waiter thread claims finished tickets while the producer keeps offering
   // load — an open-loop client, so a slow server shows up as latency and
@@ -177,7 +173,7 @@ int main(int argc, char** argv) {
   double next_arrival_s = 0.0;
   std::size_t clip = 0;
   while (clock.elapsed_seconds() < duration_s) {
-    next_arrival_s += -std::log(1.0 - rng.uniform(0.0, 1.0)) / qps;
+    next_arrival_s += util::poisson_gap_s(rng, qps);
     std::this_thread::sleep_until(t0 + std::chrono::duration<double>(next_arrival_s));
     if (const auto ticket = server.try_submit(samples[clip])) {
       {
@@ -198,11 +194,7 @@ int main(int argc, char** argv) {
   const serve::Stats stats = server.stats();
   server.shutdown();
 
-  std::sort(latencies.begin(), latencies.end());
-  const auto pct = [&](double q) {
-    if (latencies.empty()) return 0.0;
-    return latencies[static_cast<std::size_t>(q * static_cast<double>(latencies.size() - 1))];
-  };
+  const auto pct = [&](double q) { return util::percentile(latencies, q); };
   std::printf("\nserved %zu requests in %.2f s (%.0f clips/s achieved)\n",
               latencies.size(), elapsed_s,
               static_cast<double>(latencies.size()) / elapsed_s);

@@ -1,0 +1,216 @@
+#include "chip/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "layout/opc.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace lithogan::chip {
+
+void ChipConfig::validate() const {
+  LITHOGAN_REQUIRE(chip_nm > 0.0, "chip_nm must be positive");
+  LITHOGAN_REQUIRE(tile_extent_nm > 0.0, "tile_extent_nm must be positive");
+  LITHOGAN_REQUIRE(tile_pixels >= 2, "tile_pixels too small");
+  LITHOGAN_REQUIRE(halo_lobes > 0.0, "halo_lobes must be positive");
+  LITHOGAN_REQUIRE(ring_depth >= 1, "ring_depth must be at least 1");
+  LITHOGAN_REQUIRE(infer_batch >= 1, "infer_batch must be at least 1");
+  LITHOGAN_REQUIRE(cell_nm > 0.0 && cell_nm <= chip_nm, "cell_nm out of range");
+  LITHOGAN_REQUIRE(occupancy > 0.0 && occupancy <= 1.0, "occupancy out of range");
+  LITHOGAN_REQUIRE(position_jitter_nm >= 0.0, "negative jitter");
+}
+
+namespace {
+
+/// Contact-center margin from the cell border: keeps every rectangle inside
+/// its cell and makes worst-case cross-cell center spacing >= min_pitch.
+double cell_margin(const litho::ProcessConfig& process) {
+  return process.min_pitch_nm / 2.0 + process.contact_size_nm;
+}
+
+}  // namespace
+
+ChipLayout::ChipLayout(const litho::ProcessConfig& process, const ChipConfig& config)
+    : process_(process), config_(config) {
+  config_.validate();
+  cells_x_ = static_cast<std::size_t>(std::ceil(config_.chip_nm / config_.cell_nm));
+  cells_y_ = cells_x_;
+
+  const double margin = cell_margin(process_);
+  const double half_usable = config_.cell_nm / 2.0 - margin;
+  LITHOGAN_REQUIRE(half_usable >= 0.0, "cell_nm too small for the process margin");
+
+  std::vector<std::pair<std::uint32_t, geometry::Rect>> placed;
+  placed.reserve(cells_x_ * cells_y_ * 4);
+  for (std::size_t cy = 0; cy < cells_y_; ++cy) {
+    for (std::size_t cx = 0; cx < cells_x_; ++cx) {
+      const auto cell = static_cast<std::uint32_t>(cy * cells_x_ + cx);
+      // Per-cell stream: the group drawn here depends only on (seed, cell),
+      // never on neighboring cells or on how the chip gets tiled later.
+      util::Rng rng(config_.seed, cell);
+      const geometry::Point center{
+          (static_cast<double>(cx) + 0.5) * config_.cell_nm,
+          (static_cast<double>(cy) + 0.5) * config_.cell_nm};
+
+      const auto place = [&](geometry::Point site) {
+        const double j = config_.position_jitter_nm;
+        if (j > 0.0) {
+          site.x += rng.uniform(-j, j);
+          site.y += rng.uniform(-j, j);
+        }
+        if (std::abs(site.x - center.x) > half_usable ||
+            std::abs(site.y - center.y) > half_usable) {
+          return;  // clipped against the cell's safe region
+        }
+        placed.emplace_back(cell, geometry::Rect::from_center(
+                                      site, process_.contact_size_nm,
+                                      process_.contact_size_nm));
+      };
+
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // isolated
+          place(center);
+          break;
+        }
+        case 1: {  // row
+          const double pitch =
+              process_.min_pitch_nm * rng.uniform(1.0, 1.6);
+          const bool horizontal = rng.bernoulli(0.5);
+          const auto half_len = static_cast<int>(rng.uniform_int(1, 3));
+          for (int k = -half_len; k <= half_len; ++k) {
+            if (k != 0 && !rng.bernoulli(config_.occupancy)) continue;
+            const double off = static_cast<double>(k) * pitch;
+            place(horizontal ? geometry::Point{center.x + off, center.y}
+                             : geometry::Point{center.x, center.y + off});
+          }
+          break;
+        }
+        default: {  // grid
+          const double pitch_x = process_.min_pitch_nm * rng.uniform(1.0, 1.6);
+          const double pitch_y = process_.min_pitch_nm * rng.uniform(1.0, 1.6);
+          for (int ky = -1; ky <= 1; ++ky) {
+            for (int kx = -1; kx <= 1; ++kx) {
+              if ((kx != 0 || ky != 0) && !rng.bernoulli(config_.occupancy)) continue;
+              place({center.x + static_cast<double>(kx) * pitch_x,
+                     center.y + static_cast<double>(ky) * pitch_y});
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  index_and_bias(std::move(placed));
+}
+
+ChipLayout::ChipLayout(const litho::ProcessConfig& process, const ChipConfig& config,
+                       std::vector<geometry::Rect> drawn)
+    : process_(process), config_(config) {
+  config_.validate();
+  cells_x_ = static_cast<std::size_t>(std::ceil(config_.chip_nm / config_.cell_nm));
+  cells_y_ = cells_x_;
+  std::vector<std::pair<std::uint32_t, geometry::Rect>> placed;
+  placed.reserve(drawn.size());
+  for (const auto& r : drawn) {
+    const geometry::Point c = r.center();
+    LITHOGAN_REQUIRE(c.x >= 0.0 && c.x < config_.chip_nm && c.y >= 0.0 &&
+                         c.y < config_.chip_nm,
+                     "contact center outside the chip");
+    const auto cx = static_cast<std::size_t>(c.x / config_.cell_nm);
+    const auto cy = static_cast<std::size_t>(c.y / config_.cell_nm);
+    placed.emplace_back(static_cast<std::uint32_t>(
+                            std::min(cy, cells_y_ - 1) * cells_x_ +
+                            std::min(cx, cells_x_ - 1)),
+                        r);
+  }
+  index_and_bias(std::move(placed));
+}
+
+void ChipLayout::index_and_bias(
+    std::vector<std::pair<std::uint32_t, geometry::Rect>> placed) {
+  // Cell-major storage: stable sort keeps the per-cell generation order, so
+  // contact indices are deterministic and queries return ascending runs.
+  std::stable_sort(placed.begin(), placed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const std::size_t cells = cells_x_ * cells_y_;
+  contacts_.clear();
+  contacts_.reserve(placed.size());
+  drawn_rects_.clear();
+  drawn_rects_.reserve(placed.size());
+  cell_start_.assign(cells + 1, 0);
+  for (const auto& [cell, rect] : placed) {
+    ++cell_start_[cell + 1];
+    ChipContact c;
+    c.drawn = rect;
+    c.cell = cell;
+    contacts_.push_back(c);
+    drawn_rects_.push_back(rect);
+  }
+  for (std::size_t i = 0; i < cells; ++i) cell_start_[i + 1] += cell_start_[i];
+
+  // Rule-OPC pass: exactly layout::OpcEngine's density rule, with the
+  // neighborhood gathered across cell boundaries via the index itself.
+  const layout::OpcConfig opc;
+  std::vector<geometry::Rect> others;
+  std::vector<std::uint32_t> near;
+  for (auto& contact : contacts_) {
+    const geometry::Rect reach =
+        geometry::Rect::from_center(contact.drawn.center(),
+                                    2.0 * opc.rule_dense_radius_nm,
+                                    2.0 * opc.rule_dense_radius_nm);
+    query_drawn(reach, near);
+    others.clear();
+    for (const std::uint32_t i : near) others.push_back(drawn_rects_[i]);
+    contact.opc = layout::OpcEngine::rule_biased(contact.drawn, others, opc);
+  }
+}
+
+namespace {
+
+/// Applies `keep(index)` to every contact in the cells covering `window`,
+/// in ascending contact order (cell-major storage + ascending cell walk).
+template <typename Keep>
+void for_cells(const geometry::Rect& window, double cell, std::size_t cells_x,
+               std::size_t cells_y, const std::vector<std::uint32_t>& cell_start,
+               const Keep& keep) {
+  const auto clamp_cell = [&](double v, std::size_t count) {
+    const double c = std::floor(v / cell);
+    if (c < 0.0) return static_cast<std::size_t>(0);
+    return std::min(static_cast<std::size_t>(c), count - 1);
+  };
+  const std::size_t x0 = clamp_cell(window.lo.x, cells_x);
+  const std::size_t x1 = clamp_cell(window.hi.x, cells_x);
+  const std::size_t y0 = clamp_cell(window.lo.y, cells_y);
+  const std::size_t y1 = clamp_cell(window.hi.y, cells_y);
+  for (std::size_t cy = y0; cy <= y1; ++cy) {
+    for (std::size_t cx = x0; cx <= x1; ++cx) {
+      const std::size_t c = cy * cells_x + cx;
+      for (std::uint32_t i = cell_start[c]; i < cell_start[c + 1]; ++i) keep(i);
+    }
+  }
+}
+
+}  // namespace
+
+void ChipLayout::query(const geometry::Rect& window,
+                       std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for_cells(window, config_.cell_nm, cells_x_, cells_y_, cell_start_,
+            [&](std::uint32_t i) {
+              if (contacts_[i].opc.intersects(window)) out.push_back(i);
+            });
+}
+
+void ChipLayout::query_drawn(const geometry::Rect& window,
+                             std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for_cells(window, config_.cell_nm, cells_x_, cells_y_, cell_start_,
+            [&](std::uint32_t i) {
+              if (window.contains(contacts_[i].drawn.center())) out.push_back(i);
+            });
+}
+
+}  // namespace lithogan::chip

@@ -1,0 +1,92 @@
+// Full-chip contact layout.
+//
+// The per-clip pipeline (layout::ClipGenerator) places one target plus its
+// neighborhood inside a 1024 nm window; a chip is the same placement idiom
+// scaled out: the window is divided into fixed placement *cells* and every
+// cell draws its own contact group (isolated / row / grid, the paper's three
+// array classes) from a deterministic per-cell RNG stream. Cells — not
+// tiles — are the RNG unit on purpose: the layout is a pure function of
+// (seed, cell index), so retiling the chip (different tile size, different
+// halo, different thread count) can never change what is on the mask. That
+// invariance is what makes the halo ownership tests meaningful.
+//
+// Groups are confined to their cell minus a min-pitch margin, which
+// guarantees the inter-cell spacing rule without any cross-cell negotiation
+// and gives the spatial index a trivial shape: contacts are stored
+// cell-major, so a window query is a loop over the covered cell range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/primitives.hpp"
+#include "litho/process.hpp"
+
+namespace lithogan::chip {
+
+struct ChipConfig {
+  double chip_nm = 4096.0;         ///< chip window edge length
+  double tile_extent_nm = 2048.0;  ///< tile grid edge (core + 2 x halo)
+  std::size_t tile_pixels = 512;   ///< tile grid resolution (keeps clip pixel pitch)
+  /// Halo width in units of the optical kernel ambit (the broadest
+  /// point-spread lobe, read from the pupil support — see
+  /// litho::OpticalModel::kernel_ambit_nm). Larger = tighter seam accuracy,
+  /// smaller tile cores. Resist diffusion and the VTR window are added on
+  /// top automatically.
+  double halo_lobes = 4.0;
+  std::size_t ring_depth = 4;      ///< in-flight tile slots (bounds memory)
+  std::size_t infer_batch = 16;    ///< learned-path sub-batch size
+  std::uint64_t seed = 7;          ///< placement seed
+  double cell_nm = 512.0;          ///< placement cell pitch
+  double occupancy = 0.8;          ///< per-site keep probability in groups
+  double position_jitter_nm = 5.0; ///< per-contact placement jitter
+
+  void validate() const;
+};
+
+/// One drawn contact and its rule-OPC-biased mask rectangle, chip-space nm.
+struct ChipContact {
+  geometry::Rect drawn;
+  geometry::Rect opc;
+  std::uint32_t cell = 0;  ///< generating placement cell
+};
+
+class ChipLayout {
+ public:
+  /// Generates the layout: one contact group per cell from Rng(seed, cell),
+  /// then one rule-OPC pass (layout::OpcEngine::rule_biased against every
+  /// drawn contact within the dense radius, across cell boundaries).
+  ChipLayout(const litho::ProcessConfig& process, const ChipConfig& config);
+
+  /// Builds the index over caller-provided contacts (tests hand-place exact
+  /// integer coordinates this way). Contacts must lie inside the chip; they
+  /// are re-sorted cell-major and re-biased by the same OPC rule.
+  ChipLayout(const litho::ProcessConfig& process, const ChipConfig& config,
+             std::vector<geometry::Rect> drawn);
+
+  const std::vector<ChipContact>& contacts() const { return contacts_; }
+  double chip_nm() const { return config_.chip_nm; }
+  const ChipConfig& config() const { return config_; }
+
+  /// Appends (ascending) the indices of contacts whose OPC rectangle
+  /// intersects `window` to `out` (cleared first). Allocation-free once
+  /// `out` is warm — the tile loop's steady-state query.
+  void query(const geometry::Rect& window, std::vector<std::uint32_t>& out) const;
+
+ private:
+  litho::ProcessConfig process_;
+  ChipConfig config_;
+  std::size_t cells_x_ = 0;
+  std::size_t cells_y_ = 0;
+  std::vector<ChipContact> contacts_;       ///< cell-major order
+  std::vector<geometry::Rect> drawn_rects_; ///< contacts_[i].drawn, for span views
+  std::vector<std::uint32_t> cell_start_;   ///< cells+1 offsets into contacts_
+
+  void index_and_bias(std::vector<std::pair<std::uint32_t, geometry::Rect>> placed);
+  /// Like query() but against the drawn rectangles' centers — used by the
+  /// OPC pass, which runs before the biased rectangles exist.
+  void query_drawn(const geometry::Rect& window, std::vector<std::uint32_t>& out) const;
+};
+
+}  // namespace lithogan::chip

@@ -21,19 +21,26 @@ geometry::Rect to_pixels(const geometry::Rect& nm_rect, double scale) {
 }
 }  // namespace
 
-image::Image render_mask(const layout::MaskClip& clip, const RenderConfig& config) {
+void render_mask_into(const layout::MaskClip& clip, const RenderConfig& config,
+                      image::Image& out) {
   LITHOGAN_REQUIRE(clip.has_opc(), "render_mask requires a post-OPC clip");
   const std::size_t s = config.mask_size_px;
-  image::Image img(3, s, s);
+  out.resize(3, s, s);
+  out.fill(0.0f);
   const double scale = static_cast<double>(s) / clip.extent_nm;
 
   for (const auto& r : clip.neighbors_opc) {
-    image::fill_rect(img, kRed, to_pixels(r, scale), 1.0f);
+    image::fill_rect(out, kRed, to_pixels(r, scale), 1.0f);
   }
   for (const auto& r : clip.srafs) {
-    image::fill_rect(img, kBlue, to_pixels(r, scale), 1.0f);
+    image::fill_rect(out, kBlue, to_pixels(r, scale), 1.0f);
   }
-  image::fill_rect(img, kGreen, to_pixels(clip.target_opc, scale), 1.0f);
+  image::fill_rect(out, kGreen, to_pixels(clip.target_opc, scale), 1.0f);
+}
+
+image::Image render_mask(const layout::MaskClip& clip, const RenderConfig& config) {
+  image::Image img;
+  render_mask_into(clip, config, img);
   return img;
 }
 

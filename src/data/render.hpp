@@ -29,6 +29,12 @@ struct RenderConfig {
 /// to have run (the paper trains on post-RET masks).
 image::Image render_mask(const layout::MaskClip& clip, const RenderConfig& config);
 
+/// In-place variant: resizes `out` to 3 x size x size (reusing its buffer)
+/// and renders into it. Steady-state callers (the chip pipeline's learned
+/// path) render thousands of clips with zero allocations once warm.
+void render_mask_into(const layout::MaskClip& clip, const RenderConfig& config,
+                      image::Image& out);
+
 /// Result of golden rasterization.
 struct GoldenRaster {
   image::Image resist;           ///< crop-window raster (not re-centered)

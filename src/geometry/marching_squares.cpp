@@ -1,9 +1,9 @@
 #include "geometry/marching_squares.hpp"
 
-#include <array>
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -20,14 +20,6 @@ std::uint64_t edge_key(std::size_t x, std::size_t y, int orientation, std::size_
          static_cast<std::uint64_t>(orientation);
 }
 
-struct Segment {
-  std::uint64_t key_a;
-  std::uint64_t key_b;
-  Point a;
-  Point b;
-  bool used = false;
-};
-
 // Interpolated crossing on the edge from lattice point (x0,y0) (value v0) to
 // (x1,y1) (value v1).
 Point interpolate(double x0, double y0, double v0, double x1, double y1, double v1,
@@ -40,15 +32,17 @@ Point interpolate(double x0, double y0, double v0, double x1, double y1, double 
 
 }  // namespace
 
-std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t width,
-                                      std::size_t height, double threshold) {
+std::size_t extract_contours_into(std::span<const double> grid, std::size_t width,
+                                  std::size_t height, double threshold,
+                                  ContourScratch& scratch, std::vector<Polygon>& out) {
   LITHOGAN_REQUIRE(grid.size() == width * height, "grid size mismatch");
-  if (width < 2 || height < 2) return {};
+  auto& segments = scratch.segments;
+  segments.clear();
+  auto& edges = scratch.edges;
+  edges.clear();
+  if (width < 2 || height < 2) return 0;
 
   const auto value = [&](std::size_t x, std::size_t y) { return grid[y * width + x]; };
-
-  std::vector<Segment> segments;
-  segments.reserve(width * height / 4);
 
   for (std::size_t cy = 0; cy + 1 < height; ++cy) {
     for (std::size_t cx = 0; cx + 1 < width; ++cx) {
@@ -80,7 +74,7 @@ std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t 
 
       const auto emit = [&](std::uint64_t ka2, const Point& pa, std::uint64_t kb2,
                             const Point& pb) {
-        segments.push_back(Segment{ka2, kb2, pa, pb});
+        segments.push_back(ContourScratch::Segment{ka2, kb2, pa, pb});
       };
 
       switch (caseIndex) {
@@ -138,33 +132,30 @@ std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t 
   }
 
   // Index segments by their edge keys: each grid edge borders at most two
-  // cells, hence at most two segments.
-  std::unordered_map<std::uint64_t, std::array<std::ptrdiff_t, 2>> by_edge;
-  by_edge.reserve(segments.size() * 2);
-  const auto link = [&](std::uint64_t key, std::ptrdiff_t idx) {
-    auto [it, inserted] = by_edge.try_emplace(key, std::array<std::ptrdiff_t, 2>{-1, -1});
-    auto& slots = it->second;
-    if (slots[0] < 0) {
-      slots[0] = idx;
-    } else {
-      slots[1] = idx;
-    }
-  };
+  // cells, hence at most two segments per key. Sorting (key, index) pairs
+  // reproduces the insertion order a per-key slot array would see — indices
+  // are linked in ascending order — so the walk below visits neighbors in
+  // exactly the same order as the historical hash-map implementation.
+  edges.reserve(segments.size() * 2);
   for (std::size_t i = 0; i < segments.size(); ++i) {
-    link(segments[i].key_a, static_cast<std::ptrdiff_t>(i));
-    link(segments[i].key_b, static_cast<std::ptrdiff_t>(i));
+    edges.emplace_back(segments[i].key_a, static_cast<std::int32_t>(i));
+    edges.emplace_back(segments[i].key_b, static_cast<std::int32_t>(i));
   }
+  std::sort(edges.begin(), edges.end());
 
   const auto neighbor = [&](std::uint64_t key, std::ptrdiff_t self) -> std::ptrdiff_t {
-    const auto it = by_edge.find(key);
-    if (it == by_edge.end()) return -1;
-    const auto& slots = it->second;
-    if (slots[0] >= 0 && slots[0] != self) return slots[0];
-    if (slots[1] >= 0 && slots[1] != self) return slots[1];
+    auto it = std::lower_bound(
+        edges.begin(), edges.end(), key,
+        [](const std::pair<std::uint64_t, std::int32_t>& e, std::uint64_t k) {
+          return e.first < k;
+        });
+    for (; it != edges.end() && it->first == key; ++it) {
+      if (it->second != self) return it->second;
+    }
     return -1;
   };
 
-  std::vector<Polygon> contours;
+  std::size_t count = 0;
   for (std::size_t start = 0; start < segments.size(); ++start) {
     if (segments[start].used) continue;
 
@@ -175,18 +166,20 @@ std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t 
       const std::ptrdiff_t prev = neighbor(head_entry, head);
       if (prev < 0 || segments[static_cast<std::size_t>(prev)].used) break;
       if (prev == static_cast<std::ptrdiff_t>(start)) break;  // closed loop
-      const Segment& ps = segments[static_cast<std::size_t>(prev)];
+      const ContourScratch::Segment& ps = segments[static_cast<std::size_t>(prev)];
       head_entry = (ps.key_a == head_entry) ? ps.key_b : ps.key_a;
       head = prev;
       if (head == static_cast<std::ptrdiff_t>(start)) break;  // safety
     }
 
-    // Forward walk collecting vertices.
-    Polygon poly;
+    // Forward walk collecting vertices into a pooled output slot.
+    if (count == out.size()) out.emplace_back();
+    Polygon& poly = out[count];
+    poly.clear();
     std::ptrdiff_t cur = head;
     std::uint64_t entry = head_entry;
     while (cur >= 0 && !segments[static_cast<std::size_t>(cur)].used) {
-      Segment& seg = segments[static_cast<std::size_t>(cur)];
+      ContourScratch::Segment& seg = segments[static_cast<std::size_t>(cur)];
       seg.used = true;
       const bool forward = (seg.key_a == entry);
       poly.push_back(forward ? seg.a : seg.b);
@@ -199,10 +192,19 @@ std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t 
       entry = exit;
       cur = next;
     }
-    if (poly.size() >= 2) contours.push_back(std::move(poly));
+    if (poly.size() >= 2) ++count;
   }
 
-  return contours;
+  return count;
+}
+
+std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t width,
+                                      std::size_t height, double threshold) {
+  ContourScratch scratch;
+  std::vector<Polygon> out;
+  const std::size_t n = extract_contours_into(grid, width, height, threshold, scratch, out);
+  out.resize(n);
+  return out;
 }
 
 Polygon largest_contour(const std::vector<Polygon>& contours) {

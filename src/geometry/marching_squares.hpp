@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geometry/polygon.hpp"
@@ -23,6 +25,34 @@ namespace lithogan::geometry {
 /// Ambiguous saddle cells are resolved with the cell-center average.
 std::vector<Polygon> extract_contours(std::span<const double> grid, std::size_t width,
                                       std::size_t height, double threshold);
+
+/// Reusable working storage for `extract_contours_into`. Buffers keep their
+/// capacity across calls, so a steady-state loop that extracts contours from
+/// same-sized grids (the chip tile pipeline) stops allocating once warm.
+struct ContourScratch {
+  struct Segment {
+    std::uint64_t key_a;
+    std::uint64_t key_b;
+    Point a;
+    Point b;
+    bool used = false;
+  };
+  std::vector<Segment> segments;
+  /// Sorted (edge key, segment index) pairs standing in for the hash map the
+  /// one-shot path would build: each grid edge borders at most two cells, so
+  /// a key appears at most twice and equal_range replaces the bucket lookup.
+  std::vector<std::pair<std::uint64_t, std::int32_t>> edges;
+};
+
+/// Allocation-free-when-warm variant of `extract_contours`: writes the
+/// contours into the first `returned` slots of `out` (growing it only when
+/// more contours appear than any earlier call produced; pooled polygons keep
+/// their vertex capacity) and returns that count. Slots past the count hold
+/// stale earlier results and must be ignored. Results are bit-identical to
+/// `extract_contours`, which delegates here.
+std::size_t extract_contours_into(std::span<const double> grid, std::size_t width,
+                                  std::size_t height, double threshold,
+                                  ContourScratch& scratch, std::vector<Polygon>& out);
 
 /// The contour with the largest absolute enclosed area, or an empty polygon
 /// if `contours` is empty.

@@ -22,6 +22,9 @@ class Polygon {
   std::size_t size() const { return vertices_.size(); }
   bool empty() const { return vertices_.empty(); }
   void push_back(const Point& p) { vertices_.push_back(p); }
+  /// Drops the vertices but keeps the capacity, so pooled polygons (e.g. the
+  /// chip pipeline's per-tile contour slots) stop allocating once warm.
+  void clear() { vertices_.clear(); }
 
   /// Signed area via the shoelace formula: positive for counter-clockwise.
   double signed_area() const;

@@ -8,20 +8,26 @@
 
 namespace lithogan::layout {
 
-geometry::Rect OpcEngine::biased(const geometry::Rect& drawn,
-                                 const std::vector<geometry::Rect>& all_contacts) const {
+geometry::Rect OpcEngine::rule_biased(const geometry::Rect& drawn,
+                                      std::span<const geometry::Rect> others,
+                                      const OpcConfig& config) {
   // Density rule: contacts with close neighbors get the dense bias,
   // lonely ones the (larger) isolated bias.
   bool dense = false;
-  for (const auto& other : all_contacts) {
+  for (const auto& other : others) {
     if (other == drawn) continue;
-    if (geometry::distance(other.center(), drawn.center()) <= config_.rule_dense_radius_nm) {
+    if (geometry::distance(other.center(), drawn.center()) <= config.rule_dense_radius_nm) {
       dense = true;
       break;
     }
   }
-  const double bias = dense ? config_.rule_dense_bias_nm : config_.rule_iso_bias_nm;
+  const double bias = dense ? config.rule_dense_bias_nm : config.rule_iso_bias_nm;
   return drawn.inflated(bias);
+}
+
+geometry::Rect OpcEngine::biased(const geometry::Rect& drawn,
+                                 const std::vector<geometry::Rect>& all_contacts) const {
+  return rule_biased(drawn, all_contacts, config_);
 }
 
 void OpcEngine::run_rule_based(MaskClip& clip) const {

@@ -8,6 +8,8 @@
 // Mentor Calibre OPC) so the GAN sees realistic post-RET mask geometry.
 #pragma once
 
+#include <span>
+
 #include "layout/clip.hpp"
 #include "litho/simulator.hpp"
 
@@ -44,6 +46,15 @@ class OpcEngine {
   void run_model_based(MaskClip& clip, litho::Simulator& sim) const;
 
   const OpcConfig& config() const { return config_; }
+
+  /// The density rule on its own: bias `drawn` by the dense bias when any
+  /// other rectangle's center is within rule_dense_radius_nm, else by the
+  /// isolated bias. `drawn` itself is skipped if present in `others`.
+  /// Exposed so layers that keep contacts outside a MaskClip (the chip
+  /// layout) apply exactly the same rule as run_rule_based.
+  static geometry::Rect rule_biased(const geometry::Rect& drawn,
+                                    std::span<const geometry::Rect> others,
+                                    const OpcConfig& config);
 
  private:
   OpcConfig config_;

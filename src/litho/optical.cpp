@@ -186,6 +186,19 @@ OpticalModel::OpticalModel(const OpticalConfig& optical, const GridConfig& grid,
   }
   LITHOGAN_REQUIRE(open_field > 0.0, "no source point falls inside the pupil");
   normalization_ = 1.0 / open_field;
+
+  // Spatial reach of the coherent kernels: a transfer window of support S
+  // frequency bins on a grid of extent E has a point-spread main lobe of
+  // E/S nm, so the narrowest window (smallest support) has the broadest,
+  // slowest-decaying lobe — that lobe is the halo unit for tiling layers.
+  std::size_t min_support = 0;
+  for (const TransferWindow& win : windows_) {
+    const std::size_t s = std::min(win.w, win.h);
+    if (s == 0) continue;  // kernel entirely outside the pupil
+    min_support = min_support == 0 ? s : std::min(min_support, s);
+  }
+  LITHOGAN_REQUIRE(min_support > 0, "all transfer windows empty");
+  kernel_ambit_nm_ = grid_.extent_nm / static_cast<double>(min_support);
 }
 
 FieldGrid OpticalModel::aerial_image(const FieldGrid& mask) const {

@@ -62,6 +62,13 @@ class OpticalModel {
   double pixel_nm() const { return grid_.pixel_nm(); }
   const GridConfig& grid() const { return grid_; }
 
+  /// Spatial extent of one resolution lobe of the point-spread function, in
+  /// nm: grid extent divided by the smallest pupil-support width among the
+  /// transfer windows (≈ λ / 2NA(1+σ_max) for the paraxial pupil). Tiling
+  /// layers size their halos as a multiple of this ambit instead of
+  /// hard-coding an optical reach.
+  double kernel_ambit_nm() const { return kernel_ambit_nm_; }
+
  private:
   /// One SOCS transfer function, stored as the bounding box of the
   /// frequency bins inside its shifted pupil (rho^2 <= 1) rather than a
@@ -83,6 +90,7 @@ class OpticalModel {
   GridConfig grid_;
   util::ExecContext* exec_ = nullptr;
   double normalization_ = 1.0;
+  double kernel_ambit_nm_ = 0.0;
   /// Pupil-support windows of the transfer functions, one per
   /// (source point, focus plane).
   std::vector<TransferWindow> windows_;

@@ -55,6 +55,9 @@ class Simulator {
   double calibrate_dose(double tolerance_nm = 0.25);
 
   const ProcessConfig& process() const { return process_; }
+  /// The precomputed optical model (transfer windows). Tiling layers read
+  /// its kernel_ambit_nm() to derive halo widths from the pupil support.
+  const OpticalModel& optical() const { return optical_; }
   const util::StageTimings& timings() const { return timings_; }
   void reset_timings() { timings_ = {}; }
 

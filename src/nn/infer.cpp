@@ -481,11 +481,19 @@ void InferencePlan::ensure_capacity(std::size_t batch) {
     if (need > slots_[s].capacity()) ++stats_.allocations;
     slots_[s].resize(need);
   }
-  if (output_.empty() || output_.dim(0) != batch) {
+  if (output_.empty()) {
     std::vector<std::size_t> shape{batch};
     const auto& out_shape = buffers_[output_id_].sample_shape;
     shape.insert(shape.end(), out_shape.begin(), out_shape.end());
     output_ = Tensor(shape);
+  } else if (output_.dim(0) != batch) {
+    // Capacity-preserving re-target: a stream whose batch size oscillates
+    // (micro-batching, chip tile remainders) must not reallocate once the
+    // high-water batch has been seen.
+    output_.set_batch(batch);
+  }
+  if (batch > output_max_batch_) {
+    output_max_batch_ = batch;
     ++stats_.allocations;
   }
 }

@@ -219,6 +219,7 @@ class InferencePlan {
   std::vector<std::vector<float>> slots_;
   util::Workspace ws_;  ///< serial-path engine scratch (capacity-retaining)
   Tensor output_;
+  std::size_t output_max_batch_ = 0;  ///< high-water mark; growth past it allocates
   mutable ArenaStats stats_;
 };
 

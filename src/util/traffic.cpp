@@ -1,0 +1,57 @@
+#include "util/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace lithogan::util {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void add_traffic_flags(CliParser& cli, const TrafficOptions& defaults) {
+  cli.add_flag("qps", fmt_double(defaults.qps), "offered load, requests per second")
+      .add_flag("duration-s", fmt_double(defaults.duration_s),
+                "traffic duration in seconds")
+      .add_flag("batch", std::to_string(defaults.batch),
+                "scheduler max batch size B")
+      .add_flag("wait-us", std::to_string(defaults.wait_us),
+                "scheduler max wait T for the oldest request")
+      .add_flag("queue-cap", std::to_string(defaults.queue_cap),
+                "admission-control queue capacity")
+      .add_flag("threads", std::to_string(defaults.threads), "worker threads")
+      .add_flag("seed", std::to_string(defaults.seed), "traffic RNG seed");
+}
+
+TrafficOptions read_traffic_flags(const CliParser& cli) {
+  TrafficOptions out;
+  out.qps = std::max(1.0, cli.get_double("qps"));
+  out.duration_s = std::max(0.1, cli.get_double("duration-s"));
+  out.batch = static_cast<std::size_t>(cli.get_int("batch"));
+  out.wait_us = static_cast<std::size_t>(cli.get_int("wait-us"));
+  out.queue_cap = static_cast<std::size_t>(cli.get_int("queue-cap"));
+  out.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  out.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return out;
+}
+
+double poisson_gap_s(Rng& rng, double rate_per_s) {
+  return -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate_per_s;
+}
+
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k), v.end());
+  return v[k];
+}
+
+}  // namespace lithogan::util

@@ -29,13 +29,13 @@ using lithogan::obs::json::Value;
 namespace {
 
 struct Row {
-  std::string key;  ///< op|shape|threads|dtype
-  double ns_per_iter = 0.0;
+  double value = 0.0;        ///< ns_per_iter slot (a rate when dir is "higher")
+  bool higher_is_better = false;  ///< record's "dir" field ("higher"/"lower")
 };
 
 struct BenchDoc {
   std::string host;  ///< "cpus=N simd=..." summary for mismatch reporting
-  std::map<std::string, double> rows;
+  std::map<std::string, Row> rows;  ///< keyed by op|shape|threads|dtype
 };
 
 BenchDoc parse_bench(const Value& root, const std::string& label) {
@@ -69,7 +69,12 @@ BenchDoc parse_bench(const Value& root, const std::string& label) {
     const std::string key = op->string + '|' + shape->string + '|' +
                             std::to_string(static_cast<long long>(threads->number)) +
                             '|' + dtype;
-    doc.rows[key] = ns->number;
+    Row row;
+    row.value = ns->number;
+    if (const Value* dir = entry->get("dir")) {
+      row.higher_is_better = dir->string == "higher";
+    }
+    doc.rows[key] = row;
   }
   return doc;
 }
@@ -81,28 +86,33 @@ struct CompareResult {
   std::vector<std::string> regressions;  ///< human-readable, one per bad row
 };
 
-/// Core comparison: candidate ns_per_iter > base * (1 + pct/100) on any
-/// matched key is a regression (higher ns/iter = lower throughput). Rows
-/// with a non-positive baseline are skipped — a 0 ns/iter row is a
-/// placeholder, and a ratio against it is meaningless.
+/// Core comparison: a matched row regresses when the candidate moves the
+/// WRONG way by more than the budget — candidate > base * (1 + pct/100) on
+/// a "lower" (ns/iter) row, candidate < base / (1 + pct/100) on a "higher"
+/// (rate) row. The baseline row's direction governs the flip. Rows with a
+/// non-positive baseline are skipped — a 0 row is a placeholder, and a
+/// ratio against it is meaningless.
 CompareResult compare(const BenchDoc& base, const BenchDoc& candidate,
                       double max_regress_pct) {
   CompareResult result;
   const double limit = 1.0 + max_regress_pct / 100.0;
-  for (const auto& [key, base_ns] : base.rows) {
+  for (const auto& [key, base_row] : base.rows) {
     const auto it = candidate.rows.find(key);
     if (it == candidate.rows.end()) {
       ++result.base_only;
       continue;
     }
     ++result.matched;
-    if (base_ns <= 0.0) continue;
-    const double ratio = it->second / base_ns;
-    if (ratio > limit) {
+    if (base_row.value <= 0.0) continue;
+    const double ratio = it->second.value / base_row.value;
+    const bool regressed =
+        base_row.higher_is_better ? ratio < 1.0 / limit : ratio > limit;
+    if (regressed) {
       char buf[256];
-      std::snprintf(buf, sizeof(buf), "%s: %.0f -> %.0f ns/iter (%+.1f%%, limit +%.1f%%)",
-                    key.c_str(), base_ns, it->second, (ratio - 1.0) * 100.0,
-                    max_regress_pct);
+      std::snprintf(buf, sizeof(buf), "%s: %.0f -> %.0f %s (%+.1f%%, budget %.1f%%)",
+                    key.c_str(), base_row.value, it->second.value,
+                    base_row.higher_is_better ? "(higher is better)" : "ns/iter",
+                    (ratio - 1.0) * 100.0, max_regress_pct);
       result.regressions.push_back(buf);
     }
   }
@@ -132,6 +142,8 @@ int selftest() {
       " \"ns_per_iter\": 8000.0},"
       "{\"op\": \"conv\", \"shape\": \"64\", \"threads\": 2, \"dtype\": \"f16\","
       " \"ns_per_iter\": 500.0},"
+      "{\"op\": \"chip_rate\", \"shape\": \"4096\", \"threads\": 1, \"dtype\": \"f32\","
+      " \"dir\": \"higher\", \"ns_per_iter\": 1000.0},"
       "{\"op\": \"retired\", \"shape\": \"1\", \"threads\": 1,"
       " \"ns_per_iter\": 10.0}]}");
   const BenchDoc cand = doc(
@@ -142,6 +154,8 @@ int selftest() {
       " \"ns_per_iter\": 7000.0},"  // improvement: never a regression
       "{\"op\": \"conv\", \"shape\": \"64\", \"threads\": 2, \"dtype\": \"f16\","
       " \"ns_per_iter\": 800.0},"   // +60%: regression under any sane budget
+      "{\"op\": \"chip_rate\", \"shape\": \"4096\", \"threads\": 1, \"dtype\": \"f32\","
+      " \"dir\": \"higher\", \"ns_per_iter\": 960.0},"  // -4% rate: only a 2% budget trips
       "{\"op\": \"new\", \"shape\": \"9\", \"threads\": 1,"
       " \"ns_per_iter\": 3.0}]}");
 
@@ -152,15 +166,20 @@ int selftest() {
     }
   };
   CompareResult loose = compare(base, cand, 100.0);
-  check(loose.matched == 3, "matched count");
+  check(loose.matched == 4, "matched count");
   check(loose.base_only == 1 && loose.candidate_only == 1, "unmatched counts");
   check(loose.regressions.empty(), "no regressions at +100%");
   CompareResult tight = compare(base, cand, 5.0);
-  check(tight.regressions.size() == 1, "one regression at +5% (conv only)");
+  check(tight.regressions.size() == 1, "one regression at 5% (conv only)");
   check(tight.regressions[0].find("conv|64|2|f16") != std::string::npos,
         "regression names the conv row");
   CompareResult strict = compare(base, cand, 2.0);
-  check(strict.regressions.size() == 2, "two regressions at +2%");
+  check(strict.regressions.size() == 3, "three regressions at 2%");
+  bool chip_flagged = false;
+  for (const std::string& r : strict.regressions) {
+    chip_flagged = chip_flagged || r.find("chip_rate|4096|1|f32") != std::string::npos;
+  }
+  check(chip_flagged, "a dropped dir:higher rate counts as a regression");
   check(compare(base, base, 0.0).regressions.empty(), "self-compare is clean");
   std::printf("bench_compare selftest OK\n");
   return 0;

@@ -30,8 +30,16 @@
 //            whose "gates" verdicts (including the telemetry-overhead
 //            gate) are present.
 //
+//   bench-chip: a bench JSON written by chip_bench — host + records plus a
+//            "chip" block with the tiling geometry (positive core_nm),
+//            positive golden/learned contacts_per_s rates, a divergence
+//            block with printed_match_frac in [0, 1], and the streaming
+//            gate verdicts (coverage, ring_bounded, learned_steady_allocs,
+//            plan_warmup_only, pass).
+//
 //   obs_validate --trace out.json --flow out.json --metrics out.jsonl \
-//                --exporter-jsonl windows.jsonl --bench-serve BENCH_serve.json
+//                --exporter-jsonl windows.jsonl --bench-serve BENCH_serve.json \
+//                --bench-chip BENCH_chip.json
 //
 // Exits nonzero with a message on the first violation.
 #include <cstdint>
@@ -351,6 +359,59 @@ void validate_bench_serve(const std::string& path) {
               points.array.size());
 }
 
+void validate_bench_chip(const std::string& path) {
+  const Value root = lithogan::obs::json::parse(read_file(path));
+  require(root.kind == Value::Kind::kObject, "bench-chip: top level is not an object");
+
+  const Value& host = field(root, "host", "bench-chip");
+  require(host.kind == Value::Kind::kObject, "bench-chip: host is not an object");
+  require(field(host, "cpus", "bench-chip host").kind == Value::Kind::kNumber,
+          "bench-chip: host.cpus is not a number");
+  const Value& records = field(root, "records", "bench-chip");
+  require(records.kind == Value::Kind::kArray && !records.array.empty(),
+          "bench-chip: records is not a non-empty array");
+
+  const Value& chip = field(root, "chip", "bench-chip");
+  require(chip.kind == Value::Kind::kObject, "bench-chip: chip is not an object");
+  for (const char* k : {"chip_nm", "tile_nm", "tile_px", "halo_nm", "core_nm",
+                        "tiles", "contacts", "ring_slots", "ring_bytes"}) {
+    const Value& n = field(chip, k, "bench-chip chip");
+    require(n.kind == Value::Kind::kNumber && n.number >= 0.0,
+            std::string("bench-chip: chip.") + k + " is not a non-negative number");
+  }
+  // The tile must always be wider than two halos, or there is no core.
+  require(chip.get("core_nm")->number > 0.0, "bench-chip: chip.core_nm is not positive");
+  for (const char* block : {"golden", "learned"}) {
+    const Value& b = field(chip, block, "bench-chip chip");
+    const std::string where = std::string("bench-chip ") + block;
+    require(b.kind == Value::Kind::kObject, where + ": not an object");
+    const Value& rate = field(b, "contacts_per_s", where);
+    require(rate.kind == Value::Kind::kNumber && rate.number > 0.0,
+            where + ": contacts_per_s is not positive");
+    require(field(b, "seconds", where).kind == Value::Kind::kNumber,
+            where + ": seconds is not a number");
+  }
+  const Value& div = field(chip, "divergence", "bench-chip chip");
+  require(div.kind == Value::Kind::kObject, "bench-chip: divergence is not an object");
+  const Value& frac = field(div, "printed_match_frac", "bench-chip divergence");
+  require(frac.kind == Value::Kind::kNumber && frac.number >= 0.0 && frac.number <= 1.0,
+          "bench-chip: divergence.printed_match_frac is not in [0, 1]");
+  require(field(div, "mean_cd_delta_nm", "bench-chip divergence").kind ==
+              Value::Kind::kNumber,
+          "bench-chip: divergence.mean_cd_delta_nm is not a number");
+  const Value& gates = field(chip, "gates", "bench-chip chip");
+  require(gates.kind == Value::Kind::kObject, "bench-chip: gates is not an object");
+  for (const char* k : {"coverage", "ring_bounded", "plan_warmup_only", "pass"}) {
+    require(field(gates, k, "bench-chip gates").kind == Value::Kind::kBool,
+            std::string("bench-chip: gates.") + k + " is not a bool");
+  }
+  require(field(gates, "learned_steady_allocs", "bench-chip gates").kind ==
+              Value::Kind::kNumber,
+          "bench-chip: gates.learned_steady_allocs is not a number");
+  std::printf("bench-chip OK: %s (%.0f contacts over %.0f tiles)\n", path.c_str(),
+              chip.get("contacts")->number, chip.get("tiles")->number);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -363,7 +424,8 @@ int main(int argc, char** argv) {
       .add_flag("metrics", "", "metrics JSONL file to validate")
       .add_flag("exporter-jsonl", "",
                 "windowed-exporter JSONL file to validate (obs::Exporter)")
-      .add_flag("bench-serve", "", "serve_bench JSON file to validate");
+      .add_flag("bench-serve", "", "serve_bench JSON file to validate")
+      .add_flag("bench-chip", "", "chip_bench JSON file to validate");
   if (!cli.parse(argc, argv)) {
     std::printf("%s", cli.usage().c_str());
     return 2;
@@ -374,11 +436,12 @@ int main(int argc, char** argv) {
     const std::string metrics = cli.get("metrics");
     const std::string exporter_jsonl = cli.get("exporter-jsonl");
     const std::string bench_serve = cli.get("bench-serve");
+    const std::string bench_chip = cli.get("bench-chip");
     if (trace.empty() && flow.empty() && metrics.empty() && exporter_jsonl.empty() &&
-        bench_serve.empty()) {
+        bench_serve.empty() && bench_chip.empty()) {
       std::fprintf(stderr,
                    "obs_validate: nothing to do (pass --trace, --flow, --metrics, "
-                   "--exporter-jsonl and/or --bench-serve)\n");
+                   "--exporter-jsonl, --bench-serve and/or --bench-chip)\n");
       return 2;
     }
     if (!trace.empty()) validate_trace(trace);
@@ -386,6 +449,7 @@ int main(int argc, char** argv) {
     if (!metrics.empty()) validate_metrics(metrics);
     if (!exporter_jsonl.empty()) validate_exporter_jsonl(exporter_jsonl);
     if (!bench_serve.empty()) validate_bench_serve(bench_serve);
+    if (!bench_chip.empty()) validate_bench_chip(bench_chip);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "obs_validate: FAIL: %s\n", e.what());
     return 1;
